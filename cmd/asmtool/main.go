@@ -1,0 +1,128 @@
+// Command asmtool assembles MiniC or assembly sources and disassembles
+// linked images — the toolchain's command-line face.
+//
+// Usage:
+//
+//	asmtool -cc prog.c            # compile MiniC to assembly (stdout)
+//	asmtool -asm prog.s           # assemble + link, print section map
+//	asmtool -dis prog.c           # compile, link, disassemble .text
+//	asmtool -app ftpd -dis-func pass   # disassemble a built-in server fn
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"faultsec/internal/asm"
+	"faultsec/internal/cc"
+	"faultsec/internal/disasm"
+	"faultsec/internal/ftpd"
+	"faultsec/internal/image"
+	"faultsec/internal/rt"
+	"faultsec/internal/sshd"
+	"faultsec/internal/target"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "asmtool:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		ccFile  = flag.String("cc", "", "compile a MiniC file to assembly")
+		asmFile = flag.String("asm", "", "assemble an assembly file and print the section map")
+		disFile = flag.String("dis", "", "compile+link a MiniC file and disassemble .text")
+		appName = flag.String("app", "", "built-in app (ftpd or sshd) for -dis-func")
+		disFunc = flag.String("dis-func", "", "disassemble one function of the built-in app")
+	)
+	flag.Parse()
+
+	switch {
+	case *ccFile != "":
+		src, err := os.ReadFile(*ccFile)
+		if err != nil {
+			return err
+		}
+		out, err := cc.Compile(string(src))
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+
+	case *asmFile != "":
+		src, err := os.ReadFile(*asmFile)
+		if err != nil {
+			return err
+		}
+		obj, err := asm.Assemble(string(src))
+		if err != nil {
+			return err
+		}
+		for name, sec := range obj.Sections {
+			fmt.Printf("section %-8s %6d bytes, %d relocations\n",
+				name, len(sec.Bytes), len(sec.Relocs))
+		}
+		for _, f := range obj.Funcs {
+			fmt.Printf("func %-24s [%#x, %#x)\n", f.Name, f.Start, f.End)
+		}
+		return nil
+
+	case *disFile != "":
+		src, err := os.ReadFile(*disFile)
+		if err != nil {
+			return err
+		}
+		img, err := rt.BuildImage(string(src))
+		if err != nil {
+			return err
+		}
+		return disassembleImage(img, "")
+
+	case *disFunc != "":
+		var app *target.App
+		var err error
+		switch *appName {
+		case "ftpd":
+			app, err = ftpd.Build()
+		case "sshd":
+			app, err = sshd.Build()
+		default:
+			return fmt.Errorf("-dis-func needs -app ftpd or -app sshd")
+		}
+		if err != nil {
+			return err
+		}
+		return disassembleImage(app.Image, *disFunc)
+	}
+
+	flag.Usage()
+	return nil
+}
+
+func disassembleImage(img *image.Image, funcName string) error {
+	start, end := uint32(0), uint32(len(img.Text))
+	if funcName != "" {
+		f, ok := img.FuncByName(funcName)
+		if !ok {
+			return fmt.Errorf("no function %q", funcName)
+		}
+		start, end = f.Start-img.TextBase, f.End-img.TextBase
+	}
+	// Reverse symbol map for labels.
+	symAt := make(map[uint32]string)
+	for name, addr := range img.Symbols {
+		symAt[addr] = name
+	}
+	for _, e := range disasm.Sweep(img.Text, img.TextBase, start, end) {
+		if name, ok := symAt[e.Addr]; ok {
+			fmt.Printf("%s:\n", name)
+		}
+		fmt.Printf("  %#08x:  %-22x %s\n", e.Addr, e.Raw, e.Text())
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+// Command encmap prints the branch re-encoding map (the paper's Table 4)
+// and the Hamming-distance analysis motivating it.
+package main
+
+import (
+	"fmt"
+
+	"faultsec"
+	"faultsec/internal/encoding"
+	"faultsec/internal/x86"
+)
+
+func main() {
+	fmt.Println("x86 Conditional Branch Instruction Encoding Mapping (paper Table 4)")
+	fmt.Println()
+	fmt.Print(faultsec.RenderTable4())
+	fmt.Println()
+
+	fmt.Println("Hamming analysis:")
+	fmt.Printf("  stock 2-byte jcc opcodes (0x70..0x7F): min pairwise distance %d\n",
+		x86.MinPairwiseHamming(x86.Jcc8Opcodes()))
+	fmt.Printf("  stock 6-byte jcc 2nd opcode bytes (0x0F 0x80..0x8F): min pairwise distance %d\n",
+		x86.MinPairwiseHamming(x86.Jcc32SecondOpcodes()))
+	d2, d6 := encoding.MinHammingWithinBranchBlocks()
+	fmt.Printf("  parity re-encoding: min distance %d (2-byte set), %d (6-byte set)\n", d2, d6)
+	fmt.Println()
+
+	fmt.Println("Dangerous single-bit pairs under the stock encoding (condition vs negation):")
+	for cc := 0; cc < 16; cc += 2 {
+		a := byte(x86.Jcc8Base + cc)
+		b := byte(x86.Jcc8Base + cc + 1)
+		fmt.Printf("  j%-3s (%#02x) <-> j%-3s (%#02x): one bit flip reverses the branch\n",
+			x86.CondName(uint8(cc)), a, x86.CondName(uint8(cc+1)), b)
+	}
+}

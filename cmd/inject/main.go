@@ -1,0 +1,162 @@
+// Command inject runs a single error-injection experiment with full
+// detail: the targeted instruction, the corrupted bytes, the session
+// transcript, and the classified outcome. Useful for reproducing the
+// paper's Figures 1-2 by hand.
+//
+// Usage:
+//
+//	inject -app ftpd -scenario Client1 -func pass -index 0 -byte 0 -bit 0
+//	inject -app ftpd -scenario Client1 -list          # list branch targets
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"faultsec/internal/disasm"
+	"faultsec/internal/encoding"
+	"faultsec/internal/ftpd"
+	"faultsec/internal/inject"
+	"faultsec/internal/kernel"
+	"faultsec/internal/sshd"
+	"faultsec/internal/target"
+	"faultsec/internal/vm"
+	"faultsec/internal/x86"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "inject:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		appName  = flag.String("app", "ftpd", "target application: ftpd or sshd")
+		scenario = flag.String("scenario", "Client1", "client access pattern")
+		funcName = flag.String("func", "", "restrict to this auth function")
+		index    = flag.Int("index", 0, "branch-instruction index within the target set")
+		byteIdx  = flag.Int("byte", 0, "byte within the instruction")
+		bit      = flag.Int("bit", 0, "bit within the byte")
+		parity   = flag.Bool("parity", false, "use the new (parity) encoding")
+		list     = flag.Bool("list", false, "list injection targets and exit")
+		trace    = flag.Int("trace", 0, "print up to N instructions executed after activation")
+	)
+	flag.Parse()
+
+	var app *target.App
+	var err error
+	switch *appName {
+	case "ftpd":
+		app, err = ftpd.Build()
+	case "sshd":
+		app, err = sshd.Build()
+	default:
+		return fmt.Errorf("unknown app %q", *appName)
+	}
+	if err != nil {
+		return err
+	}
+
+	targets, err := inject.Targets(app)
+	if err != nil {
+		return err
+	}
+	if *funcName != "" {
+		var filtered []inject.Target
+		for _, t := range targets {
+			if t.Func == *funcName {
+				filtered = append(filtered, t)
+			}
+		}
+		targets = filtered
+	}
+	if *list {
+		for i, t := range targets {
+			fmt.Printf("%3d  %-18s %#08x  % -24x %s\n", i, t.Func, t.Addr, t.Raw,
+				disasm.Format(&t.Inst, t.Addr))
+		}
+		return nil
+	}
+	if *index < 0 || *index >= len(targets) {
+		return fmt.Errorf("index %d out of range (0..%d)", *index, len(targets)-1)
+	}
+	tgt := targets[*index]
+
+	sc, ok := app.Scenario(*scenario)
+	if !ok {
+		return fmt.Errorf("app %s has no scenario %q", app.Name, *scenario)
+	}
+	scheme := encoding.SchemeX86
+	if *parity {
+		scheme = encoding.SchemeParity
+	}
+	ex := inject.Experiment{Target: tgt, ByteIdx: *byteIdx, Bit: *bit, Scheme: scheme}
+
+	fmt.Printf("target:    %s at %#x: %s  (bytes % x)\n", tgt.Func, tgt.Addr,
+		disasm.Format(&tgt.Inst, tgt.Addr), tgt.Raw)
+	corrupted := ex.CorruptedBytes()
+	fmt.Printf("corrupted: % x", corrupted)
+	if in, derr := x86.Decode(corrupted); derr == nil {
+		fmt.Printf("  (%s)", disasm.Format(&in, tgt.Addr))
+	} else {
+		fmt.Printf("  (illegal instruction)")
+	}
+	fmt.Println()
+
+	golden, err := inject.GoldenRun(app, sc, 0)
+	if err != nil {
+		return err
+	}
+	res, err := inject.RunOne(app, sc, golden, ex, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario:  %s/%s (should grant: %v)\n", app.Name, sc.Name, sc.ShouldGrant)
+	fmt.Printf("outcome:   %s  location=%s activated=%v granted=%v",
+		res.Outcome, res.Location, res.Activated, res.Granted)
+	if res.Crashed {
+		fmt.Printf(" crash=%s latency=%d instructions", res.FaultKind, res.CrashLatency)
+	}
+	fmt.Println()
+
+	// Re-run once more verbosely to show the transcript.
+	fmt.Println("\ntranscript:")
+	transcript, runErr := verboseRun(app, sc, ex)
+	fmt.Print(transcript)
+	fmt.Printf("termination: %v\n", runErr)
+
+	if *trace > 0 {
+		tr, terr := inject.TraceRun(app, sc, ex, 0, *trace)
+		if terr != nil {
+			return terr
+		}
+		fmt.Println("\nexecution after activation:")
+		fmt.Print(tr.String())
+	}
+	return nil
+}
+
+func verboseRun(app *target.App, sc target.Scenario, ex inject.Experiment) (string, error) {
+	client := sc.New()
+	k := kernel.New(client)
+	ld, err := app.Image.Load(k, nil)
+	if err != nil {
+		return "", err
+	}
+	m := ld.Machine
+	m.SetBreakpoint(ex.Target.Addr)
+	runErr := m.Run()
+	var bp *vm.BreakpointHit
+	if errors.As(runErr, &bp) {
+		if err := m.Mem.Poke(ex.Target.Addr, ex.CorruptedBytes()); err != nil {
+			return "", err
+		}
+		m.ClearBreakpoint(ex.Target.Addr)
+		runErr = m.Run()
+	}
+	return k.Transcript.String(), runErr
+}

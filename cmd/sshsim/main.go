@@ -1,0 +1,104 @@
+// Command sshsim runs the study's miniature sshd against one of the
+// paper's scripted client patterns (or arbitrary credentials) and prints
+// the transcript; with -listen it serves the line-oriented protocol over
+// real TCP.
+//
+// Usage:
+//
+//	sshsim -scenario Client1
+//	sshsim -user bob -host bastion.example.com      # rhosts entry point
+//	sshsim -listen :2222
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"faultsec/internal/kernel"
+	"faultsec/internal/sshd"
+	"faultsec/internal/target"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sshsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		scenario = flag.String("scenario", "Client1", "scripted client pattern (Client1, Client2)")
+		user     = flag.String("user", "", "override: user name")
+		host     = flag.String("host", "client.example.net", "override: client host")
+		password = flag.String("password", "", "override: password to try")
+		listen   = flag.String("listen", "", "serve real TCP connections on this address instead")
+	)
+	flag.Parse()
+
+	app, err := sshd.Build()
+	if err != nil {
+		return err
+	}
+	if *listen != "" {
+		return serveTCP(app, *listen)
+	}
+
+	var client target.Client
+	if *user != "" {
+		var pws []string
+		if *password != "" {
+			pws = []string{*password}
+		}
+		client = sshd.NewClientForTest(*user, *host, pws)
+	} else {
+		sc, ok := app.Scenario(*scenario)
+		if !ok {
+			return fmt.Errorf("no scenario %q", *scenario)
+		}
+		client = sc.New()
+	}
+
+	k := kernel.New(client)
+	ld, err := app.Image.Load(k, nil)
+	if err != nil {
+		return err
+	}
+	runErr := ld.Machine.Run()
+	fmt.Print(k.Transcript.String())
+	fmt.Printf("granted=%v, termination: %v, %d instructions\n",
+		client.Granted(), runErr, ld.Machine.Steps)
+	return nil
+}
+
+func serveTCP(app *target.App, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := ln.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "sshsim: close listener:", cerr)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "sshsim: serving on %s (one connection at a time)\n", addr)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		k := kernel.NewStream(conn)
+		ld, err := app.Image.Load(k, nil)
+		if err != nil {
+			return err
+		}
+		ld.Machine.Fuel = 50_000_000
+		runErr := ld.Machine.Run()
+		fmt.Fprintf(os.Stderr, "sshsim: session ended: %v\n", runErr)
+		if cerr := conn.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "sshsim: close conn:", cerr)
+		}
+	}
+}

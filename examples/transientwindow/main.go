@@ -1,0 +1,136 @@
+// transientwindow reproduces two of the paper's time-dimension results:
+//
+//  1. Figure 4 — the distribution of the number of instructions a crashing
+//     server executes between error activation and the crash. Most crashes
+//     are nearly immediate, but a heavy tail executes thousands to tens of
+//     thousands of instructions — a transient window during which the
+//     corrupted server keeps talking to the network.
+//
+//  2. Example 3 (Figure 3) — a single-bit error in the buffer-size
+//     immediate of a read call turns a bounded read into a stack smash:
+//     a malicious client overwrites the return address and hijacks the
+//     server's control flow.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"strings"
+
+	"faultsec"
+	"faultsec/internal/disasm"
+	"faultsec/internal/kernel"
+	"faultsec/internal/vm"
+	"faultsec/internal/x86"
+)
+
+func main() {
+	study, err := faultsec.NewStudy()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Part 1: Figure 4.
+	fmt.Println("Part 1 — transient window of vulnerability (Figure 4)")
+	h, err := study.Figure4(context.Background(), faultsec.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(faultsec.RenderFigure4(h))
+
+	// Part 2: Example 3 — buffer-size corruption enables a stack smash.
+	fmt.Println("Part 2 — Example 3: corrupting a read-size immediate (Figure 3)")
+	if err := bufferOverflowDemo(study); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// exploitClient drives the SSH protocol and delivers an oversized LOGIN
+// line whose bytes 260..263 (the position of main's saved return address
+// relative to the line[256] stack buffer) hold a recognizable marker.
+type exploitClient struct {
+	payload string
+	done    bool
+	sent    bool
+}
+
+func (c *exploitClient) OnServerLine(line string) []string {
+	switch {
+	case strings.HasPrefix(line, "SSH-"):
+		return []string{"SSH-1.5-exploitclient"}
+	case strings.HasPrefix(line, "WELCOME"):
+		c.sent = true
+		return []string{c.payload}
+	case strings.HasPrefix(line, "AUTH_FAILED"):
+		// Authentication fails; we hang up and wait for the smashed
+		// return address to take effect.
+		c.done = true
+	}
+	return nil
+}
+
+func (c *exploitClient) Done() bool { return c.done && c.sent }
+
+func bufferOverflowDemo(study *faultsec.Study) error {
+	app := study.SSHD
+	img := app.Image
+	mainFn, ok := img.FuncByName("main")
+	if !ok {
+		return errors.New("no main in sshd image")
+	}
+
+	// Locate the read-size immediates: "mov eax, 256" feeding
+	// read_line(line, 256) in main (the paper's "push $0x2000" analog).
+	var sites []uint32
+	for _, e := range disasm.Sweep(img.Text, img.TextBase,
+		mainFn.Start-img.TextBase, mainFn.End-img.TextBase) {
+		if e.Bad {
+			continue
+		}
+		if e.Inst.Op == x86.OpMov && e.Inst.Form == x86.FormRegImm && e.Inst.Imm == 256 {
+			sites = append(sites, e.Addr)
+		}
+	}
+	if len(sites) < 2 {
+		return fmt.Errorf("expected >=2 read-size immediates in main, found %d", len(sites))
+	}
+	site := sites[1] // the LOGIN-line read
+	fmt.Printf("read-size immediate at %#x: mov eax, 256 (bytes b8 00 01 00 00)\n", site)
+	fmt.Printf("flipping bit 9 of the immediate: 256 -> 768 — the read now\n")
+	fmt.Printf("overruns the 256-byte stack buffer, like Figure 3's packet_read.\n\n")
+
+	corrupted := make([]byte, len(img.Text))
+	copy(corrupted, img.Text)
+	corrupted[site-img.TextBase+2] ^= 0x02 // imm byte 1: 0x01 -> 0x03 (256 -> 768)
+
+	// Marker the hijacked EIP will land on.
+	const marker = 0x41414141
+	payload := "LOGIN " + strings.Repeat("A", 260-6)
+	payload = payload[:260] + "\x41\x41\x41\x41" + strings.Repeat("B", 20)
+
+	// Pristine server: the long line is truncated harmlessly.
+	for _, tc := range []struct {
+		name string
+		text []byte
+	}{
+		{"pristine server", nil},
+		{"corrupted server", corrupted},
+	} {
+		client := &exploitClient{payload: payload}
+		k := kernel.New(client)
+		ld, err := img.Load(k, tc.text)
+		if err != nil {
+			return err
+		}
+		runErr := ld.Machine.Run()
+		fmt.Printf("%s: %v\n", tc.name, runErr)
+		var fault *vm.Fault
+		if errors.As(runErr, &fault) && fault.Addr == marker {
+			fmt.Printf("  -> control-flow HIJACKED: the server jumped to the\n")
+			fmt.Printf("     attacker-supplied address %#x from the network payload\n", marker)
+		}
+	}
+	return nil
+}

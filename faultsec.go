@@ -1,0 +1,113 @@
+// Package faultsec reproduces "An Experimental Study of Security
+// Vulnerabilities Caused by Errors" (Xu, Chen, Kalbarczyk, Iyer; DSN
+// 2001): single-bit error injection into the branch instructions of the
+// authentication sections of an FTP and an SSH server, outcome
+// classification (NA/NM/SD/FSV/BRK), transient- and permanent-window
+// analysis, and the evaluation of a parity-based branch re-encoding that
+// raises the minimum Hamming distance between conditional branch opcodes
+// to two.
+//
+// The package is a facade over the internal implementation; see DESIGN.md
+// for the architecture and EXPERIMENTS.md for paper-vs-measured results.
+//
+// Quick start:
+//
+//	study, err := faultsec.NewStudy()
+//	if err != nil { ... }
+//	table1, stats, err := study.Table1(context.Background(), faultsec.Options{})
+//	fmt.Print(table1)
+package faultsec
+
+import (
+	"faultsec/internal/classify"
+	"faultsec/internal/core"
+	"faultsec/internal/encoding"
+	"faultsec/internal/inject"
+	"faultsec/internal/report"
+	"faultsec/internal/target"
+)
+
+// Re-exported study types. Aliases keep the internal packages as the
+// single source of truth while exposing a stable public surface.
+type (
+	// Study bundles the built target applications and runs campaigns.
+	Study = core.Study
+	// Options tune campaign execution.
+	Options = core.Options
+	// App is a target application bundle (image + scenarios).
+	App = target.App
+	// Scenario is one client access pattern.
+	Scenario = target.Scenario
+	// Stats aggregates one campaign.
+	Stats = inject.Stats
+	// Experiment identifies one single-bit injection.
+	Experiment = inject.Experiment
+	// Result is one classified injection run.
+	Result = inject.Result
+	// Outcome is the five-way result category (NA/NM/SD/FSV/BRK).
+	Outcome = classify.Outcome
+	// Location is the Table 2 error-location category.
+	Location = classify.Location
+	// Scheme selects the instruction encoding (stock x86 or parity).
+	Scheme = encoding.Scheme
+	// Histogram is the Figure 4 crash-latency histogram.
+	Histogram = report.Histogram
+	// PersistentWindowResult demonstrates the permanent vulnerability
+	// window.
+	PersistentWindowResult = core.PersistentWindowResult
+	// LoadImpactResult quantifies manifestation probability vs load
+	// diversity.
+	LoadImpactResult = core.LoadImpactResult
+	// WatchdogResult compares a campaign with and without the
+	// control-flow watchdog.
+	WatchdogResult = core.WatchdogResult
+	// TransientWindow summarizes network activity inside crash windows.
+	TransientWindow = inject.TransientWindow
+)
+
+// Outcome constants.
+const (
+	OutcomeNA  = classify.OutcomeNA
+	OutcomeNM  = classify.OutcomeNM
+	OutcomeSD  = classify.OutcomeSD
+	OutcomeFSV = classify.OutcomeFSV
+	OutcomeBRK = classify.OutcomeBRK
+)
+
+// Encoding scheme constants.
+const (
+	SchemeX86    = encoding.SchemeX86
+	SchemeParity = encoding.SchemeParity
+)
+
+// NewStudy compiles and links both target servers (ftpd and sshd).
+func NewStudy() (*Study, error) { return core.NewStudy() }
+
+// RenderTable1 renders campaign stats in the paper's Table 1 layout.
+func RenderTable1(stats []*Stats) string { return report.Table1(stats) }
+
+// RenderTable2 renders the error-location legend (paper Table 2).
+func RenderTable2() string { return report.Table2() }
+
+// RenderTable3 renders the BRK+FSV location breakdown (paper Table 3).
+func RenderTable3(stats []*Stats) string { return report.Table3(stats) }
+
+// RenderTable4 renders the derived branch re-encoding map (paper Table 4).
+func RenderTable4() string { return report.Table4() }
+
+// RenderTable5 renders new-encoding stats with reduction rows (Table 5).
+func RenderTable5(old, new_ []*Stats) string { return report.Table5(old, new_) }
+
+// RenderFigure4 renders the crash-latency histogram (paper Figure 4).
+func RenderFigure4(h *Histogram) string { return report.Figure4(h) }
+
+// NewHistogram bins crash latencies on the Figure 4 log-2 scale.
+func NewHistogram(latencies []uint64) *Histogram {
+	return report.NewHistogram(latencies)
+}
+
+// MarshalStats renders campaign results as indented JSON for analysis
+// outside this repository.
+func MarshalStats(stats []*Stats) ([]byte, error) {
+	return report.MarshalStats(stats)
+}

@@ -1,0 +1,54 @@
+package faultsec_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"faultsec"
+)
+
+func TestFacadeQuickCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign in -short mode")
+	}
+	s, err := faultsec.NewStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := s.Campaign(context.Background(), s.SSHD, "Client1",
+		faultsec.SchemeX86, faultsec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, o := range []faultsec.Outcome{
+		faultsec.OutcomeNA, faultsec.OutcomeNM, faultsec.OutcomeSD,
+		faultsec.OutcomeFSV, faultsec.OutcomeBRK,
+	} {
+		total += stats.Counts[o]
+	}
+	if total != stats.Total {
+		t.Errorf("outcomes sum to %d, total %d", total, stats.Total)
+	}
+	table := faultsec.RenderTable1([]*faultsec.Stats{stats})
+	if !strings.Contains(table, "SSH Client1") {
+		t.Errorf("table missing header:\n%s", table)
+	}
+}
+
+func TestFacadeRenderers(t *testing.T) {
+	if !strings.Contains(faultsec.RenderTable2(), "2BC") {
+		t.Error("Table2 broken")
+	}
+	if !strings.Contains(faultsec.RenderTable4(), "JNE") {
+		t.Error("Table4 broken")
+	}
+	h := faultsec.NewHistogram([]uint64{1, 50, 20000})
+	if h.Total != 3 || h.Max != 20000 {
+		t.Errorf("histogram: %+v", h)
+	}
+	if !strings.Contains(faultsec.RenderFigure4(h), "crashes=3") {
+		t.Error("Figure4 broken")
+	}
+}

@@ -1,0 +1,3 @@
+module faultsec
+
+go 1.22

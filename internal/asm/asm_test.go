@@ -1,0 +1,373 @@
+package asm_test
+
+import (
+	"bytes"
+	"testing"
+
+	"faultsec/internal/asm"
+	"faultsec/internal/x86"
+)
+
+func assemble(t *testing.T, src string) *asm.Object {
+	t.Helper()
+	obj, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return obj
+}
+
+func textOf(t *testing.T, src string) []byte {
+	t.Helper()
+	obj := assemble(t, ".text\n"+src)
+	sec, ok := obj.Sections["text"]
+	if !ok {
+		t.Fatal("no text section")
+	}
+	return sec.Bytes
+}
+
+// TestKnownEncodings pins the encoder to the exact bytes a real assembler
+// produces (cross-checked against gas/objdump conventions).
+func TestKnownEncodings(t *testing.T) {
+	tests := []struct {
+		src  string
+		want []byte
+	}{
+		{"push eax", []byte{0x50}},
+		{"push ecx", []byte{0x51}},
+		{"push ebp", []byte{0x55}},
+		{"pop ebx", []byte{0x5B}},
+		{"push 8", []byte{0x6A, 0x08}},
+		{"push 0x1234", []byte{0x68, 0x34, 0x12, 0x00, 0x00}},
+		{"nop", []byte{0x90}},
+		{"ret", []byte{0xC3}},
+		{"ret 12", []byte{0xC2, 0x0C, 0x00}},
+		{"leave", []byte{0xC9}},
+		{"int 0x80", []byte{0xCD, 0x80}},
+		{"int3", []byte{0xCC}},
+		{"cdq", []byte{0x99}},
+		{"cwde", []byte{0x98}},
+		{"mov eax, 1", []byte{0xB8, 1, 0, 0, 0}},
+		{"mov cl, 5", []byte{0xB1, 5}},
+		{"mov eax, ebx", []byte{0x89, 0xD8}},
+		{"mov eax, [ebp+8]", []byte{0x8B, 0x45, 0x08}},
+		{"mov eax, [ebp-4]", []byte{0x8B, 0x45, 0xFC}},
+		{"mov [ebp-4], eax", []byte{0x89, 0x45, 0xFC}},
+		{"mov byte [ecx], al", []byte{0x88, 0x01}},
+		{"mov eax, [esp+4]", []byte{0x8B, 0x44, 0x24, 0x04}},
+		{"movzx eax, byte [ecx]", []byte{0x0F, 0xB6, 0x01}},
+		{"movsx edx, byte [esi]", []byte{0x0F, 0xBE, 0x16}},
+		{"lea eax, [ebp-64]", []byte{0x8D, 0x45, 0xC0}},
+		{"add eax, ecx", []byte{0x01, 0xC8}},
+		{"add esp, 8", []byte{0x83, 0xC4, 0x08}},
+		{"add eax, 0x12345", []byte{0x05, 0x45, 0x23, 0x01, 0x00}},
+		{"add ebx, 0x12345", []byte{0x81, 0xC3, 0x45, 0x23, 0x01, 0x00}},
+		{"sub esp, 64", []byte{0x83, 0xEC, 0x40}},
+		{"xor eax, eax", []byte{0x31, 0xC0}},
+		{"cmp eax, ecx", []byte{0x39, 0xC8}},
+		{"cmp byte [eax], 0", []byte{0x80, 0x38, 0x00}},
+		{"test eax, eax", []byte{0x85, 0xC0}},
+		{"test al, 1", []byte{0xA8, 0x01}},
+		{"inc eax", []byte{0x40}},
+		{"dec edi", []byte{0x4F}},
+		{"neg eax", []byte{0xF7, 0xD8}},
+		{"not ecx", []byte{0xF7, 0xD1}},
+		{"imul eax, ecx", []byte{0x0F, 0xAF, 0xC1}},
+		{"imul ecx, ecx, 4", []byte{0x6B, 0xC9, 0x04}},
+		{"imul eax, eax, 1000", []byte{0x69, 0xC0, 0xE8, 0x03, 0x00, 0x00}},
+		{"idiv ecx", []byte{0xF7, 0xF9}},
+		{"shl eax, 4", []byte{0xC1, 0xE0, 0x04}},
+		{"shl eax, 1", []byte{0xD1, 0xE0}},
+		{"shl eax, cl", []byte{0xD3, 0xE0}},
+		{"sar eax, cl", []byte{0xD3, 0xF8}},
+		{"call eax", []byte{0xFF, 0xD0}},
+		{"jmp eax", []byte{0xFF, 0xE0}},
+		{"sete al", []byte{0x0F, 0x94, 0xC0}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.src, func(t *testing.T) {
+			got := textOf(t, tt.src)
+			if !bytes.Equal(got, tt.want) {
+				t.Errorf("% x, want % x", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestBranchRelaxation(t *testing.T) {
+	// A short forward branch assembles to 2 bytes.
+	shortSrc := `
+.text
+start:
+	je near
+	nop
+near:
+	ret
+`
+	obj := assemble(t, shortSrc)
+	text := obj.Sections["text"].Bytes
+	if text[0] != 0x74 || text[1] != 0x01 {
+		t.Errorf("short jcc = % x", text[:2])
+	}
+
+	// A branch over >127 bytes must relax to the 6-byte form.
+	longSrc := ".text\nstart:\n\tje far\n"
+	for i := 0; i < 200; i++ {
+		longSrc += "\tnop\n"
+	}
+	longSrc += "far:\n\tret\n"
+	obj = assemble(t, longSrc)
+	text = obj.Sections["text"].Bytes
+	if text[0] != 0x0F || text[1] != 0x84 {
+		t.Fatalf("long jcc = % x, want 0f 84", text[:2])
+	}
+	rel := int32(uint32(text[2]) | uint32(text[3])<<8 | uint32(text[4])<<16 | uint32(text[5])<<24)
+	if rel != 200 {
+		t.Errorf("rel32 = %d, want 200", rel)
+	}
+
+	// Backward short branch.
+	backSrc := `
+.text
+loop:
+	nop
+	jne loop
+`
+	obj = assemble(t, backSrc)
+	text = obj.Sections["text"].Bytes
+	if text[1] != 0x75 || text[2] != 0xFD { // -3
+		t.Errorf("backward jcc = % x", text[1:3])
+	}
+}
+
+func TestJmpRelaxation(t *testing.T) {
+	src := ".text\nstart:\n\tjmp far\n"
+	for i := 0; i < 300; i++ {
+		src += "\tnop\n"
+	}
+	src += "far:\n\tret\n"
+	obj := assemble(t, src)
+	text := obj.Sections["text"].Bytes
+	if text[0] != 0xE9 {
+		t.Errorf("long jmp opcode = %#02x, want 0xE9", text[0])
+	}
+}
+
+func TestLabelsAndData(t *testing.T) {
+	src := `
+.text
+start:
+	mov eax, msg
+	mov ebx, [counter]
+	ret
+.data
+msg: .asciz "hi"
+.align 4
+counter: .dd 7
+tab: .dd 1, 2, msg
+.bss
+buf: .space 32
+`
+	obj := assemble(t, src)
+	if _, ok := obj.Symbols["msg"]; !ok {
+		t.Error("msg symbol missing")
+	}
+	if sym := obj.Symbols["counter"]; sym.Section != "data" || sym.Offset != 4 {
+		t.Errorf("counter symbol = %+v", sym)
+	}
+	data := obj.Sections["data"].Bytes
+	if string(data[:3]) != "hi\x00" {
+		t.Errorf("data = % x", data)
+	}
+	if len(obj.Sections["bss"].Bytes) != 32 {
+		t.Errorf("bss size = %d", len(obj.Sections["bss"].Bytes))
+	}
+	// Three relocations: two in text (msg, counter), one in data (tab[2]).
+	if n := len(obj.Sections["text"].Relocs); n != 2 {
+		t.Errorf("text relocs = %d, want 2", n)
+	}
+	if n := len(obj.Sections["data"].Relocs); n != 1 {
+		t.Errorf("data relocs = %d, want 1", n)
+	}
+}
+
+func TestFuncExtents(t *testing.T) {
+	src := `
+.text
+.func alpha
+alpha:
+	nop
+	nop
+	ret
+.endfunc
+.func beta
+beta:
+	ret
+.endfunc
+`
+	obj := assemble(t, src)
+	a, ok := obj.FuncByName("alpha")
+	if !ok || a.Start != 0 || a.End != 3 {
+		t.Errorf("alpha = %+v", a)
+	}
+	b, ok := obj.FuncByName("beta")
+	if !ok || b.Start != 3 || b.End != 4 {
+		t.Errorf("beta = %+v", b)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+	}{
+		{"unknown_mnemonic", ".text\nfrobnicate eax\n"},
+		{"bad_operand", ".text\nmov eax, [+]\n"},
+		{"undefined_branch_target", ".text\nje nowhere\n"},
+		{"duplicate_label", ".text\na:\na:\n\tret\n"},
+		{"instruction_in_data", ".data\nmov eax, 1\n"},
+		{"unterminated_func", ".text\n.func f\nf:\n\tret\n"},
+		{"endfunc_without_func", ".text\n.endfunc\n"},
+		{"bad_directive", ".text\n.wibble 3\n"},
+		{"bad_string", `.data
+s: .ascii "unterminated
+`},
+		{"mov_too_many_operands", ".text\nmov eax, ebx, ecx\n"},
+		{"lea_with_register", ".text\nlea eax, ebx\n"},
+		{"shift_bad_count", ".text\nshl eax, ebx\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := asm.Assemble(tt.src); err == nil {
+				t.Error("assemble succeeded, want error")
+			}
+		})
+	}
+}
+
+// TestRoundTripDecode: every instruction the assembler emits must decode
+// back to a sensible instruction of identical length — the decoder and
+// encoder agree on the ISA subset.
+func TestRoundTripDecode(t *testing.T) {
+	src := `
+.text
+f:
+	push ebp
+	mov ebp, esp
+	sub esp, 0x40
+	mov eax, [ebp+8]
+	movzx ecx, byte [eax]
+	test ecx, ecx
+	je out
+	add eax, 1
+	imul ecx, ecx, 10
+	cmp ecx, 0x100
+	jg out
+	xor edx, edx
+	mov [ebp-4], edx
+	inc dword [ebp-4]
+	dec ecx
+	shl eax, 2
+	sar eax, cl
+	call f
+	jmp f
+out:
+	leave
+	ret
+`
+	obj := assemble(t, src)
+	text := obj.Sections["text"].Bytes
+	off := 0
+	for off < len(text) {
+		in, err := x86.Decode(text[off:])
+		if err != nil {
+			t.Fatalf("decode at offset %d (% x): %v", off, text[off:min(off+8, len(text))], err)
+		}
+		if in.Len == 0 {
+			t.Fatalf("zero-length instruction at %d", off)
+		}
+		off += int(in.Len)
+	}
+	if off != len(text) {
+		t.Errorf("decode overran text: %d != %d", off, len(text))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestCommentsAndLabelsOnSameLine(t *testing.T) {
+	src := `
+.text
+start: mov eax, 1 ; set return value
+	ret           # done
+`
+	obj := assemble(t, src)
+	text := obj.Sections["text"].Bytes
+	want := []byte{0xB8, 1, 0, 0, 0, 0xC3}
+	if !bytes.Equal(text, want) {
+		t.Errorf("text = % x, want % x", text, want)
+	}
+}
+
+func TestMemOperandForms(t *testing.T) {
+	tests := []struct {
+		src  string
+		want []byte
+	}{
+		{"mov eax, [ebx]", []byte{0x8B, 0x03}},
+		{"mov eax, [ebx+ecx]", []byte{0x8B, 0x04, 0x0B}},
+		{"mov eax, [ebx+ecx*4]", []byte{0x8B, 0x04, 0x8B}},
+		{"mov eax, [ecx*4+8]", []byte{0x8B, 0x04, 0x8D, 8, 0, 0, 0}},
+		{"mov eax, [ebp]", []byte{0x8B, 0x45, 0x00}}, // ebp needs disp8=0
+		{"mov eax, [esp]", []byte{0x8B, 0x04, 0x24}}, // esp needs SIB
+		{"mov eax, [0x8049000]", []byte{0x8B, 0x05, 0x00, 0x90, 0x04, 0x08}},
+		{"mov eax, [ebx+0x12345]", []byte{0x8B, 0x83, 0x45, 0x23, 0x01, 0x00}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.src, func(t *testing.T) {
+			got := textOf(t, tt.src)
+			if !bytes.Equal(got, tt.want) {
+				t.Errorf("% x, want % x", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	obj := assemble(t, `
+.data
+s: .ascii "a\r\n\t\"\\\x41\0"
+`)
+	want := []byte{'a', '\r', '\n', '\t', '"', '\\', 'A', 0}
+	if !bytes.Equal(obj.Sections["data"].Bytes, want) {
+		t.Errorf("data = % x, want % x", obj.Sections["data"].Bytes, want)
+	}
+}
+
+func TestAlignPadding(t *testing.T) {
+	obj := assemble(t, `
+.text
+	nop
+.align 4
+after:
+	ret
+`)
+	text := obj.Sections["text"].Bytes
+	if len(text) != 5 {
+		t.Fatalf("text len = %d, want 5", len(text))
+	}
+	for i := 1; i < 4; i++ {
+		if text[i] != 0x90 {
+			t.Errorf("padding byte %d = %#02x, want nop", i, text[i])
+		}
+	}
+	if sym := obj.Symbols["after"]; sym.Offset != 4 {
+		t.Errorf("after at %d, want 4", sym.Offset)
+	}
+}

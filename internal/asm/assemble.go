@@ -1,0 +1,232 @@
+package asm
+
+import (
+	"fmt"
+)
+
+// maxRelaxIterations bounds the branch relaxation fixpoint loop. Promotion
+// is monotonic (short branches only ever grow), so the loop terminates in
+// at most one iteration per branch; the cap is a defensive bound.
+const maxRelaxIterations = 1000
+
+// Assemble translates assembly source into a relocatable object.
+func Assemble(src string) (*Object, error) {
+	items, err := parseSource(src)
+	if err != nil {
+		return nil, err
+	}
+
+	obj := &Object{
+		Sections: make(map[string]*Section),
+		Symbols:  make(map[string]Symbol),
+	}
+
+	// Relaxation fixpoint: compute item sizes and label offsets, promoting
+	// short branches that cannot reach, until stable.
+	textLabels := make(map[string]uint32)
+	for iter := 0; ; iter++ {
+		if iter >= maxRelaxIterations {
+			return nil, fmt.Errorf("asm: branch relaxation did not converge")
+		}
+		changed, lerr := layoutPass(items, textLabels)
+		if lerr != nil {
+			return nil, lerr
+		}
+		promoted, perr := promotePass(items, textLabels)
+		if perr != nil {
+			return nil, perr
+		}
+		if !changed && !promoted {
+			break
+		}
+	}
+
+	return emit(items, textLabels, obj)
+}
+
+// layoutPass computes item sizes and label offsets for the current
+// relaxation state. It reports whether any label offset changed.
+func layoutPass(items []item, textLabels map[string]uint32) (bool, error) {
+	offsets := map[string]uint32{"text": 0, "data": 0, "rodata": 0, "bss": 0}
+	section := "text"
+	changed := false
+	for i := range items {
+		it := &items[i]
+		off := offsets[section]
+		switch it.kind {
+		case itemSection:
+			section = it.name
+		case itemLabel:
+			if section == "text" {
+				if old, ok := textLabels[it.name]; !ok || old != off {
+					changed = true
+				}
+				textLabels[it.name] = off
+			}
+		case itemInst:
+			if section != "text" {
+				return false, errf(it.line, "instruction outside .text")
+			}
+			b, _, err := encodeInst(it, off, textLabels)
+			if err != nil {
+				return false, err
+			}
+			it.size = len(b)
+			offsets[section] = off + uint32(len(b))
+		case itemBytes:
+			it.size = len(it.bytes)
+			offsets[section] = off + uint32(it.size)
+		case itemWords:
+			it.size = 4 * len(it.words)
+			offsets[section] = off + uint32(it.size)
+		case itemSpace:
+			it.size = it.n
+			offsets[section] = off + uint32(it.n)
+		case itemAlign:
+			pad := (uint32(it.n) - off%uint32(it.n)) % uint32(it.n)
+			it.size = int(pad)
+			offsets[section] = off + pad
+		case itemFunc, itemEndFunc, itemGlobal:
+			// no size
+		}
+	}
+	return changed, nil
+}
+
+// promotePass upgrades short branches whose displacement no longer fits in
+// eight bits. It reports whether any branch was promoted.
+func promotePass(items []item, textLabels map[string]uint32) (bool, error) {
+	off := uint32(0)
+	section := "text"
+	promoted := false
+	for i := range items {
+		it := &items[i]
+		switch it.kind {
+		case itemSection:
+			section = it.name
+			continue
+		}
+		if section != "text" {
+			continue
+		}
+		if it.kind == itemInst {
+			isJcc := false
+			if _, ok := condOf(it.mnem); ok {
+				isJcc = true
+			}
+			isJmp := it.mnem == "jmp" && len(it.ops) == 1 &&
+				it.ops[0].Kind == OpdImm && it.ops[0].Label != ""
+			if isJcc || isJmp {
+				tgt, ok := textLabels[it.ops[0].Label]
+				if ok {
+					size := uint32(it.size)
+					rel := int64(tgt) - int64(off+size)
+					short := rel >= -128 && rel <= 127
+					if !short {
+						if isJcc && !it.longJcc {
+							it.longJcc = true
+							promoted = true
+						}
+						if isJmp && !it.longJmp {
+							it.longJmp = true
+							promoted = true
+						}
+					}
+				}
+			}
+			off += uint32(it.size)
+			continue
+		}
+		off += uint32(it.size)
+	}
+	return promoted, nil
+}
+
+// emit produces the final object once layout is stable.
+func emit(items []item, textLabels map[string]uint32, obj *Object) (*Object, error) {
+	section := "text"
+	var openFunc *Func
+	for i := range items {
+		it := &items[i]
+		sec := obj.section(section)
+		off := uint32(len(sec.Bytes))
+		switch it.kind {
+		case itemSection:
+			section = it.name
+		case itemGlobal:
+			obj.Entry = it.name
+		case itemLabel:
+			if _, dup := obj.Symbols[it.name]; dup {
+				return nil, errf(it.line, "duplicate label %q", it.name)
+			}
+			obj.Symbols[it.name] = Symbol{Section: section, Offset: off}
+		case itemFunc:
+			if section != "text" {
+				return nil, errf(it.line, ".func outside .text")
+			}
+			if openFunc != nil {
+				return nil, errf(it.line, ".func %q inside .func %q", it.name, openFunc.Name)
+			}
+			obj.Funcs = append(obj.Funcs, Func{Name: it.name, Start: off})
+			openFunc = &obj.Funcs[len(obj.Funcs)-1]
+		case itemEndFunc:
+			if openFunc == nil {
+				return nil, errf(it.line, ".endfunc without .func")
+			}
+			openFunc.End = off
+			openFunc = nil
+		case itemInst:
+			// Validate branch labels now that layout is final.
+			if _, ok := condOf(it.mnem); ok || it.mnem == "jmp" || it.mnem == "call" {
+				if len(it.ops) == 1 && it.ops[0].Kind == OpdImm && it.ops[0].Label != "" {
+					if _, found := textLabels[it.ops[0].Label]; !found {
+						return nil, errf(it.line, "undefined branch target %q", it.ops[0].Label)
+					}
+				}
+			}
+			b, relocs, err := encodeInst(it, off, textLabels)
+			if err != nil {
+				return nil, err
+			}
+			if len(b) != it.size {
+				return nil, errf(it.line, "internal: size changed after layout (%d != %d)", len(b), it.size)
+			}
+			for _, r := range relocs {
+				r.Offset += off
+				sec.Relocs = append(sec.Relocs, r)
+			}
+			sec.Bytes = append(sec.Bytes, b...)
+		case itemBytes:
+			sec.Bytes = append(sec.Bytes, it.bytes...)
+		case itemWords:
+			for _, wrd := range it.words {
+				if wrd.Label != "" {
+					sec.Relocs = append(sec.Relocs, Reloc{
+						Kind:   RelocAbs32,
+						Offset: uint32(len(sec.Bytes)),
+						Symbol: wrd.Label,
+					})
+					sec.Bytes = append(sec.Bytes, 0, 0, 0, 0)
+					continue
+				}
+				v := wrd.Value
+				sec.Bytes = append(sec.Bytes, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+			}
+		case itemSpace:
+			sec.Bytes = append(sec.Bytes, make([]byte, it.n)...)
+		case itemAlign:
+			pad := it.size
+			fill := byte(0)
+			if section == "text" {
+				fill = 0x90 // nop
+			}
+			for j := 0; j < pad; j++ {
+				sec.Bytes = append(sec.Bytes, fill)
+			}
+		}
+	}
+	if openFunc != nil {
+		return nil, fmt.Errorf("asm: unterminated .func %q", openFunc.Name)
+	}
+	return obj, nil
+}

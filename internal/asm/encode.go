@@ -1,0 +1,823 @@
+package asm
+
+import (
+	"faultsec/internal/x86"
+)
+
+// enc accumulates the bytes and relocations of one instruction.
+type enc struct {
+	b      []byte
+	relocs []Reloc // Offset is relative to the instruction start
+}
+
+func (e *enc) byte(v byte)     { e.b = append(e.b, v) }
+func (e *enc) bytes(v ...byte) { e.b = append(e.b, v...) }
+
+func (e *enc) imm8(v int64)  { e.byte(byte(v)) }
+func (e *enc) imm16(v int64) { e.bytes(byte(v), byte(v>>8)) }
+func (e *enc) imm32(v int64) {
+	e.bytes(byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// immReloc emits a 4-byte absolute reference to symbol+addend.
+func (e *enc) immReloc(symbol string, addend int32) {
+	e.relocs = append(e.relocs, Reloc{
+		Kind:   RelocAbs32,
+		Offset: uint32(len(e.b)),
+		Symbol: symbol,
+		Addend: addend,
+	})
+	e.imm32(0)
+}
+
+// modrm encodes a ModRM (plus SIB and displacement) with the given reg
+// field and r/m operand.
+func (e *enc) modrm(reg uint8, op *Operand, line int) error {
+	if op.Kind == OpdReg {
+		e.byte(0xC0 | reg<<3 | op.Reg)
+		return nil
+	}
+	if op.Kind != OpdMem {
+		return errf(line, "internal: modrm on non-memory operand")
+	}
+	m := op.Mem
+
+	if m.Label != "" {
+		// Absolute symbol address + optional base/index: always disp32.
+		switch {
+		case m.Base == x86.NoReg && m.Index == x86.NoReg:
+			e.byte(reg<<3 | 0x05) // mod=00 rm=101: disp32
+			e.immReloc(m.Label, m.Disp)
+		case m.Index == x86.NoReg && m.Base != int8(x86.ESP):
+			e.byte(0x80 | reg<<3 | uint8(m.Base)) // mod=10
+			e.immReloc(m.Label, m.Disp)
+		default:
+			// SIB form with disp32.
+			base := byte(0x05)
+			mod := byte(0x00)
+			if m.Base != x86.NoReg {
+				base = byte(m.Base)
+				mod = 0x80
+			}
+			e.byte(mod | reg<<3 | 0x04)
+			e.byte(scaleBits(m.Scale)<<6 | indexBits(m.Index)<<3 | base)
+			e.immReloc(m.Label, m.Disp)
+		}
+		return nil
+	}
+
+	needSIB := m.Index != x86.NoReg || m.Base == int8(x86.ESP)
+	switch {
+	case m.Base == x86.NoReg && m.Index == x86.NoReg:
+		e.byte(reg<<3 | 0x05)
+		e.imm32(int64(m.Disp))
+		return nil
+	case m.Base == x86.NoReg: // index only: SIB, mod=00, base=101, disp32
+		e.byte(reg<<3 | 0x04)
+		e.byte(scaleBits(m.Scale)<<6 | indexBits(m.Index)<<3 | 0x05)
+		e.imm32(int64(m.Disp))
+		return nil
+	}
+
+	mod := byte(0x00)
+	dispBytes := 0
+	switch {
+	case m.Disp == 0 && m.Base != int8(x86.EBP):
+		mod, dispBytes = 0x00, 0
+	case m.Disp >= -128 && m.Disp <= 127:
+		mod, dispBytes = 0x40, 1
+	default:
+		mod, dispBytes = 0x80, 4
+	}
+	if needSIB {
+		e.byte(mod | reg<<3 | 0x04)
+		e.byte(scaleBits(m.Scale)<<6 | indexBits(m.Index)<<3 | uint8(m.Base))
+	} else {
+		e.byte(mod | reg<<3 | uint8(m.Base))
+	}
+	switch dispBytes {
+	case 1:
+		e.imm8(int64(m.Disp))
+	case 4:
+		e.imm32(int64(m.Disp))
+	}
+	return nil
+}
+
+func scaleBits(s uint8) byte {
+	switch s {
+	case 2:
+		return 1
+	case 4:
+		return 2
+	case 8:
+		return 3
+	}
+	return 0
+}
+
+func indexBits(idx int8) byte {
+	if idx == x86.NoReg {
+		return 0x04 // none
+	}
+	return byte(idx)
+}
+
+// aluIndex maps ALU mnemonics to their opcode-group number n, where the
+// reg-form opcodes are n<<3 | {0,1,2,3} and the imm group uses /n.
+var aluIndex = map[string]uint8{
+	"add": 0, "or": 1, "adc": 2, "sbb": 3,
+	"and": 4, "sub": 5, "xor": 6, "cmp": 7,
+}
+
+// shiftIndex maps shift/rotate mnemonics to their group-2 /n field.
+var shiftIndex = map[string]uint8{
+	"rol": 0, "ror": 1, "rcl": 2, "rcr": 3,
+	"shl": 4, "sal": 4, "shr": 5, "sar": 7,
+}
+
+// operandWidth infers the operand width of a two-operand instruction.
+func operandWidth(ops []Operand, line int) (uint8, error) {
+	w := uint8(0)
+	for i := range ops {
+		switch ops[i].Kind {
+		case OpdReg:
+			if w != 0 && w != ops[i].W {
+				return 0, errf(line, "operand width mismatch")
+			}
+			w = ops[i].W
+		case OpdMem:
+			if ops[i].Size != 0 {
+				if w != 0 && w != ops[i].Size {
+					return 0, errf(line, "operand width mismatch")
+				}
+				w = ops[i].Size
+			}
+		}
+	}
+	if w == 0 {
+		w = 4
+	}
+	return w, nil
+}
+
+func fitsImm8(v int64) bool { return v >= -128 && v <= 127 }
+
+// encodeInst encodes one instruction. Branch instructions use the
+// layout-pass relaxation flags (longJcc/longJmp) and the label offsets
+// table; other label references become relocations.
+//
+//nolint:gocyclo // mnemonic dispatch is a table by nature
+func encodeInst(it *item, textOff uint32, labels map[string]uint32) ([]byte, []Reloc, error) {
+	e := &enc{}
+	ops := it.ops
+	line := it.line
+	count := len(ops)
+
+	need := func(n int) error {
+		if count != n {
+			return errf(line, "%s: expected %d operands, got %d", it.mnem, n, count)
+		}
+		return nil
+	}
+
+	relTo := func(size uint32) (int64, bool) {
+		// Branch displacement to a .text label, if known this pass.
+		tgt, ok := labels[ops[0].Label]
+		if !ok {
+			return 0, false
+		}
+		return int64(tgt) - int64(textOff+size), true
+	}
+
+	// Conditional branches.
+	if cc, ok := condOf(it.mnem); ok {
+		if err := need(1); err != nil {
+			return nil, nil, err
+		}
+		if ops[0].Kind != OpdImm || ops[0].Label == "" {
+			return nil, nil, errf(line, "%s: expected label operand", it.mnem)
+		}
+		if it.longJcc {
+			rel, _ := relTo(6)
+			e.bytes(x86.TwoByteEscape, x86.Jcc32Base+cc)
+			e.imm32(rel)
+		} else {
+			rel, _ := relTo(2)
+			e.bytes(x86.Jcc8Base+cc, byte(rel))
+		}
+		return e.b, e.relocs, nil
+	}
+
+	switch it.mnem {
+	case "jmp":
+		if err := need(1); err != nil {
+			return nil, nil, err
+		}
+		switch {
+		case ops[0].Kind == OpdImm && ops[0].Label != "":
+			if it.longJmp {
+				rel, _ := relTo(5)
+				e.byte(0xE9)
+				e.imm32(rel)
+			} else {
+				rel, _ := relTo(2)
+				e.bytes(0xEB, byte(rel))
+			}
+		case ops[0].Kind == OpdReg && ops[0].W == 4:
+			e.byte(0xFF)
+			if err := e.modrm(4, &ops[0], line); err != nil {
+				return nil, nil, err
+			}
+		case ops[0].Kind == OpdMem:
+			e.byte(0xFF)
+			if err := e.modrm(4, &ops[0], line); err != nil {
+				return nil, nil, err
+			}
+		default:
+			return nil, nil, errf(line, "jmp: bad operand")
+		}
+		return e.b, e.relocs, nil
+
+	case "call":
+		if err := need(1); err != nil {
+			return nil, nil, err
+		}
+		switch {
+		case ops[0].Kind == OpdImm && ops[0].Label != "":
+			rel, _ := relTo(5)
+			e.byte(0xE8)
+			e.imm32(rel)
+		case ops[0].Kind == OpdReg && ops[0].W == 4, ops[0].Kind == OpdMem:
+			e.byte(0xFF)
+			if err := e.modrm(2, &ops[0], line); err != nil {
+				return nil, nil, err
+			}
+		default:
+			return nil, nil, errf(line, "call: bad operand")
+		}
+		return e.b, e.relocs, nil
+
+	case "ret":
+		if count == 0 {
+			e.byte(0xC3)
+		} else if count == 1 && ops[0].Kind == OpdImm && ops[0].Label == "" {
+			e.byte(0xC2)
+			e.imm16(ops[0].Imm)
+		} else {
+			return nil, nil, errf(line, "ret: bad operands")
+		}
+		return e.b, e.relocs, nil
+
+	case "leave":
+		e.byte(0xC9)
+		return e.b, e.relocs, nil
+	case "nop":
+		e.byte(0x90)
+		return e.b, e.relocs, nil
+	case "int3":
+		e.byte(0xCC)
+		return e.b, e.relocs, nil
+	case "hlt":
+		e.byte(0xF4)
+		return e.b, e.relocs, nil
+	case "cdq":
+		e.byte(0x99)
+		return e.b, e.relocs, nil
+	case "cwde":
+		e.byte(0x98)
+		return e.b, e.relocs, nil
+	case "pushf", "pushfd":
+		e.byte(0x9C)
+		return e.b, e.relocs, nil
+	case "popf", "popfd":
+		e.byte(0x9D)
+		return e.b, e.relocs, nil
+
+	case "int":
+		if err := need(1); err != nil {
+			return nil, nil, err
+		}
+		if ops[0].Kind != OpdImm || ops[0].Label != "" {
+			return nil, nil, errf(line, "int: expected immediate")
+		}
+		e.bytes(0xCD, byte(ops[0].Imm))
+		return e.b, e.relocs, nil
+
+	case "push":
+		if err := need(1); err != nil {
+			return nil, nil, err
+		}
+		switch {
+		case ops[0].Kind == OpdReg && ops[0].W == 4:
+			e.byte(0x50 + ops[0].Reg)
+		case ops[0].Kind == OpdImm && ops[0].Label != "":
+			e.byte(0x68)
+			e.immReloc(ops[0].Label, 0)
+		case ops[0].Kind == OpdImm:
+			if fitsImm8(ops[0].Imm) {
+				e.bytes(0x6A, byte(ops[0].Imm))
+			} else {
+				e.byte(0x68)
+				e.imm32(ops[0].Imm)
+			}
+		case ops[0].Kind == OpdMem:
+			e.byte(0xFF)
+			if err := e.modrm(6, &ops[0], line); err != nil {
+				return nil, nil, err
+			}
+		default:
+			return nil, nil, errf(line, "push: bad operand")
+		}
+		return e.b, e.relocs, nil
+
+	case "pop":
+		if err := need(1); err != nil {
+			return nil, nil, err
+		}
+		switch {
+		case ops[0].Kind == OpdReg && ops[0].W == 4:
+			e.byte(0x58 + ops[0].Reg)
+		case ops[0].Kind == OpdMem:
+			e.byte(0x8F)
+			if err := e.modrm(0, &ops[0], line); err != nil {
+				return nil, nil, err
+			}
+		default:
+			return nil, nil, errf(line, "pop: bad operand")
+		}
+		return e.b, e.relocs, nil
+
+	case "inc", "dec":
+		if err := need(1); err != nil {
+			return nil, nil, err
+		}
+		sub := uint8(0)
+		if it.mnem == "dec" {
+			sub = 1
+		}
+		switch {
+		case ops[0].Kind == OpdReg && ops[0].W == 4:
+			e.byte(0x40 + sub*8 + ops[0].Reg)
+		case ops[0].Kind == OpdReg && ops[0].W == 1:
+			e.byte(0xFE)
+			if err := e.modrm(sub, &ops[0], line); err != nil {
+				return nil, nil, err
+			}
+		case ops[0].Kind == OpdMem:
+			w := ops[0].Size
+			if w == 0 {
+				w = 4
+			}
+			if w == 1 {
+				e.byte(0xFE)
+			} else {
+				e.byte(0xFF)
+			}
+			if err := e.modrm(sub, &ops[0], line); err != nil {
+				return nil, nil, err
+			}
+		default:
+			return nil, nil, errf(line, "%s: bad operand", it.mnem)
+		}
+		return e.b, e.relocs, nil
+
+	case "not", "neg", "mul", "div", "idiv":
+		if err := need(1); err != nil {
+			return nil, nil, err
+		}
+		sub := map[string]uint8{"not": 2, "neg": 3, "mul": 4, "div": 6, "idiv": 7}[it.mnem]
+		w, err := operandWidth(ops, line)
+		if err != nil {
+			return nil, nil, err
+		}
+		if w == 1 {
+			e.byte(0xF6)
+		} else {
+			e.byte(0xF7)
+		}
+		if err := e.modrm(sub, &ops[0], line); err != nil {
+			return nil, nil, err
+		}
+		return e.b, e.relocs, nil
+
+	case "imul":
+		switch count {
+		case 1: // one-operand form
+			w, err := operandWidth(ops, line)
+			if err != nil {
+				return nil, nil, err
+			}
+			if w == 1 {
+				e.byte(0xF6)
+			} else {
+				e.byte(0xF7)
+			}
+			if err := e.modrm(5, &ops[0], line); err != nil {
+				return nil, nil, err
+			}
+		case 2: // imul r32, r/m32
+			if ops[0].Kind != OpdReg || ops[0].W != 4 {
+				return nil, nil, errf(line, "imul: first operand must be r32")
+			}
+			e.bytes(0x0F, 0xAF)
+			if err := e.modrm(ops[0].Reg, &ops[1], line); err != nil {
+				return nil, nil, err
+			}
+		case 3: // imul r32, r/m32, imm
+			if ops[0].Kind != OpdReg || ops[0].W != 4 || ops[2].Kind != OpdImm {
+				return nil, nil, errf(line, "imul: bad three-operand form")
+			}
+			if fitsImm8(ops[2].Imm) {
+				e.byte(0x6B)
+				if err := e.modrm(ops[0].Reg, &ops[1], line); err != nil {
+					return nil, nil, err
+				}
+				e.imm8(ops[2].Imm)
+			} else {
+				e.byte(0x69)
+				if err := e.modrm(ops[0].Reg, &ops[1], line); err != nil {
+					return nil, nil, err
+				}
+				e.imm32(ops[2].Imm)
+			}
+		default:
+			return nil, nil, errf(line, "imul: bad operand count")
+		}
+		return e.b, e.relocs, nil
+
+	case "lea":
+		if err := need(2); err != nil {
+			return nil, nil, err
+		}
+		if ops[0].Kind != OpdReg || ops[0].W != 4 || ops[1].Kind != OpdMem {
+			return nil, nil, errf(line, "lea: expected r32, [mem]")
+		}
+		e.byte(0x8D)
+		if err := e.modrm(ops[0].Reg, &ops[1], line); err != nil {
+			return nil, nil, err
+		}
+		return e.b, e.relocs, nil
+
+	case "movzx", "movsx":
+		if err := need(2); err != nil {
+			return nil, nil, err
+		}
+		if ops[0].Kind != OpdReg || ops[0].W != 4 {
+			return nil, nil, errf(line, "%s: destination must be r32", it.mnem)
+		}
+		srcW := uint8(0)
+		if ops[1].Kind == OpdReg {
+			srcW = ops[1].W
+		} else if ops[1].Kind == OpdMem {
+			srcW = ops[1].Size
+		}
+		if srcW != 1 && srcW != 2 {
+			return nil, nil, errf(line, "%s: source must be byte or word", it.mnem)
+		}
+		base := byte(0xB6)
+		if it.mnem == "movsx" {
+			base = 0xBE
+		}
+		if srcW == 2 {
+			base++
+		}
+		e.bytes(0x0F, base)
+		if err := e.modrm(ops[0].Reg, &ops[1], line); err != nil {
+			return nil, nil, err
+		}
+		return e.b, e.relocs, nil
+
+	case "xchg":
+		if err := need(2); err != nil {
+			return nil, nil, err
+		}
+		if ops[0].Kind != OpdReg || ops[1].Kind != OpdReg || ops[0].W != ops[1].W {
+			return nil, nil, errf(line, "xchg: expected two same-width registers")
+		}
+		if ops[0].W == 1 {
+			e.byte(0x86)
+		} else {
+			e.byte(0x87)
+		}
+		if err := e.modrm(ops[1].Reg, &ops[0], line); err != nil {
+			return nil, nil, err
+		}
+		return e.b, e.relocs, nil
+
+	case "mov":
+		return encodeMov(e, it, ops, line)
+
+	case "test":
+		return encodeTest(e, it, ops, line)
+	}
+
+	if n, ok := aluIndex[it.mnem]; ok {
+		return encodeALU(e, it, ops, n, line)
+	}
+	if n, ok := shiftIndex[it.mnem]; ok {
+		return encodeShift(e, it, ops, n, line)
+	}
+	if cc, ok := setccOf(it.mnem); ok {
+		if err := need(1); err != nil {
+			return nil, nil, err
+		}
+		if !(ops[0].Kind == OpdReg && ops[0].W == 1 ||
+			ops[0].Kind == OpdMem && ops[0].Size <= 1) {
+			return nil, nil, errf(line, "%s: expected r/m8", it.mnem)
+		}
+		e.bytes(0x0F, 0x90+cc)
+		if err := e.modrm(0, &ops[0], line); err != nil {
+			return nil, nil, err
+		}
+		return e.b, e.relocs, nil
+	}
+
+	return nil, nil, errf(line, "unknown mnemonic %q", it.mnem)
+}
+
+// condOf maps a jcc mnemonic to its condition code.
+func condOf(mnem string) (uint8, bool) {
+	if len(mnem) < 2 || mnem[0] != 'j' || mnem == "jmp" {
+		return 0, false
+	}
+	return x86.CondNumber(mnem[1:])
+}
+
+// setccOf maps a setcc mnemonic to its condition code.
+func setccOf(mnem string) (uint8, bool) {
+	if len(mnem) < 4 || mnem[:3] != "set" {
+		return 0, false
+	}
+	return x86.CondNumber(mnem[3:])
+}
+
+func encodeMov(e *enc, it *item, ops []Operand, line int) ([]byte, []Reloc, error) {
+	if len(ops) != 2 {
+		return nil, nil, errf(line, "mov: expected 2 operands")
+	}
+	dst, src := &ops[0], &ops[1]
+	w, err := operandWidth(ops, line)
+	if err != nil {
+		return nil, nil, err
+	}
+	if w == 2 {
+		e.byte(0x66)
+	}
+	switch {
+	case dst.Kind == OpdReg && src.Kind == OpdImm && src.Label != "":
+		if w != 4 {
+			return nil, nil, errf(line, "mov: label immediate requires r32")
+		}
+		e.byte(0xB8 + dst.Reg)
+		e.immReloc(src.Label, int32(src.Imm))
+	case dst.Kind == OpdReg && src.Kind == OpdImm:
+		if w == 1 {
+			e.byte(0xB0 + dst.Reg)
+			e.imm8(src.Imm)
+		} else {
+			e.byte(0xB8 + dst.Reg)
+			if w == 2 {
+				e.imm16(src.Imm)
+			} else {
+				e.imm32(src.Imm)
+			}
+		}
+	case dst.Kind == OpdReg && src.Kind == OpdReg:
+		if w == 1 {
+			e.byte(0x88)
+		} else {
+			e.byte(0x89)
+		}
+		if err := e.modrm(src.Reg, dst, line); err != nil {
+			return nil, nil, err
+		}
+	case dst.Kind == OpdReg && src.Kind == OpdMem:
+		if w == 1 {
+			e.byte(0x8A)
+		} else {
+			e.byte(0x8B)
+		}
+		if err := e.modrm(dst.Reg, src, line); err != nil {
+			return nil, nil, err
+		}
+	case dst.Kind == OpdMem && src.Kind == OpdReg:
+		if w == 1 {
+			e.byte(0x88)
+		} else {
+			e.byte(0x89)
+		}
+		if err := e.modrm(src.Reg, dst, line); err != nil {
+			return nil, nil, err
+		}
+	case dst.Kind == OpdMem && src.Kind == OpdImm:
+		if dst.Size == 0 && src.Label == "" && w == 4 {
+			// width defaulted; fine for pointers/ints
+		}
+		if w == 1 {
+			e.byte(0xC6)
+		} else {
+			e.byte(0xC7)
+		}
+		if err := e.modrm(0, dst, line); err != nil {
+			return nil, nil, err
+		}
+		switch {
+		case src.Label != "":
+			e.immReloc(src.Label, int32(src.Imm))
+		case w == 1:
+			e.imm8(src.Imm)
+		case w == 2:
+			e.imm16(src.Imm)
+		default:
+			e.imm32(src.Imm)
+		}
+	default:
+		return nil, nil, errf(line, "mov: unsupported operand combination")
+	}
+	return e.b, e.relocs, nil
+}
+
+func encodeTest(e *enc, it *item, ops []Operand, line int) ([]byte, []Reloc, error) {
+	if len(ops) != 2 {
+		return nil, nil, errf(line, "test: expected 2 operands")
+	}
+	dst, src := &ops[0], &ops[1]
+	w, err := operandWidth(ops, line)
+	if err != nil {
+		return nil, nil, err
+	}
+	if w == 2 {
+		e.byte(0x66)
+	}
+	switch {
+	case src.Kind == OpdReg && (dst.Kind == OpdReg || dst.Kind == OpdMem):
+		if w == 1 {
+			e.byte(0x84)
+		} else {
+			e.byte(0x85)
+		}
+		if err := e.modrm(src.Reg, dst, line); err != nil {
+			return nil, nil, err
+		}
+	case src.Kind == OpdImm:
+		if dst.Kind == OpdReg && dst.Reg == x86.EAX {
+			if w == 1 {
+				e.byte(0xA8)
+				e.imm8(src.Imm)
+			} else {
+				e.byte(0xA9)
+				if w == 2 {
+					e.imm16(src.Imm)
+				} else {
+					e.imm32(src.Imm)
+				}
+			}
+			break
+		}
+		if w == 1 {
+			e.byte(0xF6)
+		} else {
+			e.byte(0xF7)
+		}
+		if err := e.modrm(0, dst, line); err != nil {
+			return nil, nil, err
+		}
+		switch w {
+		case 1:
+			e.imm8(src.Imm)
+		case 2:
+			e.imm16(src.Imm)
+		default:
+			e.imm32(src.Imm)
+		}
+	default:
+		return nil, nil, errf(line, "test: unsupported operand combination")
+	}
+	return e.b, e.relocs, nil
+}
+
+func encodeALU(e *enc, it *item, ops []Operand, n uint8, line int) ([]byte, []Reloc, error) {
+	if len(ops) != 2 {
+		return nil, nil, errf(line, "%s: expected 2 operands", it.mnem)
+	}
+	dst, src := &ops[0], &ops[1]
+	w, err := operandWidth(ops, line)
+	if err != nil {
+		return nil, nil, err
+	}
+	if w == 2 {
+		e.byte(0x66)
+	}
+	switch {
+	case src.Kind == OpdImm && src.Label != "":
+		// op r/m32, addr-of-symbol
+		if w != 4 {
+			return nil, nil, errf(line, "%s: label immediate requires 32-bit operand", it.mnem)
+		}
+		e.byte(0x81)
+		if err := e.modrm(n, dst, line); err != nil {
+			return nil, nil, err
+		}
+		e.immReloc(src.Label, int32(src.Imm))
+	case src.Kind == OpdImm:
+		switch {
+		case w == 1:
+			e.byte(0x80)
+			if err := e.modrm(n, dst, line); err != nil {
+				return nil, nil, err
+			}
+			e.imm8(src.Imm)
+		case fitsImm8(src.Imm):
+			e.byte(0x83)
+			if err := e.modrm(n, dst, line); err != nil {
+				return nil, nil, err
+			}
+			e.imm8(src.Imm)
+		case dst.Kind == OpdReg && dst.Reg == x86.EAX:
+			e.byte(n<<3 | 0x05)
+			if w == 2 {
+				e.imm16(src.Imm)
+			} else {
+				e.imm32(src.Imm)
+			}
+		default:
+			e.byte(0x81)
+			if err := e.modrm(n, dst, line); err != nil {
+				return nil, nil, err
+			}
+			if w == 2 {
+				e.imm16(src.Imm)
+			} else {
+				e.imm32(src.Imm)
+			}
+		}
+	case src.Kind == OpdReg && (dst.Kind == OpdReg || dst.Kind == OpdMem):
+		op := n<<3 | 0x01
+		if w == 1 {
+			op = n << 3
+		}
+		e.byte(op)
+		if err := e.modrm(src.Reg, dst, line); err != nil {
+			return nil, nil, err
+		}
+	case dst.Kind == OpdReg && src.Kind == OpdMem:
+		op := n<<3 | 0x03
+		if w == 1 {
+			op = n<<3 | 0x02
+		}
+		e.byte(op)
+		if err := e.modrm(dst.Reg, src, line); err != nil {
+			return nil, nil, err
+		}
+	default:
+		return nil, nil, errf(line, "%s: unsupported operand combination", it.mnem)
+	}
+	return e.b, e.relocs, nil
+}
+
+func encodeShift(e *enc, it *item, ops []Operand, n uint8, line int) ([]byte, []Reloc, error) {
+	if len(ops) != 2 {
+		return nil, nil, errf(line, "%s: expected 2 operands", it.mnem)
+	}
+	dst, src := &ops[0], &ops[1]
+	w, err := operandWidth([]Operand{ops[0]}, line)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch {
+	case src.Kind == OpdImm && src.Label == "":
+		if src.Imm == 1 {
+			if w == 1 {
+				e.byte(0xD0)
+			} else {
+				e.byte(0xD1)
+			}
+			if err := e.modrm(n, dst, line); err != nil {
+				return nil, nil, err
+			}
+		} else {
+			if w == 1 {
+				e.byte(0xC0)
+			} else {
+				e.byte(0xC1)
+			}
+			if err := e.modrm(n, dst, line); err != nil {
+				return nil, nil, err
+			}
+			e.imm8(src.Imm)
+		}
+	case src.Kind == OpdReg && src.W == 1 && src.Reg == x86.ECX: // cl
+		if w == 1 {
+			e.byte(0xD2)
+		} else {
+			e.byte(0xD3)
+		}
+		if err := e.modrm(n, dst, line); err != nil {
+			return nil, nil, err
+		}
+	default:
+		return nil, nil, errf(line, "%s: count must be immediate or cl", it.mnem)
+	}
+	return e.b, e.relocs, nil
+}

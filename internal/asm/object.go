@@ -1,0 +1,92 @@
+// Package asm implements a two-pass x86 assembler for the study's server
+// programs. It accepts an Intel-syntax subset, performs iterative branch
+// relaxation (choosing 2-byte jcc rel8 or 6-byte jcc rel32 encodings the way
+// a compiler's assembler would — the paper's injection targets are exactly
+// these two encodings), and produces a relocatable object that
+// internal/image links into a runnable address space.
+package asm
+
+import "fmt"
+
+// RelocKind identifies how a relocation patches the section bytes.
+type RelocKind int
+
+// Relocation kinds.
+const (
+	// RelocAbs32 stores the absolute 32-bit address of the target symbol.
+	RelocAbs32 RelocKind = iota + 1
+)
+
+// Reloc is one unresolved reference from a section to a symbol.
+type Reloc struct {
+	Kind   RelocKind
+	Offset uint32 // location of the 4-byte field within the section
+	Symbol string
+	Addend int32
+}
+
+// Section is a named chunk of assembled bytes plus its relocations.
+type Section struct {
+	Name   string
+	Bytes  []byte
+	Relocs []Reloc
+}
+
+// Symbol is a named location within a section.
+type Symbol struct {
+	Section string
+	Offset  uint32
+}
+
+// Func records the extent of one function within .text, used by the
+// injector to enumerate branch instructions of the authentication sections.
+type Func struct {
+	Name  string
+	Start uint32 // offset within .text
+	End   uint32 // one past the last byte
+}
+
+// Object is the output of Assemble.
+type Object struct {
+	Sections map[string]*Section
+	Symbols  map[string]Symbol
+	Funcs    []Func
+	// Entry is the symbol named by the last .global directive (by
+	// convention "_start").
+	Entry string
+}
+
+// Section returns the named section, creating it if needed.
+func (o *Object) section(name string) *Section {
+	if s, ok := o.Sections[name]; ok {
+		return s
+	}
+	s := &Section{Name: name}
+	o.Sections[name] = s
+	return s
+}
+
+// FuncByName returns the extent of the named function.
+func (o *Object) FuncByName(name string) (Func, bool) {
+	for _, f := range o.Funcs {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Func{}, false
+}
+
+// Error is an assembly diagnostic with source position.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg)
+}
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}

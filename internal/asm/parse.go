@@ -1,0 +1,544 @@
+package asm
+
+import (
+	"strconv"
+	"strings"
+
+	"faultsec/internal/x86"
+)
+
+// OperandKind classifies a parsed operand.
+type OperandKind int
+
+// Operand kinds.
+const (
+	OpdReg OperandKind = iota + 1
+	OpdImm
+	OpdMem
+)
+
+// MemRef is a parsed memory operand [base + index*scale + disp] or
+// [label + base + disp].
+type MemRef struct {
+	Base  int8 // x86.NoReg when absent
+	Index int8
+	Scale uint8
+	Disp  int32
+	Label string // symbol whose absolute address is added (abs32 reloc)
+}
+
+// Operand is one parsed instruction operand.
+type Operand struct {
+	Kind  OperandKind
+	Reg   uint8 // register number for OpdReg
+	W     uint8 // register width for OpdReg
+	Imm   int64
+	Label string // symbol reference for OpdImm (address-of)
+	Mem   MemRef
+	Size  uint8 // explicit size hint for OpdMem: 1, 2, 4; 0 = inferred
+}
+
+// itemKind classifies a source line.
+type itemKind int
+
+const (
+	itemInst itemKind = iota + 1
+	itemLabel
+	itemBytes   // raw data (.db/.ascii/.asciz)
+	itemWords   // 32-bit data (.dd), possibly label refs
+	itemSpace   // .space n
+	itemAlign   // .align n
+	itemSection // .text/.data
+	itemFunc    // .func name
+	itemEndFunc // .endfunc
+	itemGlobal  // .global name
+)
+
+// wordInit is one .dd initializer: either a constant or a symbol address.
+type wordInit struct {
+	Value int64
+	Label string
+}
+
+// item is one parsed source line.
+type item struct {
+	kind    itemKind
+	line    int
+	name    string    // label/function/section name
+	mnem    string    // instruction mnemonic
+	ops     []Operand // instruction operands
+	bytes   []byte    // data payload
+	words   []wordInit
+	n       int // .space/.align amount
+	size    int // encoded size (layout pass result)
+	longJcc bool
+	longJmp bool
+}
+
+// parseSource splits the assembly source into items.
+func parseSource(src string) ([]item, error) {
+	var items []item
+	lines := strings.Split(src, "\n")
+	for i, raw := range lines {
+		lineNo := i + 1
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// A line may carry "label: instruction".
+		for {
+			idx := labelSplit(line)
+			if idx < 0 {
+				break
+			}
+			name := strings.TrimSpace(line[:idx])
+			if !validSymbol(name) {
+				return nil, errf(lineNo, "invalid label %q", name)
+			}
+			items = append(items, item{kind: itemLabel, line: lineNo, name: name})
+			line = strings.TrimSpace(line[idx+1:])
+			if line == "" {
+				break
+			}
+		}
+		if line == "" {
+			continue
+		}
+		it, err := parseStatement(line, lineNo)
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, it)
+	}
+	return items, nil
+}
+
+// stripComment removes ';' and '#' comments, respecting string literals.
+func stripComment(line string) string {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			if i == 0 || line[i-1] != '\\' {
+				inStr = !inStr
+			}
+		case ';', '#':
+			if !inStr {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+// labelSplit returns the index of a leading "label:" colon, or -1.
+func labelSplit(line string) int {
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case c == ':':
+			return i
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c >= '0' && c <= '9', c == '_', c == '.', c == '$':
+			continue
+		default:
+			return -1
+		}
+	}
+	return -1
+}
+
+func validSymbol(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+			c >= '0' && c <= '9' || c == '_' || c == '.' || c == '$'
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// parseStatement parses a directive or instruction line.
+func parseStatement(line string, lineNo int) (item, error) {
+	if strings.HasPrefix(line, ".") {
+		return parseDirective(line, lineNo)
+	}
+	mnem, rest := splitMnemonic(line)
+	ops, err := parseOperands(rest, lineNo)
+	if err != nil {
+		return item{}, err
+	}
+	return item{kind: itemInst, line: lineNo, mnem: strings.ToLower(mnem), ops: ops}, nil
+}
+
+func splitMnemonic(line string) (string, string) {
+	for i := 0; i < len(line); i++ {
+		if line[i] == ' ' || line[i] == '\t' {
+			return line[:i], strings.TrimSpace(line[i:])
+		}
+	}
+	return line, ""
+}
+
+func parseDirective(line string, lineNo int) (item, error) {
+	mnem, rest := splitMnemonic(line)
+	switch mnem {
+	case ".text", ".data", ".rodata", ".bss":
+		return item{kind: itemSection, line: lineNo, name: mnem[1:]}, nil
+	case ".global", ".globl":
+		return item{kind: itemGlobal, line: lineNo, name: strings.TrimSpace(rest)}, nil
+	case ".func":
+		name := strings.TrimSpace(rest)
+		if !validSymbol(name) {
+			return item{}, errf(lineNo, ".func: invalid name %q", name)
+		}
+		return item{kind: itemFunc, line: lineNo, name: name}, nil
+	case ".endfunc":
+		return item{kind: itemEndFunc, line: lineNo}, nil
+	case ".ascii", ".asciz":
+		s, err := parseStringLiteral(strings.TrimSpace(rest))
+		if err != nil {
+			return item{}, errf(lineNo, "%s: %v", mnem, err)
+		}
+		b := []byte(s)
+		if mnem == ".asciz" {
+			b = append(b, 0)
+		}
+		return item{kind: itemBytes, line: lineNo, bytes: b}, nil
+	case ".db":
+		var b []byte
+		for _, f := range splitOperandList(rest) {
+			v, err := parseIntToken(strings.TrimSpace(f))
+			if err != nil {
+				return item{}, errf(lineNo, ".db: %v", err)
+			}
+			b = append(b, byte(v))
+		}
+		return item{kind: itemBytes, line: lineNo, bytes: b}, nil
+	case ".dd":
+		var ws []wordInit
+		for _, f := range splitOperandList(rest) {
+			f = strings.TrimSpace(f)
+			if v, err := parseIntToken(f); err == nil {
+				ws = append(ws, wordInit{Value: v})
+			} else if validSymbol(f) {
+				ws = append(ws, wordInit{Label: f})
+			} else {
+				return item{}, errf(lineNo, ".dd: bad value %q", f)
+			}
+		}
+		return item{kind: itemWords, line: lineNo, words: ws}, nil
+	case ".space", ".skip":
+		v, err := parseIntToken(strings.TrimSpace(rest))
+		if err != nil || v < 0 {
+			return item{}, errf(lineNo, ".space: bad size %q", rest)
+		}
+		return item{kind: itemSpace, line: lineNo, n: int(v)}, nil
+	case ".align":
+		v, err := parseIntToken(strings.TrimSpace(rest))
+		if err != nil || v <= 0 || v&(v-1) != 0 {
+			return item{}, errf(lineNo, ".align: bad alignment %q", rest)
+		}
+		return item{kind: itemAlign, line: lineNo, n: int(v)}, nil
+	}
+	return item{}, errf(lineNo, "unknown directive %q", mnem)
+}
+
+// parseStringLiteral parses a double-quoted literal with C escapes.
+func parseStringLiteral(s string) (string, error) {
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return "", errf(0, "expected quoted string, got %q", s)
+	}
+	body := s[1 : len(s)-1]
+	var out strings.Builder
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' {
+			out.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(body) {
+			return "", errf(0, "trailing backslash")
+		}
+		switch body[i] {
+		case 'n':
+			out.WriteByte('\n')
+		case 'r':
+			out.WriteByte('\r')
+		case 't':
+			out.WriteByte('\t')
+		case '0':
+			out.WriteByte(0)
+		case '\\':
+			out.WriteByte('\\')
+		case '"':
+			out.WriteByte('"')
+		case 'x':
+			if i+2 >= len(body) {
+				return "", errf(0, "bad \\x escape")
+			}
+			v, err := strconv.ParseUint(body[i+1:i+3], 16, 8)
+			if err != nil {
+				return "", errf(0, "bad \\x escape")
+			}
+			out.WriteByte(byte(v))
+			i += 2
+		default:
+			return "", errf(0, "unknown escape \\%c", body[i])
+		}
+	}
+	return out.String(), nil
+}
+
+// splitOperandList splits a comma-separated operand list, respecting
+// brackets and quotes.
+func splitOperandList(s string) []string {
+	var out []string
+	depth := 0
+	inStr := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inStr = !inStr
+		case '[':
+			if !inStr {
+				depth++
+			}
+		case ']':
+			if !inStr {
+				depth--
+			}
+		case ',':
+			if depth == 0 && !inStr {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if strings.TrimSpace(s[start:]) != "" || len(out) > 0 && start < len(s) {
+		out = append(out, s[start:])
+	}
+	if len(out) == 0 && strings.TrimSpace(s) != "" {
+		out = append(out, s)
+	}
+	return out
+}
+
+func parseOperands(rest string, lineNo int) ([]Operand, error) {
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return nil, nil
+	}
+	fields := splitOperandList(rest)
+	ops := make([]Operand, 0, len(fields))
+	for _, f := range fields {
+		op, err := parseOperand(strings.TrimSpace(f), lineNo)
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+	}
+	return ops, nil
+}
+
+// regWidths maps register names to (number, width).
+func regLookup(name string) (uint8, uint8, bool) {
+	if r, ok := x86.RegNumber(name); ok {
+		return r, 4, true
+	}
+	names8 := []string{"al", "cl", "dl", "bl", "ah", "ch", "dh", "bh"}
+	for i, n := range names8 {
+		if n == name {
+			return uint8(i), 1, true
+		}
+	}
+	names16 := []string{"ax", "cx", "dx", "bx", "sp", "bp", "si", "di"}
+	for i, n := range names16 {
+		if n == name {
+			return uint8(i), 2, true
+		}
+	}
+	return 0, 0, false
+}
+
+func parseOperand(s string, lineNo int) (Operand, error) {
+	low := strings.ToLower(s)
+
+	// Optional size hint before a memory operand.
+	size := uint8(0)
+	for _, h := range [...]struct {
+		kw string
+		w  uint8
+	}{{"byte ", 1}, {"word ", 2}, {"dword ", 4}} {
+		if strings.HasPrefix(low, h.kw) {
+			size = h.w
+			s = strings.TrimSpace(s[len(h.kw):])
+			low = strings.ToLower(s)
+			break
+		}
+	}
+
+	if strings.HasPrefix(s, "[") {
+		if !strings.HasSuffix(s, "]") {
+			return Operand{}, errf(lineNo, "unterminated memory operand %q", s)
+		}
+		mem, err := parseMemRef(s[1:len(s)-1], lineNo)
+		if err != nil {
+			return Operand{}, err
+		}
+		return Operand{Kind: OpdMem, Mem: mem, Size: size}, nil
+	}
+	if size != 0 {
+		return Operand{}, errf(lineNo, "size hint on non-memory operand %q", s)
+	}
+	if r, w, ok := regLookup(low); ok {
+		return Operand{Kind: OpdReg, Reg: r, W: w}, nil
+	}
+	if v, err := parseIntToken(s); err == nil {
+		return Operand{Kind: OpdImm, Imm: v}, nil
+	}
+	if validSymbol(s) {
+		return Operand{Kind: OpdImm, Label: s}, nil
+	}
+	return Operand{}, errf(lineNo, "cannot parse operand %q", s)
+}
+
+// parseMemRef parses the inside of a bracketed memory operand:
+// terms joined by + or -, where a term is reg, reg*scale, number, or label.
+func parseMemRef(s string, lineNo int) (MemRef, error) {
+	m := MemRef{Base: x86.NoReg, Index: x86.NoReg, Scale: 1}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return m, errf(lineNo, "empty memory operand")
+	}
+	// Tokenize into signed terms.
+	type term struct {
+		neg  bool
+		text string
+	}
+	var terms []term
+	cur := term{}
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '+' || (s[i] == '-' && i > start) {
+			t := strings.TrimSpace(s[start:i])
+			if t == "" && i < len(s) && s[i] == '-' {
+				// leading minus handled below
+			} else if t != "" {
+				cur.text = t
+				terms = append(terms, cur)
+				cur = term{}
+			}
+			if i < len(s) {
+				cur.neg = s[i] == '-'
+			}
+			start = i + 1
+		}
+	}
+	if strings.TrimSpace(s)[0] == '-' {
+		// A leading "-" applies to the first term.
+		return m, errf(lineNo, "memory operand cannot start with '-'")
+	}
+	if len(terms) == 0 {
+		return m, errf(lineNo, "memory operand %q has no terms", s)
+	}
+	for _, t := range terms {
+		txt := strings.ToLower(strings.TrimSpace(t.text))
+		// reg*scale or scale*reg
+		if idx := strings.IndexByte(txt, '*'); idx >= 0 {
+			a := strings.TrimSpace(txt[:idx])
+			b := strings.TrimSpace(txt[idx+1:])
+			var regName, scaleStr string
+			if _, _, ok := regLookup(a); ok {
+				regName, scaleStr = a, b
+			} else {
+				regName, scaleStr = b, a
+			}
+			r, w, ok := regLookup(regName)
+			if !ok || w != 4 || t.neg {
+				return m, errf(lineNo, "bad index term %q", t.text)
+			}
+			sc, err := strconv.Atoi(scaleStr)
+			if err != nil || (sc != 1 && sc != 2 && sc != 4 && sc != 8) {
+				return m, errf(lineNo, "bad scale in %q", t.text)
+			}
+			if m.Index != x86.NoReg {
+				return m, errf(lineNo, "two index registers")
+			}
+			m.Index = int8(r)
+			m.Scale = uint8(sc)
+			continue
+		}
+		if r, w, ok := regLookup(txt); ok {
+			if w != 4 || t.neg {
+				return m, errf(lineNo, "bad register term %q", t.text)
+			}
+			switch {
+			case m.Base == x86.NoReg:
+				m.Base = int8(r)
+			case m.Index == x86.NoReg:
+				m.Index = int8(r)
+				m.Scale = 1
+			default:
+				return m, errf(lineNo, "too many registers in %q", s)
+			}
+			continue
+		}
+		if v, err := parseIntToken(txt); err == nil {
+			if t.neg {
+				v = -v
+			}
+			m.Disp += int32(v)
+			continue
+		}
+		if validSymbol(strings.TrimSpace(t.text)) {
+			if t.neg || m.Label != "" {
+				return m, errf(lineNo, "bad symbol term %q", t.text)
+			}
+			m.Label = strings.TrimSpace(t.text)
+			continue
+		}
+		return m, errf(lineNo, "cannot parse memory term %q", t.text)
+	}
+	return m, nil
+}
+
+// parseIntToken parses decimal, hex (0x...), negative, and character ('c')
+// constants.
+func parseIntToken(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if len(s) >= 3 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		body := s[1 : len(s)-1]
+		if body == "\\n" {
+			return '\n', nil
+		}
+		if body == "\\r" {
+			return '\r', nil
+		}
+		if body == "\\t" {
+			return '\t', nil
+		}
+		if body == "\\0" {
+			return 0, nil
+		}
+		if body == "\\\\" {
+			return '\\', nil
+		}
+		if body == "\\'" {
+			return '\'', nil
+		}
+		if len(body) == 1 {
+			return int64(body[0]), nil
+		}
+		return 0, strconv.ErrSyntax
+	}
+	return strconv.ParseInt(s, 0, 64)
+}

@@ -1,0 +1,271 @@
+package cc
+
+// TypeKind classifies MiniC types.
+type TypeKind int
+
+// Type kinds.
+const (
+	TypeInt TypeKind = iota + 1
+	TypeChar
+	TypeVoid
+	TypePtr
+	TypeArray
+)
+
+// Type is a MiniC type. Types are small and treated as values.
+type Type struct {
+	Kind  TypeKind
+	Elem  *Type // pointee / array element
+	Count int   // array length
+}
+
+// Convenient type singletons.
+var (
+	typeInt  = &Type{Kind: TypeInt}
+	typeChar = &Type{Kind: TypeChar}
+	typeVoid = &Type{Kind: TypeVoid}
+)
+
+func ptrTo(t *Type) *Type { return &Type{Kind: TypePtr, Elem: t} }
+
+// Size returns the storage size in bytes.
+func (t *Type) Size() int {
+	switch t.Kind {
+	case TypeChar:
+		return 1
+	case TypeInt, TypePtr:
+		return 4
+	case TypeArray:
+		return t.Count * t.Elem.Size()
+	}
+	return 0
+}
+
+// IsPtrLike reports whether the type is a pointer or decays to one.
+func (t *Type) IsPtrLike() bool { return t.Kind == TypePtr || t.Kind == TypeArray }
+
+// decay converts array types to pointer-to-element (C array decay).
+func (t *Type) decay() *Type {
+	if t.Kind == TypeArray {
+		return ptrTo(t.Elem)
+	}
+	return t
+}
+
+// String renders the type for diagnostics.
+func (t *Type) String() string {
+	switch t.Kind {
+	case TypeInt:
+		return "int"
+	case TypeChar:
+		return "char"
+	case TypeVoid:
+		return "void"
+	case TypePtr:
+		return t.Elem.String() + "*"
+	case TypeArray:
+		return t.Elem.String() + "[]"
+	}
+	return "?"
+}
+
+// Expr is a MiniC expression node.
+type Expr interface{ exprNode() }
+
+// IntLit is an integer (or character) literal.
+type IntLit struct {
+	Value int64
+	Line  int
+}
+
+// StrLit is a string literal (becomes a .rodata symbol).
+type StrLit struct {
+	Value string
+	Line  int
+}
+
+// Ident references a variable or function name.
+type Ident struct {
+	Name string
+	Line int
+}
+
+// Unary is a prefix operator: ! - ~ * & ++ --.
+type Unary struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+// Binary is an infix operator (everything except assignment).
+type Binary struct {
+	Op   string
+	X, Y Expr
+	Line int
+}
+
+// Assign is "lhs = rhs" or a compound assignment ("+=", ...; Op holds the
+// operator without '=', empty for plain assignment).
+type Assign struct {
+	Op   string
+	LHS  Expr
+	RHS  Expr
+	Line int
+}
+
+// Call invokes a named function or builtin.
+type Call struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+// Index is x[i].
+type Index struct {
+	X, I Expr
+	Line int
+}
+
+// PostIncDec is x++ or x--.
+type PostIncDec struct {
+	X    Expr
+	Inc  bool
+	Line int
+}
+
+func (*IntLit) exprNode()     {}
+func (*StrLit) exprNode()     {}
+func (*Ident) exprNode()      {}
+func (*Unary) exprNode()      {}
+func (*Binary) exprNode()     {}
+func (*Assign) exprNode()     {}
+func (*Call) exprNode()       {}
+func (*Index) exprNode()      {}
+func (*PostIncDec) exprNode() {}
+
+// Stmt is a MiniC statement node.
+type Stmt interface{ stmtNode() }
+
+// DeclStmt declares a local variable with an optional scalar initializer.
+type DeclStmt struct {
+	Name string
+	Type *Type
+	Init Expr // nil when absent
+	Line int
+}
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // nil when absent
+	Line int
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body Stmt
+	Line int
+}
+
+// ForStmt is a for loop; any clause may be nil.
+type ForStmt struct {
+	Init Expr
+	Cond Expr
+	Post Expr
+	Body Stmt
+	Line int
+}
+
+// ReturnStmt returns from the function.
+type ReturnStmt struct {
+	X    Expr // nil for bare return
+	Line int
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Line int }
+
+// SwitchCase is one case (or default) arm of a switch. Bodies fall
+// through to the next arm unless they break, as in C.
+type SwitchCase struct {
+	// Value is the constant case label; Default marks "default:".
+	Value   int64
+	Default bool
+	// Body holds the statements between this label and the next.
+	Body []Stmt
+	Line int
+}
+
+// SwitchStmt is a C switch over an integer expression.
+type SwitchStmt struct {
+	X     Expr
+	Cases []SwitchCase
+	Line  int
+}
+
+// BlockStmt is a brace-enclosed statement list.
+type BlockStmt struct {
+	Stmts []Stmt
+	Line  int
+}
+
+func (*DeclStmt) stmtNode()     {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*SwitchStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*BlockStmt) stmtNode()    {}
+
+// Param is one function parameter.
+type Param struct {
+	Name string
+	Type *Type
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Ret    *Type
+	Params []Param
+	Body   *BlockStmt
+	Line   int
+}
+
+// GlobalInit is one element of a global initializer: a constant, a string
+// literal (address), or a symbol reference.
+type GlobalInit struct {
+	Value  int64
+	Str    *string // string literal
+	Symbol string  // address-of another global
+}
+
+// VarDecl is a global variable definition.
+type VarDecl struct {
+	Name  string
+	Type  *Type
+	Init  []GlobalInit // scalar: one element; array: many; nil: zeroed
+	IsStr bool         // char array initialized from a string literal
+	Str   string
+	Line  int
+}
+
+// Program is a parsed translation unit.
+type Program struct {
+	Funcs   []*FuncDecl
+	Globals []*VarDecl
+}

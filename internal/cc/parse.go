@@ -1,0 +1,671 @@
+package cc
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse lexes and parses a MiniC translation unit.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for !p.at(tokEOF) {
+		base, err := p.typeBase()
+		if err != nil {
+			return nil, err
+		}
+		typ, name, err := p.declarator(base)
+		if err != nil {
+			return nil, err
+		}
+		if p.peekPunct("(") {
+			fn, ferr := p.funcRest(typ, name)
+			if ferr != nil {
+				return nil, ferr
+			}
+			prog.Funcs = append(prog.Funcs, fn)
+			continue
+		}
+		g, gerr := p.globalRest(typ, name)
+		if gerr != nil {
+			return nil, gerr
+		}
+		prog.Globals = append(prog.Globals, g)
+	}
+	return prog, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) line() int   { return p.cur().line }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(k tokKind) bool { return p.cur().kind == k }
+
+func (p *parser) peekPunct(s string) bool {
+	t := p.cur()
+	return t.kind == tokPunct && t.text == s
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	if p.peekPunct(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return cerr(p.line(), "expected %q, got %q", s, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) peekKeyword(s string) bool {
+	t := p.cur()
+	return t.kind == tokKeyword && t.text == s
+}
+
+func (p *parser) acceptKeyword(s string) bool {
+	if p.peekKeyword(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// typeBase parses int/char/void.
+func (p *parser) typeBase() (*Type, error) {
+	switch {
+	case p.acceptKeyword("int"):
+		return typeInt, nil
+	case p.acceptKeyword("char"):
+		return typeChar, nil
+	case p.acceptKeyword("void"):
+		return typeVoid, nil
+	}
+	return nil, cerr(p.line(), "expected type, got %q", p.cur().text)
+}
+
+// declarator parses '*'* ident.
+func (p *parser) declarator(base *Type) (*Type, string, error) {
+	t := base
+	for p.acceptPunct("*") {
+		t = ptrTo(t)
+	}
+	if !p.at(tokIdent) {
+		return nil, "", cerr(p.line(), "expected identifier, got %q", p.cur().text)
+	}
+	return t, p.next().text, nil
+}
+
+// funcRest parses a function definition after its name.
+func (p *parser) funcRest(ret *Type, name string) (*FuncDecl, error) {
+	line := p.line()
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var params []Param
+	if !p.peekPunct(")") {
+		if p.peekKeyword("void") && p.toks[p.pos+1].kind == tokPunct && p.toks[p.pos+1].text == ")" {
+			p.pos++ // f(void)
+		} else {
+			for {
+				base, err := p.typeBase()
+				if err != nil {
+					return nil, err
+				}
+				t, pname, err := p.declarator(base)
+				if err != nil {
+					return nil, err
+				}
+				if p.acceptPunct("[") {
+					if err := p.expectPunct("]"); err != nil {
+						return nil, err
+					}
+					t = ptrTo(t) // array parameter decays
+				}
+				params = append(params, Param{Name: pname, Type: t})
+				if !p.acceptPunct(",") {
+					break
+				}
+			}
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &FuncDecl{Name: name, Ret: ret, Params: params, Body: body, Line: line}, nil
+}
+
+// constInit parses one global initializer element.
+func (p *parser) constInit() (GlobalInit, error) {
+	neg := false
+	for p.acceptPunct("-") {
+		neg = !neg
+	}
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.pos++
+		v := t.num
+		if neg {
+			v = -v
+		}
+		return GlobalInit{Value: v}, nil
+	case tokString:
+		if neg {
+			return GlobalInit{}, cerr(t.line, "negated string initializer")
+		}
+		p.pos++
+		s := t.text
+		return GlobalInit{Str: &s}, nil
+	case tokIdent:
+		if neg {
+			return GlobalInit{}, cerr(t.line, "negated symbol initializer")
+		}
+		p.pos++
+		return GlobalInit{Symbol: t.text}, nil
+	}
+	return GlobalInit{}, cerr(t.line, "bad global initializer %q", t.text)
+}
+
+// globalRest parses a global variable definition after its name.
+func (p *parser) globalRest(t *Type, name string) (*VarDecl, error) {
+	line := p.line()
+	g := &VarDecl{Name: name, Type: t, Line: line}
+	if p.acceptPunct("[") {
+		if p.at(tokNumber) {
+			n := p.next().num
+			g.Type = &Type{Kind: TypeArray, Elem: t, Count: int(n)}
+		} else {
+			g.Type = &Type{Kind: TypeArray, Elem: t, Count: -1} // from initializer
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptPunct("=") {
+		switch {
+		case p.acceptPunct("{"):
+			for !p.peekPunct("}") {
+				init, err := p.constInit()
+				if err != nil {
+					return nil, err
+				}
+				g.Init = append(g.Init, init)
+				if !p.acceptPunct(",") {
+					break
+				}
+			}
+			if err := p.expectPunct("}"); err != nil {
+				return nil, err
+			}
+		case p.at(tokString) && g.Type.Kind == TypeArray && g.Type.Elem.Kind == TypeChar:
+			g.IsStr = true
+			g.Str = p.next().text
+		default:
+			init, err := p.constInit()
+			if err != nil {
+				return nil, err
+			}
+			g.Init = []GlobalInit{init}
+		}
+	}
+	if g.Type.Kind == TypeArray && g.Type.Count == -1 {
+		switch {
+		case g.IsStr:
+			g.Type.Count = len(g.Str) + 1
+		case g.Init != nil:
+			g.Type.Count = len(g.Init)
+		default:
+			return nil, cerr(line, "array %q needs a size or initializer", name)
+		}
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// block parses a brace-enclosed statement list.
+func (p *parser) block() (*BlockStmt, error) {
+	line := p.line()
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Line: line}
+	for !p.peekPunct("}") {
+		if p.at(tokEOF) {
+			return nil, cerr(line, "unterminated block")
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.pos++ // consume "}"
+	return b, nil
+}
+
+// statement parses one statement.
+func (p *parser) statement() (Stmt, error) {
+	line := p.line()
+	switch {
+	case p.peekPunct("{"):
+		return p.block()
+	case p.peekKeyword("int") || p.peekKeyword("char"):
+		base, err := p.typeBase()
+		if err != nil {
+			return nil, err
+		}
+		t, name, err := p.declarator(base)
+		if err != nil {
+			return nil, err
+		}
+		if p.acceptPunct("[") {
+			if !p.at(tokNumber) {
+				return nil, cerr(line, "local array needs a constant size")
+			}
+			n := p.next().num
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			t = &Type{Kind: TypeArray, Elem: t, Count: int(n)}
+		}
+		d := &DeclStmt{Name: name, Type: t, Line: line}
+		if p.acceptPunct("=") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = e
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return d, nil
+	case p.acceptKeyword("if"):
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Cond: cond, Then: then, Line: line}
+		if p.acceptKeyword("else") {
+			els, err := p.statement()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+		return st, nil
+	case p.acceptKeyword("while"):
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Line: line}, nil
+	case p.acceptKeyword("for"):
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		st := &ForStmt{Line: line}
+		if !p.peekPunct(";") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			st.Init = e
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		if !p.peekPunct(";") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			st.Cond = e
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		if !p.peekPunct(")") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			st.Post = e
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		st.Body = body
+		return st, nil
+	case p.acceptKeyword("switch"):
+		return p.switchStmt(line)
+	case p.acceptKeyword("return"):
+		st := &ReturnStmt{Line: line}
+		if !p.peekPunct(";") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			st.X = e
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return st, nil
+	case p.acceptKeyword("break"):
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Line: line}, nil
+	case p.acceptKeyword("continue"):
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Line: line}, nil
+	case p.acceptPunct(";"):
+		return &BlockStmt{Line: line}, nil
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{X: e, Line: line}, nil
+}
+
+// switchStmt parses "switch (expr) { case K: ... default: ... }" after the
+// switch keyword has been consumed.
+func (p *parser) switchStmt(line int) (Stmt, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	st := &SwitchStmt{X: x, Line: line}
+	seen := make(map[int64]bool)
+	haveDefault := false
+	for !p.peekPunct("}") {
+		if p.at(tokEOF) {
+			return nil, cerr(line, "unterminated switch")
+		}
+		var cs SwitchCase
+		cs.Line = p.line()
+		switch {
+		case p.acceptKeyword("case"):
+			neg := false
+			for p.acceptPunct("-") {
+				neg = !neg
+			}
+			if !p.at(tokNumber) {
+				return nil, cerr(p.line(), "case label must be an integer constant")
+			}
+			v := p.next().num
+			if neg {
+				v = -v
+			}
+			if seen[v] {
+				return nil, cerr(cs.Line, "duplicate case value %d", v)
+			}
+			seen[v] = true
+			cs.Value = v
+		case p.acceptKeyword("default"):
+			if haveDefault {
+				return nil, cerr(cs.Line, "duplicate default")
+			}
+			haveDefault = true
+			cs.Default = true
+		default:
+			return nil, cerr(p.line(), "expected case or default, got %q", p.cur().text)
+		}
+		if err := p.expectPunct(":"); err != nil {
+			return nil, err
+		}
+		for !p.peekPunct("}") && !p.peekKeyword("case") && !p.peekKeyword("default") {
+			if p.at(tokEOF) {
+				return nil, cerr(cs.Line, "unterminated case body")
+			}
+			sub, err := p.statement()
+			if err != nil {
+				return nil, err
+			}
+			cs.Body = append(cs.Body, sub)
+		}
+		st.Cases = append(st.Cases, cs)
+	}
+	p.pos++ // consume "}"
+	return st, nil
+}
+
+// expr parses a full (assignment-level) expression.
+func (p *parser) expr() (Expr, error) { return p.assign() }
+
+// assignOps maps compound-assignment tokens to their binary operator.
+var assignOps = map[string]string{
+	"=": "", "+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+	"&=": "&", "|=": "|", "^=": "^", "<<=": "<<", ">>=": ">>",
+}
+
+func (p *parser) assign() (Expr, error) {
+	lhs, err := p.binary(0)
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.kind == tokPunct {
+		if op, ok := assignOps[t.text]; ok {
+			line := t.line
+			p.pos++
+			rhs, err := p.assign()
+			if err != nil {
+				return nil, err
+			}
+			return &Assign{Op: op, LHS: lhs, RHS: rhs, Line: line}, nil
+		}
+	}
+	return lhs, nil
+}
+
+// binLevels lists binary operators from lowest to highest precedence.
+var binLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", ">", "<=", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) binary(level int) (Expr, error) {
+	if level >= len(binLevels) {
+		return p.unary()
+	}
+	lhs, err := p.binary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct {
+			return lhs, nil
+		}
+		matched := ""
+		for _, op := range binLevels[level] {
+			if t.text == op {
+				matched = op
+				break
+			}
+		}
+		if matched == "" {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.binary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Op: matched, X: lhs, Y: rhs, Line: t.line}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.cur()
+	if t.kind == tokPunct {
+		switch t.text {
+		case "!", "-", "~", "*", "&":
+			p.pos++
+			x, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			return &Unary{Op: t.text, X: x, Line: t.line}, nil
+		case "++", "--":
+			// Prefix inc/dec: compile as compound assignment.
+			p.pos++
+			x, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			op := "+"
+			if t.text == "--" {
+				op = "-"
+			}
+			return &Assign{Op: op, LHS: x, RHS: &IntLit{Value: 1, Line: t.line}, Line: t.line}, nil
+		case "+":
+			p.pos++
+			return p.unary()
+		}
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (Expr, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct {
+			return x, nil
+		}
+		switch t.text {
+		case "(":
+			id, ok := x.(*Ident)
+			if !ok {
+				return nil, cerr(t.line, "call of non-function expression")
+			}
+			p.pos++
+			call := &Call{Name: id.Name, Line: t.line}
+			for !p.peekPunct(")") {
+				a, err := p.assign()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+				if !p.acceptPunct(",") {
+					break
+				}
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			x = call
+		case "[":
+			p.pos++
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			x = &Index{X: x, I: idx, Line: t.line}
+		case "++", "--":
+			p.pos++
+			x = &PostIncDec{X: x, Inc: t.text == "++", Line: t.line}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.pos++
+		return &IntLit{Value: t.num, Line: t.line}, nil
+	case tokString:
+		p.pos++
+		return &StrLit{Value: t.text, Line: t.line}, nil
+	case tokIdent:
+		p.pos++
+		return &Ident{Name: t.text, Line: t.line}, nil
+	case tokPunct:
+		if t.text == "(" {
+			p.pos++
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, cerr(t.line, "unexpected token %q", t.text)
+}

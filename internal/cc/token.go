@@ -1,0 +1,243 @@
+// Package cc implements a small C compiler ("MiniC") targeting the
+// internal/asm assembler. The study's server programs are written in MiniC
+// so that the injected artifact is compiled machine code of C
+// authentication logic — with the same control-flow idioms the paper
+// disassembles from wu-ftpd and sshd (push/push/call strcmp, add esp,
+// test eax,eax, jne ...).
+//
+// Language summary: types int, char (unsigned), pointers and arrays;
+// functions with cdecl calling convention; if/else, while, for, switch
+// (with C fallthrough), break, continue, return; expressions with
+// assignment, ||, &&, bitwise, equality,
+// relational, shift, additive, multiplicative, unary !,-,~,*,&, postfix
+// call/index/++/--; decimal, hex, character and string literals.
+// Built-ins sys_read, sys_write, sys_exit compile to inline int 0x80
+// sequences.
+package cc
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// tokKind classifies lexical tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota + 1
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct // operators and punctuation, in tok.text
+	tokKeyword
+)
+
+// token is one lexical token.
+type token struct {
+	kind tokKind
+	text string
+	num  int64
+	line int
+}
+
+// keywords of MiniC.
+var keywords = map[string]bool{
+	"int": true, "char": true, "void": true,
+	"if": true, "else": true, "while": true, "for": true,
+	"return": true, "break": true, "continue": true,
+	"switch": true, "case": true, "default": true,
+}
+
+// multi-character operators, longest first.
+var punctuators = []string{
+	"<<=", ">>=",
+	"==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "++", "--",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+	"+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~",
+	"(", ")", "{", "}", "[", "]", ";", ",", ":",
+}
+
+// Error is a compiler diagnostic.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("cc: line %d: %s", e.Line, e.Msg) }
+
+func cerr(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lex tokenizes MiniC source.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+			continue
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+			continue
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+			continue
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			i += 2
+			for i+1 < n && !(src[i] == '*' && src[i+1] == '/') {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			if i+1 >= n {
+				return nil, cerr(line, "unterminated block comment")
+			}
+			i += 2
+			continue
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentPart(src[i]) {
+				i++
+			}
+			text := src[start:i]
+			k := tokIdent
+			if keywords[text] {
+				k = tokKeyword
+			}
+			toks = append(toks, token{kind: k, text: text, line: line})
+			continue
+		case c >= '0' && c <= '9':
+			start := i
+			for i < n && (isIdentPart(src[i])) {
+				i++
+			}
+			text := src[start:i]
+			v, err := strconv.ParseInt(text, 0, 64)
+			if err != nil {
+				return nil, cerr(line, "bad number %q", text)
+			}
+			toks = append(toks, token{kind: tokNumber, num: v, text: text, line: line})
+			continue
+		case c == '\'':
+			v, adv, err := lexCharLit(src[i:], line)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{kind: tokNumber, num: int64(v), text: src[i : i+adv], line: line})
+			i += adv
+			continue
+		case c == '"':
+			s, adv, err := lexStringLit(src[i:], line)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{kind: tokString, text: s, line: line})
+			i += adv
+			continue
+		}
+		matched := false
+		for _, p := range punctuators {
+			if i+len(p) <= n && src[i:i+len(p)] == p {
+				toks = append(toks, token{kind: tokPunct, text: p, line: line})
+				i += len(p)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return nil, cerr(line, "unexpected character %q", string(c))
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+func lexEscape(c byte, line int) (byte, error) {
+	switch c {
+	case 'n':
+		return '\n', nil
+	case 'r':
+		return '\r', nil
+	case 't':
+		return '\t', nil
+	case '0':
+		return 0, nil
+	case '\\':
+		return '\\', nil
+	case '\'':
+		return '\'', nil
+	case '"':
+		return '"', nil
+	}
+	return 0, cerr(line, "unknown escape \\%c", c)
+}
+
+// lexCharLit lexes a character literal at the start of s; returns the byte
+// value and the number of source bytes consumed.
+func lexCharLit(s string, line int) (byte, int, error) {
+	if len(s) < 3 {
+		return 0, 0, cerr(line, "unterminated character literal")
+	}
+	if s[1] == '\\' {
+		if len(s) < 4 || s[3] != '\'' {
+			return 0, 0, cerr(line, "bad character literal")
+		}
+		v, err := lexEscape(s[2], line)
+		if err != nil {
+			return 0, 0, err
+		}
+		return v, 4, nil
+	}
+	if s[2] != '\'' {
+		return 0, 0, cerr(line, "bad character literal")
+	}
+	return s[1], 3, nil
+}
+
+// lexStringLit lexes a string literal at the start of s; returns the
+// unescaped contents and the number of source bytes consumed.
+func lexStringLit(s string, line int) (string, int, error) {
+	var out []byte
+	i := 1
+	for i < len(s) {
+		c := s[i]
+		switch c {
+		case '"':
+			return string(out), i + 1, nil
+		case '\n':
+			return "", 0, cerr(line, "newline in string literal")
+		case '\\':
+			if i+1 >= len(s) {
+				return "", 0, cerr(line, "unterminated string literal")
+			}
+			v, err := lexEscape(s[i+1], line)
+			if err != nil {
+				return "", 0, err
+			}
+			out = append(out, v)
+			i += 2
+		default:
+			out = append(out, c)
+			i++
+		}
+	}
+	return "", 0, cerr(line, "unterminated string literal")
+}

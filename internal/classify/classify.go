@@ -1,0 +1,214 @@
+// Package classify implements the study's outcome taxonomy (paper §5.1)
+// and error-location taxonomy (Table 2), and the precedence rules used to
+// assign each injection run to exactly one category.
+package classify
+
+import (
+	"bytes"
+	"errors"
+
+	"faultsec/internal/kernel"
+	"faultsec/internal/vm"
+	"faultsec/internal/x86"
+)
+
+// Outcome is the paper's five-way result categorization.
+type Outcome int
+
+// Outcomes, in the paper's presentation order.
+const (
+	// OutcomeNA: not activated — the corrupted instruction never executed.
+	OutcomeNA Outcome = iota + 1
+	// OutcomeNM: activated but not manifested — service was correct.
+	OutcomeNM
+	// OutcomeSD: system detection — the server process crashed.
+	OutcomeSD
+	// OutcomeFSV: fail silence violation — observable behaviour deviated
+	// from the fault-free run (wrong/extra/missing messages, hangs,
+	// wrongful denies).
+	OutcomeFSV
+	// OutcomeBRK: security break-in — access granted that the fault-free
+	// protocol denies. A special case of FSV, counted separately.
+	OutcomeBRK
+)
+
+// String returns the paper's abbreviation.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeNA:
+		return "NA"
+	case OutcomeNM:
+		return "NM"
+	case OutcomeSD:
+		return "SD"
+	case OutcomeFSV:
+		return "FSV"
+	case OutcomeBRK:
+		return "BRK"
+	}
+	return "?"
+}
+
+// Outcomes lists all categories in presentation order.
+func Outcomes() []Outcome {
+	return []Outcome{OutcomeNA, OutcomeNM, OutcomeSD, OutcomeFSV, OutcomeBRK}
+}
+
+// Location is the paper's Table 2 taxonomy of where inside an instruction
+// the corrupted bit sits.
+type Location int
+
+// Locations (Table 2).
+const (
+	// Loc2BC: opcode of a 2-byte conditional branch.
+	Loc2BC Location = iota + 1
+	// Loc2BO: operand (offset) of a 2-byte conditional branch.
+	Loc2BO
+	// Loc6BC1: first opcode byte (0x0F) of a 6-byte conditional branch.
+	Loc6BC1
+	// Loc6BC2: second opcode byte of a 6-byte conditional branch.
+	Loc6BC2
+	// Loc6BO: operand (offset) of a 6-byte conditional branch.
+	Loc6BO
+	// LocMISC: anything else (unconditional jmp/call/ret/loop in the
+	// branch-instruction target set).
+	LocMISC
+)
+
+// String returns the paper's abbreviation.
+func (l Location) String() string {
+	switch l {
+	case Loc2BC:
+		return "2BC"
+	case Loc2BO:
+		return "2BO"
+	case Loc6BC1:
+		return "6BC1"
+	case Loc6BC2:
+		return "6BC2"
+	case Loc6BO:
+		return "6BO"
+	case LocMISC:
+		return "MISC"
+	}
+	return "?"
+}
+
+// Locations lists all locations in Table 2/3 order.
+func Locations() []Location {
+	return []Location{Loc2BC, Loc2BO, Loc6BC1, Loc6BC2, Loc6BO, LocMISC}
+}
+
+// LocationOf classifies the byte position byteIdx of the instruction in.
+func LocationOf(in *x86.Inst, raw []byte, byteIdx int) Location {
+	if in.Op != x86.OpJcc || len(raw) == 0 {
+		return LocMISC
+	}
+	if x86.IsJcc8Opcode(raw[0]) && len(raw) == 2 {
+		if byteIdx == 0 {
+			return Loc2BC
+		}
+		return Loc2BO
+	}
+	if raw[0] == x86.TwoByteEscape && len(raw) == 6 {
+		switch byteIdx {
+		case 0:
+			return Loc6BC1
+		case 1:
+			return Loc6BC2
+		default:
+			return Loc6BO
+		}
+	}
+	return LocMISC
+}
+
+// Golden is the recorded fault-free behaviour of one scenario.
+type Golden struct {
+	// ServerBytes is the complete server-to-client stream.
+	ServerBytes []byte
+	// Granted is whether the fault-free server awards access (equals the
+	// scenario's ShouldGrant for a correct server).
+	Granted bool
+	// ExitCode is the server's exit status.
+	ExitCode int
+	// Steps is the retired instruction count.
+	Steps uint64
+}
+
+// Run captures the observable result of one (possibly injected) session.
+type Run struct {
+	// Activated is whether the corrupted instruction was reached.
+	Activated bool
+	// Err is the run-terminating condition from vm.Machine.Run.
+	Err error
+	// ServerBytes is the server-to-client stream of this run.
+	ServerBytes []byte
+	// Granted is the client's access-grant observation.
+	Granted bool
+	// ActivationSteps is the retired-instruction count at first execution
+	// of the corrupted instruction (valid when Activated).
+	ActivationSteps uint64
+	// EndSteps is the retired-instruction count when the run ended.
+	EndSteps uint64
+}
+
+// Crashed reports whether the run ended in a processor fault, and the
+// fault if so.
+func (r *Run) Crashed() (*vm.Fault, bool) {
+	var f *vm.Fault
+	if errors.As(r.Err, &f) {
+		return f, true
+	}
+	return nil, false
+}
+
+// CrashLatency returns the number of instructions between activation and
+// crash (the paper's Figure 4 measure), valid when the run crashed after
+// activation.
+func (r *Run) CrashLatency() uint64 {
+	if r.EndSteps < r.ActivationSteps {
+		return 0
+	}
+	return r.EndSteps - r.ActivationSteps
+}
+
+// Classify assigns an outcome using the paper's precedence (§5.1, §5.2):
+//
+//  1. not activated -> NA
+//  2. unauthorized grant observed -> BRK (even if the server crashed
+//     afterwards; the paper's break-ins include post-grant file retrieval)
+//  3. wrong bytes on the wire before a crash -> FSV (paper §5.2 discusses
+//     an FSV run that "ultimately crashes"); a crash whose output so far
+//     is a clean prefix of the golden stream -> SD
+//  4. hangs, floods and fuel exhaustion -> FSV (the client observes a hang)
+//  5. clean exit with identical server stream -> NM; any deviation -> FSV
+func Classify(g *Golden, r *Run, shouldGrant bool) Outcome {
+	if !r.Activated {
+		return OutcomeNA
+	}
+	if r.Granted && !shouldGrant {
+		return OutcomeBRK
+	}
+	if _, crashed := r.Crashed(); crashed {
+		if bytes.HasPrefix(g.ServerBytes, r.ServerBytes) {
+			return OutcomeSD
+		}
+		return OutcomeFSV
+	}
+	var hang *kernel.HangError
+	var flood *kernel.FloodError
+	var fuel *vm.OutOfFuel
+	if errors.As(r.Err, &hang) || errors.As(r.Err, &flood) || errors.As(r.Err, &fuel) {
+		return OutcomeFSV
+	}
+	var exit *vm.ExitStatus
+	if errors.As(r.Err, &exit) {
+		if bytes.Equal(g.ServerBytes, r.ServerBytes) && r.Granted == g.Granted {
+			return OutcomeNM
+		}
+		return OutcomeFSV
+	}
+	// Unknown termination: treat as a fail-silence violation.
+	return OutcomeFSV
+}

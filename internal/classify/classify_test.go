@@ -1,0 +1,177 @@
+package classify_test
+
+import (
+	"testing"
+
+	"faultsec/internal/classify"
+	"faultsec/internal/kernel"
+	"faultsec/internal/vm"
+	"faultsec/internal/x86"
+)
+
+func golden() *classify.Golden {
+	return &classify.Golden{
+		ServerBytes: []byte("220 ready\r\n530 no\r\n221 bye\r\n"),
+		Granted:     false,
+		ExitCode:    0,
+		Steps:       1000,
+	}
+}
+
+func TestClassifyPrecedence(t *testing.T) {
+	g := golden()
+	exit := &vm.ExitStatus{Code: 0}
+	fault := &vm.Fault{Kind: vm.FaultMemory, Addr: 1, PC: 2}
+
+	tests := []struct {
+		name        string
+		run         classify.Run
+		shouldGrant bool
+		want        classify.Outcome
+	}{
+		{
+			name: "not_activated",
+			run: classify.Run{Activated: false, Err: exit,
+				ServerBytes: g.ServerBytes},
+			want: classify.OutcomeNA,
+		},
+		{
+			name: "clean_identical_is_NM",
+			run: classify.Run{Activated: true, Err: exit,
+				ServerBytes: g.ServerBytes},
+			want: classify.OutcomeNM,
+		},
+		{
+			name: "unauthorized_grant_is_BRK",
+			run: classify.Run{Activated: true, Err: exit, Granted: true,
+				ServerBytes: []byte("220 ready\r\n230 welcome\r\n")},
+			want: classify.OutcomeBRK,
+		},
+		{
+			name: "grant_then_crash_still_BRK",
+			run: classify.Run{Activated: true, Err: fault, Granted: true,
+				ServerBytes: []byte("220 ready\r\n230 welcome\r\n")},
+			want: classify.OutcomeBRK,
+		},
+		{
+			name: "crash_with_clean_prefix_is_SD",
+			run: classify.Run{Activated: true, Err: fault,
+				ServerBytes: []byte("220 ready\r\n")},
+			want: classify.OutcomeSD,
+		},
+		{
+			name: "crash_with_no_output_is_SD",
+			run:  classify.Run{Activated: true, Err: fault},
+			want: classify.OutcomeSD,
+		},
+		{
+			name: "crash_after_garbage_is_FSV",
+			run: classify.Run{Activated: true, Err: fault,
+				ServerBytes: []byte("220 ready\r\n999 ???\r\n")},
+			want: classify.OutcomeFSV,
+		},
+		{
+			name: "hang_is_FSV",
+			run: classify.Run{Activated: true, Err: &kernel.HangError{Steps: 5},
+				ServerBytes: []byte("220 ready\r\n")},
+			want: classify.OutcomeFSV,
+		},
+		{
+			name: "flood_is_FSV",
+			run: classify.Run{Activated: true, Err: &kernel.FloodError{Bytes: 1 << 21},
+				ServerBytes: g.ServerBytes},
+			want: classify.OutcomeFSV,
+		},
+		{
+			name: "fuel_exhaustion_is_FSV",
+			run: classify.Run{Activated: true, Err: &vm.OutOfFuel{Steps: 400000},
+				ServerBytes: g.ServerBytes},
+			want: classify.OutcomeFSV,
+		},
+		{
+			name: "clean_exit_with_deviation_is_FSV",
+			run: classify.Run{Activated: true, Err: exit,
+				ServerBytes: []byte("220 ready\r\n530 no\r\n")},
+			want: classify.OutcomeFSV,
+		},
+		{
+			name: "clean_exit_extra_output_is_FSV",
+			run: classify.Run{Activated: true, Err: exit,
+				ServerBytes: append(append([]byte{}, g.ServerBytes...), "extra"...)},
+			want: classify.OutcomeFSV,
+		},
+		{
+			name: "authorized_grant_is_not_BRK",
+			run: classify.Run{Activated: true, Err: exit, Granted: true,
+				ServerBytes: g.ServerBytes},
+			shouldGrant: true,
+			// golden.Granted=false here is synthetic; transcript equality
+			// decides: granted flag differs from golden -> FSV
+			want: classify.OutcomeFSV,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := classify.Classify(g, &tt.run, tt.shouldGrant)
+			if got != tt.want {
+				t.Errorf("Classify = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCrashLatency(t *testing.T) {
+	r := classify.Run{ActivationSteps: 100, EndSteps: 116}
+	if r.CrashLatency() != 16 {
+		t.Errorf("latency = %d", r.CrashLatency())
+	}
+	r = classify.Run{ActivationSteps: 100, EndSteps: 50}
+	if r.CrashLatency() != 0 {
+		t.Errorf("negative latency not clamped")
+	}
+}
+
+func TestLocationOf(t *testing.T) {
+	jcc8 := &x86.Inst{Op: x86.OpJcc}
+	jcc32 := &x86.Inst{Op: x86.OpJcc}
+	jmp := &x86.Inst{Op: x86.OpJmp}
+	tests := []struct {
+		name    string
+		in      *x86.Inst
+		raw     []byte
+		byteIdx int
+		want    classify.Location
+	}{
+		{"2bc", jcc8, []byte{0x74, 0x06}, 0, classify.Loc2BC},
+		{"2bo", jcc8, []byte{0x74, 0x06}, 1, classify.Loc2BO},
+		{"6bc1", jcc32, []byte{0x0F, 0x84, 1, 0, 0, 0}, 0, classify.Loc6BC1},
+		{"6bc2", jcc32, []byte{0x0F, 0x84, 1, 0, 0, 0}, 1, classify.Loc6BC2},
+		{"6bo_first", jcc32, []byte{0x0F, 0x84, 1, 0, 0, 0}, 2, classify.Loc6BO},
+		{"6bo_last", jcc32, []byte{0x0F, 0x84, 1, 0, 0, 0}, 5, classify.Loc6BO},
+		{"jmp_is_misc", jmp, []byte{0xEB, 0x06}, 0, classify.LocMISC},
+		{"ret_is_misc", &x86.Inst{Op: x86.OpRet}, []byte{0xC3}, 0, classify.LocMISC},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := classify.LocationOf(tt.in, tt.raw, tt.byteIdx)
+			if got != tt.want {
+				t.Errorf("LocationOf = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestStringers(t *testing.T) {
+	wantOutcomes := []string{"NA", "NM", "SD", "FSV", "BRK"}
+	for i, o := range classify.Outcomes() {
+		if o.String() != wantOutcomes[i] {
+			t.Errorf("outcome %d = %s, want %s", i, o, wantOutcomes[i])
+		}
+	}
+	wantLocs := []string{"2BC", "2BO", "6BC1", "6BC2", "6BO", "MISC"}
+	for i, l := range classify.Locations() {
+		if l.String() != wantLocs[i] {
+			t.Errorf("location %d = %s, want %s", i, l, wantLocs[i])
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package disasm provides a linear-sweep disassembler over the x86 subset.
+// The injector uses it to enumerate the branch instructions of the
+// authentication functions (the paper's selective-exhaustive target set);
+// the report tooling uses it for human-readable listings.
+package disasm
+
+import (
+	"fmt"
+	"strings"
+
+	"faultsec/internal/x86"
+)
+
+// Entry is one disassembled instruction.
+type Entry struct {
+	Addr uint32
+	Raw  []byte
+	Inst x86.Inst
+	// Bad marks bytes that failed to decode; Inst is zero and Raw holds
+	// the first undecodable byte.
+	Bad bool
+}
+
+// Text renders the entry as assembly text.
+func (e Entry) Text() string {
+	if e.Bad {
+		return fmt.Sprintf("(bad %#02x)", e.Raw[0])
+	}
+	return Format(&e.Inst, e.Addr)
+}
+
+// Sweep linearly disassembles code (loaded at base) from offset start up to
+// end (both relative to base; end<=len(code)). Undecodable bytes produce a
+// Bad entry and the sweep resumes at the next byte.
+func Sweep(code []byte, base uint32, start, end uint32) []Entry {
+	var out []Entry
+	off := start
+	for off < end {
+		lim := off + x86.MaxInstLen
+		if lim > uint32(len(code)) {
+			lim = uint32(len(code))
+		}
+		in, err := x86.Decode(code[off:lim])
+		if err != nil {
+			out = append(out, Entry{
+				Addr: base + off,
+				Raw:  code[off : off+1],
+				Bad:  true,
+			})
+			off++
+			continue
+		}
+		out = append(out, Entry{
+			Addr: base + off,
+			Raw:  code[off : off+uint32(in.Len)],
+			Inst: in,
+		})
+		off += uint32(in.Len)
+	}
+	return out
+}
+
+// Format renders one decoded instruction at addr in Intel-ish syntax.
+func Format(in *x86.Inst, addr uint32) string {
+	mn := x86.Mnemonic(*in)
+	next := addr + uint32(in.Len)
+	var ops []string
+	switch in.Form {
+	case x86.FormNone:
+	case x86.FormRel:
+		ops = append(ops, fmt.Sprintf("%#x", next+uint32(in.Rel)))
+	case x86.FormReg:
+		ops = append(ops, x86.RegName(in.Reg, in.W))
+	case x86.FormRegImm:
+		ops = append(ops, x86.RegName(in.Reg, in.W), fmt.Sprintf("%#x", uint32(in.Imm)))
+	case x86.FormImm:
+		ops = append(ops, fmt.Sprintf("%#x", uint32(in.Imm)))
+	case x86.FormAccImm:
+		ops = append(ops, x86.RegName(x86.EAX, in.W), fmt.Sprintf("%#x", uint32(in.Imm)))
+	case x86.FormRM:
+		ops = append(ops, formatRM(&in.RM, in.W))
+	case x86.FormRMReg:
+		ops = append(ops, formatRM(&in.RM, in.W), x86.RegName(in.Reg, in.W))
+	case x86.FormRegRM:
+		ops = append(ops, x86.RegName(in.Reg, regWidthFor(in)), formatRM(&in.RM, in.W))
+	case x86.FormRMImm:
+		ops = append(ops, formatRM(&in.RM, in.W), fmt.Sprintf("%#x", uint32(in.Imm)))
+	case x86.FormRegRMImm:
+		ops = append(ops, x86.RegName(in.Reg, 4), formatRM(&in.RM, in.W),
+			fmt.Sprintf("%#x", uint32(in.Imm)))
+	case x86.FormMoffsLoad:
+		ops = append(ops, x86.RegName(x86.EAX, in.W), fmt.Sprintf("[%#x]", uint32(in.Imm)))
+	case x86.FormMoffsStore:
+		ops = append(ops, fmt.Sprintf("[%#x]", uint32(in.Imm)), x86.RegName(x86.EAX, in.W))
+	}
+	if len(ops) == 0 {
+		return mn
+	}
+	return mn + " " + strings.Join(ops, ", ")
+}
+
+// regWidthFor returns the width of the register operand in FormRegRM, which
+// differs from the r/m width for movzx/movsx (always a 32-bit destination).
+func regWidthFor(in *x86.Inst) uint8 {
+	if in.Op == x86.OpMovZX || in.Op == x86.OpMovSX || in.Op == x86.OpCMov {
+		return 4
+	}
+	return in.W
+}
+
+func formatRM(rm *x86.RM, w uint8) string {
+	if rm.IsReg {
+		return x86.RegName(rm.Reg, w)
+	}
+	var b strings.Builder
+	switch w {
+	case 1:
+		b.WriteString("byte ")
+	case 2:
+		b.WriteString("word ")
+	default:
+		b.WriteString("dword ")
+	}
+	b.WriteByte('[')
+	parts := []string{}
+	if rm.Base != x86.NoReg {
+		parts = append(parts, x86.RegName(uint8(rm.Base), 4))
+	}
+	if rm.Index != x86.NoReg {
+		parts = append(parts, fmt.Sprintf("%s*%d", x86.RegName(uint8(rm.Index), 4), rm.Scale))
+	}
+	b.WriteString(strings.Join(parts, "+"))
+	switch {
+	case rm.Disp < 0:
+		fmt.Fprintf(&b, "-%#x", uint32(-rm.Disp))
+	case rm.Disp > 0 && len(parts) > 0:
+		fmt.Fprintf(&b, "+%#x", rm.Disp)
+	case rm.Disp != 0 || len(parts) == 0:
+		fmt.Fprintf(&b, "%#x", rm.Disp)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Branches returns the conditional branch instructions in the sweep — the
+// study's injection target set. Only genuine conditional branches (2-byte
+// jcc rel8 and 6-byte jcc rel32) are included, matching the paper's target
+// definition; jmp/call/loop are not conditional branches.
+func Branches(entries []Entry) []Entry {
+	var out []Entry
+	for _, e := range entries {
+		if !e.Bad && e.Inst.Op == x86.OpJcc {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package disasm_test
+
+import (
+	"strings"
+	"testing"
+
+	"faultsec/internal/disasm"
+	"faultsec/internal/x86"
+)
+
+func TestSweepLinear(t *testing.T) {
+	code := []byte{
+		0x55,       // push ebp
+		0x89, 0xE5, // mov ebp, esp
+		0x74, 0x02, // je +2
+		0x31, 0xC0, // xor eax, eax
+		0xC3, // ret
+	}
+	entries := disasm.Sweep(code, 0x1000, 0, uint32(len(code)))
+	if len(entries) != 5 {
+		t.Fatalf("entries = %d, want 5", len(entries))
+	}
+	wantAddrs := []uint32{0x1000, 0x1001, 0x1003, 0x1005, 0x1007}
+	for i, e := range entries {
+		if e.Addr != wantAddrs[i] {
+			t.Errorf("entry %d at %#x, want %#x", i, e.Addr, wantAddrs[i])
+		}
+		if e.Bad {
+			t.Errorf("entry %d bad", i)
+		}
+	}
+}
+
+func TestSweepBadByteResyncs(t *testing.T) {
+	code := []byte{0x0F, 0x0B, 0x90} // ud2 then nop
+	entries := disasm.Sweep(code, 0, 0, 3)
+	if len(entries) != 3 {
+		t.Fatalf("entries = %d, want 3 (two bad bytes + nop)", len(entries))
+	}
+	if !entries[0].Bad || !entries[1].Bad {
+		t.Error("ud2 bytes should be bad entries")
+	}
+	if entries[2].Bad || entries[2].Inst.Op != x86.OpNop {
+		t.Error("sweep did not resync to the nop")
+	}
+	if !strings.Contains(entries[0].Text(), "bad") {
+		t.Errorf("bad entry text = %q", entries[0].Text())
+	}
+}
+
+func TestBranchesFilter(t *testing.T) {
+	code := []byte{
+		0x74, 0x02, // je
+		0xEB, 0x00, // jmp (unconditional: not in Branches)
+		0x0F, 0x85, 1, 0, 0, 0, // jne rel32
+		0xE8, 0, 0, 0, 0, // call
+		0xC3, // ret
+	}
+	entries := disasm.Sweep(code, 0, 0, uint32(len(code)))
+	branches := disasm.Branches(entries)
+	if len(branches) != 2 {
+		t.Fatalf("branches = %d, want 2 (jcc only)", len(branches))
+	}
+	if branches[0].Inst.Cond != x86.CondE || branches[1].Inst.Cond != x86.CondNE {
+		t.Error("wrong branches selected")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	tests := []struct {
+		bytes []byte
+		addr  uint32
+		want  string
+	}{
+		{[]byte{0x74, 0x06}, 0x100, "je 0x108"},
+		{[]byte{0x75, 0xFE}, 0x100, "jne 0x100"},
+		{[]byte{0x50}, 0, "push eax"},
+		{[]byte{0xB8, 0x2A, 0, 0, 0}, 0, "mov eax, 0x2a"},
+		{[]byte{0x8B, 0x45, 0x08}, 0, "mov eax, dword [ebp+0x8]"},
+		{[]byte{0x8B, 0x45, 0xFC}, 0, "mov eax, dword [ebp-0x4]"},
+		{[]byte{0x88, 0x01}, 0, "mov byte [ecx], al"},
+		{[]byte{0x85, 0xC0}, 0, "test eax, eax"},
+		{[]byte{0xE8, 0x0B, 0, 0, 0}, 0x200, "call 0x210"},
+		{[]byte{0xC3}, 0, "ret"},
+		{[]byte{0x0F, 0xB6, 0x06}, 0, "movzx eax, byte [esi]"},
+		{[]byte{0x8B, 0x04, 0x8D, 0, 0, 0, 0}, 0, "mov eax, dword [ecx*4]"},
+		{[]byte{0xCD, 0x80}, 0, "int 0x80"},
+	}
+	for _, tt := range tests {
+		in, err := x86.Decode(tt.bytes)
+		if err != nil {
+			t.Fatalf("decode % x: %v", tt.bytes, err)
+		}
+		if got := disasm.Format(&in, tt.addr); got != tt.want {
+			t.Errorf("Format(% x) = %q, want %q", tt.bytes, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package encoding implements the paper's new instruction-set encoding for
+// conditional branches (Section 6). The scheme re-encodes the sixteen
+// conditional branch opcodes so that the last bit of the most significant
+// nibble acts as an odd-parity bit over the least significant four bits,
+// raising the minimum Hamming distance within the branch block from one to
+// two — no single-bit error can turn one conditional branch into another.
+// Displaced non-branch opcodes are swapped into the vacated code points
+// (e.g. popa 0x61 <-> jno 0x71), making each map a byte-level involution.
+//
+// Evaluation uses the paper's emulation procedure (§6.2): an instruction
+// picked for injection is mapped old->new, one bit of the mapped bytes is
+// flipped, and the result is mapped new->old and executed on the
+// (unmodified) processor.
+package encoding
+
+import (
+	"math/bits"
+
+	"faultsec/internal/x86"
+)
+
+// Scheme selects the instruction encoding under evaluation.
+type Scheme int
+
+// Encoding schemes.
+const (
+	// SchemeX86 is the stock Intel encoding (the paper's baseline).
+	SchemeX86 Scheme = iota + 1
+	// SchemeParity is the paper's proposed re-encoding.
+	SchemeParity
+)
+
+// String names the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeX86:
+		return "x86"
+	case SchemeParity:
+		return "parity"
+	}
+	return "unknown"
+}
+
+// parityRemap returns the re-encoded byte for an opcode in a 16-opcode
+// branch block starting at base (0x70 for jcc rel8, 0x80 for the second
+// byte of jcc rel32): bit 4 is set so that the five low bits have odd
+// parity.
+func parityRemap(b byte) byte {
+	low5 := b & 0x1F
+	if bits.OnesCount8(low5)%2 == 1 {
+		return b // already odd parity
+	}
+	return b ^ 0x10
+}
+
+// buildMap constructs the byte-level involution for a branch block.
+func buildMap(base byte) [256]byte {
+	var m [256]byte
+	for i := range m {
+		m[i] = byte(i)
+	}
+	for b := base; b < base+0x10; b++ {
+		nb := parityRemap(b)
+		if nb != b {
+			// swap with the displaced non-branch opcode
+			m[b] = nb
+			m[nb] = b
+		}
+	}
+	return m
+}
+
+// map2 re-encodes the one-byte opcode position (2-byte jcc block at
+// 0x70..0x7F); map6 re-encodes the second opcode byte of 0x0F-escaped
+// instructions (6-byte jcc block at 0x80..0x8F).
+var (
+	map2 = buildMap(x86.Jcc8Base)
+	map6 = buildMap(x86.Jcc32Base)
+)
+
+// Map2 returns the new-encoding byte for a one-byte opcode. It is an
+// involution: Map2(Map2(b)) == b.
+func Map2(b byte) byte { return map2[b] }
+
+// Map6 returns the new-encoding byte for the second opcode byte of an
+// 0x0F-escaped instruction. It is an involution.
+func Map6(b byte) byte { return map6[b] }
+
+// MapInstruction translates instruction bytes between encodings in place
+// (the map is its own inverse). Only opcode bytes change: byte 0 through
+// Map2, or byte 1 through Map6 when byte 0 is the 0x0F escape.
+func MapInstruction(b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	if b[0] == x86.TwoByteEscape {
+		if len(b) > 1 {
+			b[1] = map6[b[1]]
+		}
+		return
+	}
+	b[0] = map2[b[0]]
+}
+
+// Corrupt returns the instruction bytes after flipping bit (byteIdx, bit)
+// under the given scheme. For SchemeX86 the flip applies directly; for
+// SchemeParity the paper's map->flip->map-back emulation is applied. The
+// input is not modified.
+func Corrupt(inst []byte, byteIdx, bit int, scheme Scheme) []byte {
+	out := make([]byte, len(inst))
+	copy(out, inst)
+	if byteIdx < 0 || byteIdx >= len(out) || bit < 0 || bit > 7 {
+		return out
+	}
+	switch scheme {
+	case SchemeParity:
+		MapInstruction(out)
+		out[byteIdx] ^= 1 << bit
+		MapInstruction(out)
+	default:
+		out[byteIdx] ^= 1 << bit
+	}
+	return out
+}
+
+// PaperTable4 reproduces the paper's Table 4 as (mnemonic, old, new) rows
+// for both the 2-byte and 6-byte conditional branch sets, derived from the
+// parity construction. A unit test pins these values to the published
+// table.
+type Table4Row struct {
+	Mnemonic  string
+	Old2      byte
+	New2      byte
+	Old6Byte2 byte // second opcode byte; the first is always 0x0F
+	New6Byte2 byte
+}
+
+// Table4 returns the derived encoding table in condition-code order.
+func Table4() []Table4Row {
+	mnemonics := []string{
+		"JO", "JNO", "JB", "JNB", "JE", "JNE", "JNA", "JA",
+		"JS", "JNS", "JP", "JNP", "JL", "JNL", "JNG", "JG",
+	}
+	rows := make([]Table4Row, 16)
+	for i := range rows {
+		old2 := byte(x86.Jcc8Base + i)
+		old6 := byte(x86.Jcc32Base + i)
+		rows[i] = Table4Row{
+			Mnemonic:  mnemonics[i],
+			Old2:      old2,
+			New2:      map2[old2],
+			Old6Byte2: old6,
+			New6Byte2: map6[old6],
+		}
+	}
+	return rows
+}
+
+// MinHammingWithinBranchBlocks returns the minimum pairwise Hamming
+// distance among the 16 re-encoded opcodes of each block (2-byte set,
+// 6-byte set). The construction guarantees 2.
+func MinHammingWithinBranchBlocks() (int, int) {
+	var set2, set6 []byte
+	for i := 0; i < 16; i++ {
+		set2 = append(set2, map2[x86.Jcc8Base+byte(i)])
+		set6 = append(set6, map6[x86.Jcc32Base+byte(i)])
+	}
+	return x86.MinPairwiseHamming(set2), x86.MinPairwiseHamming(set6)
+}

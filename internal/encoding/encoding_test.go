@@ -1,0 +1,224 @@
+package encoding_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"faultsec/internal/encoding"
+	"faultsec/internal/x86"
+)
+
+// TestTable4MatchesPaper pins the derived mapping to the values published
+// in the paper's Table 4.
+func TestTable4MatchesPaper(t *testing.T) {
+	// Columns from the paper: 2-byte old, 2-byte new, 6-byte old (2nd
+	// opcode byte), 6-byte new.
+	paper := []struct {
+		mnem       string
+		old2, new2 byte
+		old6, new6 byte
+	}{
+		{"JO", 0x70, 0x70, 0x80, 0x90},
+		{"JNO", 0x71, 0x61, 0x81, 0x81},
+		{"JB", 0x72, 0x62, 0x82, 0x82},
+		{"JNB", 0x73, 0x73, 0x83, 0x93},
+		{"JE", 0x74, 0x64, 0x84, 0x84},
+		{"JNE", 0x75, 0x75, 0x85, 0x95},
+		{"JNA", 0x76, 0x76, 0x86, 0x96},
+		{"JA", 0x77, 0x67, 0x87, 0x87},
+		{"JS", 0x78, 0x68, 0x88, 0x88},
+		{"JNS", 0x79, 0x79, 0x89, 0x99},
+		{"JP", 0x7A, 0x7A, 0x8A, 0x9A},
+		{"JNP", 0x7B, 0x6B, 0x8B, 0x8B},
+		{"JL", 0x7C, 0x7C, 0x8C, 0x9C},
+		{"JNL", 0x7D, 0x6D, 0x8D, 0x8D},
+		{"JNG", 0x7E, 0x6E, 0x8E, 0x8E},
+		{"JG", 0x7F, 0x7F, 0x8F, 0x9F},
+	}
+	rows := encoding.Table4()
+	if len(rows) != len(paper) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(paper))
+	}
+	for i, want := range paper {
+		got := rows[i]
+		if got.Mnemonic != want.mnem {
+			t.Errorf("row %d: mnemonic %s, want %s", i, got.Mnemonic, want.mnem)
+		}
+		if got.Old2 != want.old2 || got.New2 != want.new2 {
+			t.Errorf("%s 2-byte: %#02x->%#02x, want %#02x->%#02x",
+				want.mnem, got.Old2, got.New2, want.old2, want.new2)
+		}
+		if got.Old6Byte2 != want.old6 || got.New6Byte2 != want.new6 {
+			t.Errorf("%s 6-byte: %#02x->%#02x, want %#02x->%#02x",
+				want.mnem, got.Old6Byte2, got.New6Byte2, want.old6, want.new6)
+		}
+	}
+}
+
+func TestMapsAreInvolutions(t *testing.T) {
+	for i := 0; i < 256; i++ {
+		b := byte(i)
+		if encoding.Map2(encoding.Map2(b)) != b {
+			t.Errorf("Map2 is not an involution at %#02x", b)
+		}
+		if encoding.Map6(encoding.Map6(b)) != b {
+			t.Errorf("Map6 is not an involution at %#02x", b)
+		}
+	}
+}
+
+func TestMapsArePermutations(t *testing.T) {
+	var seen2, seen6 [256]bool
+	for i := 0; i < 256; i++ {
+		seen2[encoding.Map2(byte(i))] = true
+		seen6[encoding.Map6(byte(i))] = true
+	}
+	for i := 0; i < 256; i++ {
+		if !seen2[i] {
+			t.Errorf("Map2 misses value %#02x", i)
+		}
+		if !seen6[i] {
+			t.Errorf("Map6 misses value %#02x", i)
+		}
+	}
+}
+
+func TestMinimumHammingDistanceIsTwo(t *testing.T) {
+	// Old encoding: continuous, minimum distance 1 (the root cause).
+	if d := x86.MinPairwiseHamming(x86.Jcc8Opcodes()); d != 1 {
+		t.Errorf("old 2-byte set min distance = %d, want 1", d)
+	}
+	if d := x86.MinPairwiseHamming(x86.Jcc32SecondOpcodes()); d != 1 {
+		t.Errorf("old 6-byte set min distance = %d, want 1", d)
+	}
+	// New encoding: parity guarantees at least 2.
+	d2, d6 := encoding.MinHammingWithinBranchBlocks()
+	if d2 != 2 {
+		t.Errorf("new 2-byte set min distance = %d, want 2", d2)
+	}
+	if d6 != 2 {
+		t.Errorf("new 6-byte set min distance = %d, want 2", d6)
+	}
+}
+
+// TestNoSingleBitFlipYieldsAnotherBranch verifies the security property
+// directly: under the new encoding, no single-bit corruption of a
+// conditional branch opcode decodes as a different conditional branch.
+func TestNoSingleBitFlipYieldsAnotherBranch(t *testing.T) {
+	for cc := 0; cc < 16; cc++ {
+		old2 := byte(x86.Jcc8Base + cc)
+		inst := []byte{old2, 0x05} // jcc +5
+		for bit := 0; bit < 8; bit++ {
+			out := encoding.Corrupt(inst, 0, bit, encoding.SchemeParity)
+			if x86.IsJcc8Opcode(out[0]) && out[0] != old2 {
+				t.Errorf("parity: jcc %#02x bit %d -> different jcc %#02x",
+					old2, bit, out[0])
+			}
+		}
+		old6 := byte(x86.Jcc32Base + cc)
+		inst6 := []byte{0x0F, old6, 1, 0, 0, 0}
+		for bit := 0; bit < 8; bit++ {
+			out := encoding.Corrupt(inst6, 1, bit, encoding.SchemeParity)
+			if out[0] == 0x0F && x86.IsJcc32SecondOpcode(out[1]) && out[1] != old6 {
+				t.Errorf("parity: jcc 0F %#02x bit %d -> different jcc 0F %#02x",
+					old6, bit, out[1])
+			}
+		}
+	}
+}
+
+// TestOldEncodingHasDangerousNeighbors verifies the baseline hazard: under
+// stock x86, je/jne (and every condition/negation pair) are one bit apart.
+func TestOldEncodingHasDangerousNeighbors(t *testing.T) {
+	if !x86.DangerousPair(0x74, 0x75) {
+		t.Error("je/jne should be a dangerous pair")
+	}
+	if x86.DangerousPair(0x74, 0x76) {
+		t.Error("je/jna differ in more than the negation bit")
+	}
+	count := 0
+	for _, op := range x86.Jcc8Opcodes() {
+		for _, nb := range x86.SingleBitNeighbors(op) {
+			if x86.DangerousPair(op, nb) {
+				count++
+			}
+		}
+	}
+	if count != 16 {
+		t.Errorf("dangerous neighbor relations = %d, want 16 (8 pairs, both directions)", count)
+	}
+}
+
+func TestCorruptX86IsPlainFlip(t *testing.T) {
+	inst := []byte{0x74, 0x06}
+	out := encoding.Corrupt(inst, 0, 0, encoding.SchemeX86)
+	if out[0] != 0x75 || out[1] != 0x06 {
+		t.Errorf("x86 flip: got % x, want 75 06", out)
+	}
+	if inst[0] != 0x74 {
+		t.Error("Corrupt modified its input")
+	}
+}
+
+func TestCorruptParityPaperExamples(t *testing.T) {
+	// §6.2 example 1: je (0x74) -> new 0x64, flip LSB -> 0x65, back -> 0x65.
+	out := encoding.Corrupt([]byte{0x74, 0x06}, 0, 0, encoding.SchemeParity)
+	if out[0] != 0x65 {
+		t.Errorf("je flip LSB under parity = %#02x, want 0x65", out[0])
+	}
+	// §6.2 example 2: 0x65 -> new 0x65, flip LSB -> 0x64, back -> 0x74 (je).
+	out = encoding.Corrupt([]byte{0x65, 0x06}, 0, 0, encoding.SchemeParity)
+	if out[0] != 0x74 {
+		t.Errorf("0x65 flip LSB under parity = %#02x, want 0x74 (je)", out[0])
+	}
+}
+
+// Property: Corrupt under either scheme flips state reversibly — applying
+// the same corruption twice restores the original bytes.
+func TestCorruptIsReversible(t *testing.T) {
+	f := func(b0, b1 byte, byteIdx, bit uint8) bool {
+		inst := []byte{b0, b1}
+		bi := int(byteIdx) % 2
+		bt := int(bit) % 8
+		for _, scheme := range []encoding.Scheme{encoding.SchemeX86, encoding.SchemeParity} {
+			once := encoding.Corrupt(inst, bi, bt, scheme)
+			twice := encoding.Corrupt(once, bi, bt, scheme)
+			if twice[0] != inst[0] || twice[1] != inst[1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the parity emulation changes exactly which byte value executes
+// but never the instruction length bytes outside the flipped position's
+// mapped neighborhood — i.e., only opcode bytes may differ from a plain
+// flip.
+func TestParityOnlyRemapsOpcodeBytes(t *testing.T) {
+	f := func(raw [6]byte, byteIdx, bit uint8) bool {
+		inst := raw[:]
+		bi := int(byteIdx) % 6
+		bt := int(bit) % 8
+		plain := encoding.Corrupt(inst, bi, bt, encoding.SchemeX86)
+		parity := encoding.Corrupt(inst, bi, bt, encoding.SchemeParity)
+		// Bytes 2..5 are displacement bytes and must agree under both
+		// schemes (byte 1 too, unless the instruction is 0x0F-escaped).
+		start := 1
+		if inst[0] == 0x0F {
+			start = 2
+		}
+		for i := start; i < 6; i++ {
+			if plain[i] != parity[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

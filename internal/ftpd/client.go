@@ -1,0 +1,210 @@
+package ftpd
+
+import (
+	"strings"
+
+	"faultsec/internal/target"
+)
+
+// clientState tracks the FTP client's position in its session script.
+type clientState int
+
+const (
+	stateGreeting clientState = iota + 1
+	stateUserSent
+	statePassSent
+	stateRetr
+	stateQuitSent
+	stateFinished
+)
+
+// retrievals is the file list every authorized client fetches ("All
+// clients try to retrieve several files if the server authorize the
+// login" — paper §5.2).
+var retrievals = []string{"readme.txt", "data.bin"}
+
+// client is a deterministic FTP client state machine. It follows the
+// protocol strictly; on server lines it cannot interpret it keeps waiting,
+// which surfaces as a session hang — exactly how the paper's clients
+// experienced fail-silence violations.
+type client struct {
+	user, pass string
+	state      clientState
+	retrIdx    int
+	granted    bool
+	finished   bool
+}
+
+var _ target.Client = (*client)(nil)
+
+func newClient(user, pass string) *client {
+	return &client{user: user, pass: pass, state: stateGreeting}
+}
+
+// Granted reports whether the server awarded access.
+func (c *client) Granted() bool { return c.granted }
+
+// Done reports whether the session script has completed.
+func (c *client) Done() bool { return c.finished }
+
+// code extracts a three-digit FTP reply code, or 0.
+func code(line string) int {
+	if len(line) < 3 {
+		return 0
+	}
+	n := 0
+	for i := 0; i < 3; i++ {
+		if line[i] < '0' || line[i] > '9' {
+			return 0
+		}
+		n = n*10 + int(line[i]-'0')
+	}
+	if len(line) > 3 && line[3] != ' ' && line[3] != '-' {
+		return 0
+	}
+	return n
+}
+
+// OnServerLine advances the state machine.
+//
+//nolint:gocyclo // protocol state machine
+func (c *client) OnServerLine(line string) []string {
+	cd := code(line)
+	if strings.HasPrefix(line, "DATA ") {
+		// file payload during a transfer; remember we really got data
+		if c.granted {
+			return nil
+		}
+	}
+	switch c.state {
+	case stateGreeting:
+		if cd == 220 {
+			c.state = stateUserSent
+			return []string{"USER " + c.user}
+		}
+		if cd == 421 {
+			c.finished = true
+		}
+		return nil
+
+	case stateUserSent:
+		switch {
+		case cd == 331:
+			c.state = statePassSent
+			return []string{"PASS " + c.pass}
+		case cd == 230:
+			// Logged in without a password: access granted.
+			c.granted = true
+			c.state = stateRetr
+			return []string{"RETR " + retrievals[0]}
+		case cd == 530 || cd == 500 || cd == 421:
+			c.state = stateQuitSent
+			return []string{"QUIT"}
+		}
+		return nil
+
+	case statePassSent:
+		switch {
+		case cd == 230:
+			c.granted = true
+			c.state = stateRetr
+			return []string{"RETR " + retrievals[0]}
+		case cd == 530:
+			c.state = stateQuitSent
+			return []string{"QUIT"}
+		case cd == 421:
+			c.finished = true
+		}
+		return nil
+
+	case stateRetr:
+		switch {
+		case cd == 150:
+			// transfer starting; wait for completion
+			return nil
+		case cd == 226 || cd == 550:
+			c.retrIdx++
+			if c.retrIdx < len(retrievals) {
+				return []string{"RETR " + retrievals[c.retrIdx]}
+			}
+			c.state = stateQuitSent
+			return []string{"QUIT"}
+		case cd == 530:
+			// lost our session mid-transfer
+			c.state = stateQuitSent
+			return []string{"QUIT"}
+		case cd == 421:
+			c.finished = true
+		}
+		return nil
+
+	case stateQuitSent:
+		if cd == 221 || cd == 421 {
+			c.state = stateFinished
+			c.finished = true
+		}
+		return nil
+	}
+	return nil
+}
+
+// NewClientForTest builds an FTP client with arbitrary credentials. It is
+// exported for tests and examples that exercise access patterns beyond the
+// paper's four scenarios.
+func NewClientForTest(user, pass string) target.Client {
+	return newClient(user, pass)
+}
+
+// escClient is the privilege-escalation access pattern (the paper's §7
+// future work: attacks other than wrong-password login). It logs in as a
+// legitimate guest and then requests a file guests are forbidden to read;
+// Granted() reports whether the server began the forbidden transfer.
+type escClient struct {
+	inner     *client
+	forbidden string
+	escalated bool
+	lastRetr  string
+}
+
+var _ target.Client = (*escClient)(nil)
+
+// NewEscalationClient returns a guest client that attempts to retrieve a
+// guest-forbidden file.
+func NewEscalationClient() target.Client {
+	return &escClient{
+		inner:     newClient("anonymous", "joe@example.com"),
+		forbidden: "data.bin",
+	}
+}
+
+func (c *escClient) OnServerLine(line string) []string {
+	replies := c.inner.OnServerLine(line)
+	for _, r := range replies {
+		if strings.HasPrefix(r, "RETR ") {
+			c.lastRetr = strings.TrimPrefix(r, "RETR ")
+		}
+	}
+	if code(line) == 150 && c.lastRetr == c.forbidden {
+		// The server started transferring the forbidden file.
+		c.escalated = true
+	}
+	return replies
+}
+
+func (c *escClient) Done() bool { return c.inner.Done() }
+
+// Granted reports privilege escalation: access to the forbidden resource,
+// not the (legitimate) guest login itself.
+func (c *escClient) Granted() bool { return c.escalated }
+
+// EscalationScenario returns the guest privilege-escalation access
+// pattern. It is not one of the paper's Table 1 columns; run it with
+// core.Study.CampaignScenario.
+func EscalationScenario() target.Scenario {
+	return target.Scenario{
+		Name:        "Client5-escalation",
+		Description: "legitimate guest attempts to retrieve a guest-forbidden file",
+		ShouldGrant: false,
+		New:         NewEscalationClient,
+	}
+}

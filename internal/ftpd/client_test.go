@@ -1,0 +1,158 @@
+package ftpd
+
+import (
+	"reflect"
+	"testing"
+)
+
+// feed drives the client with server lines and returns everything it sent.
+func feed(c *client, lines ...string) []string {
+	var sent []string
+	for _, l := range lines {
+		sent = append(sent, c.OnServerLine(l)...)
+	}
+	return sent
+}
+
+func TestClientHappyPath(t *testing.T) {
+	c := newClient("alice", "pw")
+	sent := feed(c,
+		"220 ready",
+		"331 Password required for alice.",
+		"230 User alice logged in.",
+		"150 Opening data connection.",
+		"DATA hello",
+		"226 Transfer complete.",
+		"150 Opening data connection.",
+		"DATA world",
+		"226 Transfer complete.",
+		"221 Goodbye.",
+	)
+	want := []string{
+		"USER alice", "PASS pw",
+		"RETR readme.txt", "RETR data.bin", "QUIT",
+	}
+	if !reflect.DeepEqual(sent, want) {
+		t.Errorf("sent %q, want %q", sent, want)
+	}
+	if !c.Granted() || !c.Done() {
+		t.Errorf("granted=%v done=%v", c.Granted(), c.Done())
+	}
+}
+
+func TestClientDeniedPath(t *testing.T) {
+	c := newClient("alice", "wrong")
+	sent := feed(c,
+		"220 ready",
+		"331 Password required.",
+		"530 Login incorrect.",
+		"221 Goodbye.",
+	)
+	want := []string{"USER alice", "PASS wrong", "QUIT"}
+	if !reflect.DeepEqual(sent, want) {
+		t.Errorf("sent %q, want %q", sent, want)
+	}
+	if c.Granted() {
+		t.Error("denied client reports granted")
+	}
+	if !c.Done() {
+		t.Error("client not done after goodbye")
+	}
+}
+
+func TestClientPasswordlessGrantIsBreakin(t *testing.T) {
+	// A server granting at USER time (no password asked) is a break-in
+	// signal the client must notice and exploit (retrieve files).
+	c := newClient("alice", "pw")
+	sent := feed(c, "220 ready", "230 logged in!?")
+	if len(sent) != 2 || sent[1] != "RETR readme.txt" {
+		t.Errorf("sent %q", sent)
+	}
+	if !c.Granted() {
+		t.Error("grant not recorded")
+	}
+}
+
+func TestClientIgnoresGarbageAndWaits(t *testing.T) {
+	c := newClient("alice", "pw")
+	sent := feed(c,
+		"220 ready",
+		"garbage #!$",
+		"",
+		"999 weird code",
+	)
+	if len(sent) != 1 { // only USER
+		t.Errorf("sent %q", sent)
+	}
+	if c.Done() {
+		t.Error("client gave up on garbage; it should wait (hang detection is the kernel's job)")
+	}
+}
+
+func TestClientStopsOn421(t *testing.T) {
+	c := newClient("alice", "pw")
+	feed(c, "220 ready", "331 pw?", "421 Too many wrong passwords; closing connection.")
+	if !c.Done() {
+		t.Error("client should stop on 421")
+	}
+}
+
+func TestCodeParsing(t *testing.T) {
+	tests := []struct {
+		line string
+		want int
+	}{
+		{"220 ready", 220},
+		{"530-multiline", 530},
+		{"DATA x", 0},
+		{"", 0},
+		{"99", 0},
+		{"5301", 0},  // four digits then no separator
+		{"530", 530}, // bare code
+		{"abc def", 0},
+	}
+	for _, tt := range tests {
+		if got := code(tt.line); got != tt.want {
+			t.Errorf("code(%q) = %d, want %d", tt.line, got, tt.want)
+		}
+	}
+}
+
+func TestEscalationClientGrantsOnlyOnForbiddenTransfer(t *testing.T) {
+	c := NewEscalationClient()
+	// Legitimate guest flow, forbidden file denied: no escalation.
+	for _, l := range []string{
+		"220 ready",
+		"331 Guest login ok, send your complete e-mail address as password.",
+		"230 Guest login ok, access restrictions apply.",
+		"150 Opening ASCII mode data connection.", // readme.txt (allowed)
+		"DATA welcome",
+		"226 Transfer complete.",
+		"550 Permission denied.", // data.bin
+		"221 Goodbye.",
+	} {
+		c.OnServerLine(l)
+	}
+	if c.Granted() {
+		t.Error("escalation reported on a compliant server")
+	}
+	// Server wrongly serves the forbidden file: escalation.
+	c2 := NewEscalationClient()
+	for _, l := range []string{
+		"220 ready",
+		"331 Guest login ok, send your complete e-mail address as password.",
+		"230 Guest login ok, access restrictions apply.",
+		"150 Opening ASCII mode data connection.",
+		"DATA welcome",
+		"226 Transfer complete.",
+		"150 Opening ASCII mode data connection.", // data.bin served!
+		"DATA 0011...",
+		"226 Transfer complete.",
+		"221 Goodbye.",
+	} {
+		c2.OnServerLine(l)
+	}
+	if !c2.Granted() {
+		t.Error("escalation missed")
+	}
+}

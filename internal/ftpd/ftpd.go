@@ -1,0 +1,527 @@
+// Package ftpd provides the study's first target application: a miniature
+// wu-ftpd. The server is written in MiniC and compiled to x86 by
+// internal/cc, so its authentication section is real compiled machine code
+// with the exact control-flow idioms the paper disassembles from
+// wu-ftpd-2.6.0 (Figure 1): push/push/call strcmp, add esp, test eax,eax,
+// jne, and the rval deny/grant branch.
+//
+// The injection target set is the branch instructions of user() and pass(),
+// mirroring the paper's selective-exhaustive campaign.
+package ftpd
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"faultsec/internal/cc"
+	"faultsec/internal/rt"
+	"faultsec/internal/target"
+)
+
+// AuthFuncs names the user-authentication functions (the injection target
+// set), as in the paper.
+var AuthFuncs = []string{"user", "pass"}
+
+// Compiled-in user database. Password hashes are computed in Go with the
+// same xcrypt the MiniC runtime uses and baked into the source as hex
+// strings, exactly like hashed passwords in /etc/passwd.
+type account struct {
+	name     string
+	password string
+	salt     int32
+	uid      int
+	shell    string
+}
+
+var accounts = []account{
+	{"root", "t0psecret", 11, 0, "/bin/sh"},
+	{"alice", "wonderland", 12, 1001, "/bin/sh"},
+	{"bob", "builder99", 13, 1002, "/bin/bash"},
+	{"carol", "mitm4you", 14, 1003, "/bin/csh"},
+	{"ftpuser", "ftppass", 15, 1004, "/bin/false"},
+	{"daemon", "nologinpw", 16, 2, "/sbin/nologin"},
+}
+
+// hashString renders the xcrypt hash the way /etc/passwd stores crypt
+// output.
+func hashString(pw string, salt int32) string {
+	return fmt.Sprintf("%08x", uint32(rt.Xcrypt(pw, salt)))
+}
+
+// Source returns the complete MiniC source of the FTP daemon.
+func Source() string {
+	var names, hashes, salts, uids, shells strings.Builder
+	for _, a := range accounts {
+		fmt.Fprintf(&names, "%q, ", a.name)
+		fmt.Fprintf(&hashes, "%q, ", hashString(a.password, a.salt))
+		fmt.Fprintf(&salts, "%d, ", a.salt)
+		fmt.Fprintf(&uids, "%d, ", a.uid)
+		fmt.Fprintf(&shells, "%q, ", a.shell)
+	}
+	db := fmt.Sprintf(`
+/* ---- compiled-in /etc/passwd analog ---- */
+char *pw_names[] = {%s0};
+char *pw_hashes[] = {%s0};
+int pw_salts[] = {%s0};
+int pw_uids[] = {%s0};
+char *pw_shells[] = {%s0};
+`, names.String(), hashes.String(), salts.String(), uids.String(), shells.String())
+	return db + serverBody
+}
+
+// serverBody is the MiniC implementation (everything but the generated
+// password database).
+const serverBody = `
+/* /etc/ftpusers: accounts never allowed to use FTP */
+char *ftpusers[] = {"root", "daemon", "admin", 0};
+/* /etc/shells: valid login shells */
+char *ok_shells[] = {"/bin/sh", "/bin/bash", "/bin/csh", 0};
+/* ftpaccess guestuser entries: real accounts treated as guests */
+char *guest_users[] = {"demo", "trial", 0};
+/* accounts whose password has expired */
+char *expired_users[] = {"carol", 0};
+/* numeric uids barred from FTP beyond the ftpusers list */
+int denied_uids[] = {1, 2, 3, 4, 5, -1};
+
+/* retrievable files */
+char *ftp_files[] = {"readme.txt", "data.bin", 0};
+char *ftp_contents[] = {
+	"Welcome to the mini FTP archive.",
+	"00112233445566778899aabbccddeeff",
+	0};
+int ftp_guest_ok[] = {1, 0};
+
+/* per-connection authentication state */
+char cur_user[64];
+int logged_in;
+int is_guest;
+int user_ok;
+int cur_idx;
+int attempts;
+int anon_ok = 1;
+int pw_expired_flag;
+/* simulated server load (connection slots in use / limit) */
+int nusers = 3;
+int maxusers = 50;
+
+/* in-memory syslog ring (wu-ftpd logs every auth event via syslog) */
+char log_buf[1024];
+int log_pos;
+int log_events;
+
+void log_event(char *what, char *detail) {
+	int i = 0;
+	log_events = log_events + 1;
+	while (what[i]) {
+		log_buf[log_pos % 1023] = what[i];
+		log_pos = log_pos + 1;
+		i = i + 1;
+	}
+	log_buf[log_pos % 1023] = ' ';
+	log_pos = log_pos + 1;
+	i = 0;
+	while (detail[i]) {
+		log_buf[log_pos % 1023] = detail[i];
+		log_pos = log_pos + 1;
+		i = i + 1;
+	}
+	log_buf[log_pos % 1023] = 10;
+	log_pos = log_pos + 1;
+}
+
+/*
+ * ftp_delay models wu-ftpd's anti-brute-force sleep after a failed login
+ * (a busy loop here, since the simulator has no timers). It is the reason
+ * some corrupted-state crashes happen more than 16,000 instructions after
+ * error activation — the paper's transient window of vulnerability.
+ */
+int delay_sink;
+void ftp_delay() {
+	int i;
+	int v = 0;
+	for (i = 0; i < 2000; i++) {
+		v = v + i;
+		if (v > 1000000) { v = v - 1000000; }
+	}
+	delay_sink = v;
+}
+
+/* xcrypt_str renders the xcrypt hash as hex, like crypt(3) output. */
+char __xcbuf[12];
+char *xcrypt_str(char *pw, int salt) {
+	int h = xcrypt(pw, salt);
+	int i = 7;
+	while (i >= 0) {
+		int d = h & 15;
+		if (d < 10) { __xcbuf[i] = '0' + d; }
+		else { __xcbuf[i] = 'a' + (d - 10); }
+		h = h >> 4;
+		i = i - 1;
+	}
+	__xcbuf[8] = 0;
+	return __xcbuf;
+}
+
+/*
+ * user — modeled on wu-ftpd-2.6.0 user(): guest detection, /etc/ftpusers
+ * deny list, getpwnam lookup, /etc/shells check. To avoid user probing the
+ * server asks for a password even for unknown or denied users (as wu-ftpd
+ * does) and only the user_ok/cur_idx state distinguishes them.
+ */
+void user(char *name) {
+	int i;
+	int j;
+	int c;
+	int bad;
+	int ok;
+	char lname[64];
+	logged_in = 0;
+	is_guest = 0;
+	user_ok = 0;
+	pw_expired_flag = 0;
+	cur_idx = 0 - 1;
+	if (name[0] == 0) {
+		write_line("500 'USER': command requires a parameter.");
+		return;
+	}
+	/* connection-class limit (ftpaccess "limit") */
+	if (nusers >= maxusers) {
+		write_line("530 Too many users logged in, try again later.");
+		return;
+	}
+	/* canonicalize: fold to lower case, reject control characters */
+	i = 0;
+	bad = 0;
+	while (name[i] && i < 63) {
+		c = name[i];
+		if (c >= 'A' && c <= 'Z') { c = c + 32; }
+		if (c <= 32 || c > 126) { bad = 1; }
+		lname[i] = c;
+		i = i + 1;
+	}
+	lname[i] = 0;
+	if (bad) {
+		write_line("530 Invalid user name.");
+		return;
+	}
+	if (strcmp(lname, "ftp") == 0 || strcmp(lname, "anonymous") == 0) {
+		if (!anon_ok) {
+			write_line("530 Guest login not allowed.");
+			return;
+		}
+		is_guest = 1;
+		strcpy(cur_user, "ftp");
+		write_line("331 Guest login ok, send your complete e-mail address as password.");
+		return;
+	}
+	/* ftpaccess guestuser entries behave like anonymous */
+	j = 0;
+	while (guest_users[j]) {
+		if (strcmp(lname, guest_users[j]) == 0) {
+			is_guest = 1;
+			strcpy(cur_user, lname);
+			write_line("331 Guest login ok, send your complete e-mail address as password.");
+			return;
+		}
+		j = j + 1;
+	}
+	i = 0;
+	while (ftpusers[i]) {
+		if (strcmp(lname, ftpusers[i]) == 0) {
+			strcpy(cur_user, lname);
+			write_line("331 Password required.");
+			return;
+		}
+		i = i + 1;
+	}
+	i = 0;
+	while (pw_names[i]) {
+		if (strcmp(lname, pw_names[i]) == 0) {
+			cur_idx = i;
+			break;
+		}
+		i = i + 1;
+	}
+	if (cur_idx < 0) {
+		strcpy(cur_user, lname);
+		write_line("331 Password required.");
+		return;
+	}
+	/* system accounts (low uids) may not use FTP */
+	j = 0;
+	while (denied_uids[j] >= 0) {
+		if (pw_uids[cur_idx] == denied_uids[j]) {
+			strcpy(cur_user, lname);
+			cur_idx = 0 - 1;
+			write_line("331 Password required.");
+			return;
+		}
+		j = j + 1;
+	}
+	/* expired passwords still prompt, but pass() will refuse */
+	j = 0;
+	while (expired_users[j]) {
+		if (strcmp(lname, expired_users[j]) == 0) {
+			pw_expired_flag = 1;
+			break;
+		}
+		j = j + 1;
+	}
+	ok = 0;
+	i = 0;
+	while (ok_shells[i]) {
+		if (strcmp(pw_shells[cur_idx], ok_shells[i]) == 0) {
+			ok = 1;
+			break;
+		}
+		i = i + 1;
+	}
+	if (!ok) {
+		strcpy(cur_user, lname);
+		cur_idx = 0 - 1;
+		write_line("331 Password required.");
+		return;
+	}
+	strcpy(cur_user, lname);
+	user_ok = 1;
+	log_event("USER", lname);
+	write_str("331 Password required for ");
+	write_str(cur_user);
+	write_line(".");
+}
+
+/*
+ * pass — modeled on wu-ftpd-2.6.0 pass(), including the paper's Figure 1
+ * idiom: rval starts at 1 (deny), the strcmp()==0 check clears it, and the
+ * final "if (rval)" branch decides deny/grant. The single-bit corruptions
+ * the paper demonstrates (push eax->push ecx at the strcmp call site,
+ * jne<->je around it, je->jne at the rval test) all exist in this
+ * function's compiled code.
+ */
+void pass(char *xpw) {
+	int rval = 1;
+	int at;
+	int dot;
+	char *xc;
+	if (logged_in) {
+		write_line("503 You are already logged in.");
+		return;
+	}
+	if (cur_user[0] == 0) {
+		write_line("503 Login with USER first.");
+		return;
+	}
+	if (is_guest) {
+		/* the "password" must be a plausible e-mail address */
+		at = strchr_at(xpw, '@');
+		if (at < 0) {
+			write_line("530 Guest login incorrect.");
+			return;
+		}
+		if (at == 0) {
+			/* no user part before the @ */
+			write_line("530 Guest login incorrect.");
+			return;
+		}
+		if (xpw[at + 1] == 0) {
+			/* no host part after the @ */
+			write_line("530 Guest login incorrect.");
+			return;
+		}
+		dot = strchr_at(&xpw[at + 1], '.');
+		if (dot < 0) {
+			log_event("FAILED GUEST LOGIN", xpw);
+			ftp_delay();
+			write_line("530 Guest login incorrect.");
+			return;
+		}
+		log_event("GUEST LOGIN", xpw);
+		logged_in = 1;
+		write_line("230 Guest login ok, access restrictions apply.");
+		return;
+	}
+	attempts = attempts + 1;
+	if (attempts > 3) {
+		write_line("421 Too many wrong passwords; closing connection.");
+		sys_exit(0);
+	}
+	if (xpw[0] == 0) {
+		write_line("530 Login incorrect.");
+		return;
+	}
+	if (strncmp(xpw, "s/key", 5) == 0) {
+		write_line("530 S/Key authentication is not enabled.");
+		return;
+	}
+	if (user_ok && cur_idx >= 0) {
+		xc = xcrypt_str(xpw, pw_salts[cur_idx]);
+		if (strcmp(xc, pw_hashes[cur_idx]) == 0) {
+			rval = 0;
+		}
+	}
+	if (rval) {
+		log_event("FAILED LOGIN", cur_user);
+		ftp_delay();
+		if (attempts >= 2) {
+			write_line("530 Login incorrect (connection closes after the next failure).");
+			return;
+		}
+		write_line("530 Login incorrect.");
+		return;
+	}
+	if (pw_expired_flag) {
+		write_line("530 Your password has expired; contact the administrator.");
+		return;
+	}
+	if (pw_uids[cur_idx] == 0) {
+		/* root may never log in over FTP, even with the right password */
+		write_line("530 Login incorrect.");
+		return;
+	}
+	log_event("LOGIN", cur_user);
+	logged_in = 1;
+	write_str("230 User ");
+	write_str(cur_user);
+	write_line(" logged in.");
+}
+
+void retr(char *name) {
+	int i;
+	int idx;
+	if (!logged_in) {
+		write_line("530 Please login with USER and PASS.");
+		return;
+	}
+	idx = 0 - 1;
+	i = 0;
+	while (ftp_files[i]) {
+		if (strcmp(name, ftp_files[i]) == 0) { idx = i; break; }
+		i = i + 1;
+	}
+	if (idx < 0) {
+		write_str("550 ");
+		write_str(name);
+		write_line(": No such file or directory.");
+		return;
+	}
+	if (is_guest && !ftp_guest_ok[idx]) {
+		write_line("550 Permission denied.");
+		return;
+	}
+	write_line("150 Opening ASCII mode data connection.");
+	write_str("DATA ");
+	write_line(ftp_contents[idx]);
+	write_line("226 Transfer complete.");
+}
+
+int main() {
+	char line[256];
+	char cmd[16];
+	char arg[200];
+	int n;
+	int i;
+	int j;
+	write_line("220 miniftpd 2.6.0 FTP server ready.");
+	while (1) {
+		n = read_line(line, 256);
+		if (n < 0) { break; }
+		i = 0;
+		while (line[i] && line[i] != ' ' && i < 15) {
+			cmd[i] = line[i];
+			i = i + 1;
+		}
+		cmd[i] = 0;
+		while (line[i] == ' ') { i = i + 1; }
+		j = 0;
+		while (line[i] && j < 199) {
+			arg[j] = line[i];
+			i = i + 1;
+			j = j + 1;
+		}
+		arg[j] = 0;
+		if (strcmp(cmd, "USER") == 0) { user(arg); continue; }
+		if (strcmp(cmd, "PASS") == 0) { pass(arg); continue; }
+		if (strcmp(cmd, "RETR") == 0) { retr(arg); continue; }
+		if (strcmp(cmd, "SYST") == 0) { write_line("215 UNIX Type: L8"); continue; }
+		if (strcmp(cmd, "NOOP") == 0) { write_line("200 NOOP command successful."); continue; }
+		if (strcmp(cmd, "QUIT") == 0) { write_line("221 Goodbye."); return 0; }
+		write_str("500 '");
+		write_str(cmd);
+		write_line("': command not understood.");
+	}
+	return 0;
+}
+`
+
+// buildOnce caches the compiled application (the image is immutable; runs
+// load fresh copies).
+var buildOnce = sync.OnceValues(func() (*target.App, error) {
+	img, err := rt.BuildImage(Source())
+	if err != nil {
+		return nil, fmt.Errorf("ftpd: build: %w", err)
+	}
+	return &target.App{
+		Name:      "ftpd",
+		Image:     img,
+		AuthFuncs: AuthFuncs,
+		Scenarios: Scenarios(),
+	}, nil
+})
+
+// Build compiles and links the FTP daemon and returns the application
+// bundle. The result is cached; callers share the immutable image.
+func Build() (*target.App, error) { return buildOnce() }
+
+// BuildWithCodegen builds the daemon with explicit codegen options (used
+// by the codegen-style ablation; not cached).
+func BuildWithCodegen(opts cc.Options) (*target.App, error) {
+	img, err := rt.BuildImageWithOptions(opts, Source())
+	if err != nil {
+		return nil, fmt.Errorf("ftpd: build: %w", err)
+	}
+	return &target.App{
+		Name:      "ftpd",
+		Image:     img,
+		AuthFuncs: AuthFuncs,
+		Scenarios: Scenarios(),
+	}, nil
+}
+
+// Scenarios returns the paper's four FTP client access patterns.
+func Scenarios() []target.Scenario {
+	return []target.Scenario{
+		{
+			Name:        "Client1",
+			Description: "existing user name, wrong password (attack pattern)",
+			ShouldGrant: false,
+			New: func() target.Client {
+				return newClient("alice", "wrongpass")
+			},
+		},
+		{
+			Name:        "Client2",
+			Description: "existing user name, correct password",
+			ShouldGrant: true,
+			New: func() target.Client {
+				return newClient("alice", "wonderland")
+			},
+		},
+		{
+			Name:        "Client3",
+			Description: "non-existing user name and password",
+			ShouldGrant: false,
+			New: func() target.Client {
+				return newClient("mallory", "whatever")
+			},
+		},
+		{
+			Name:        "Client4",
+			Description: "anonymous login",
+			ShouldGrant: true,
+			New: func() target.Client {
+				return newClient("anonymous", "joe@example.com")
+			},
+		},
+	}
+}

@@ -1,0 +1,211 @@
+package ftpd_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"faultsec/internal/disasm"
+	"faultsec/internal/ftpd"
+	"faultsec/internal/kernel"
+	"faultsec/internal/target"
+	"faultsec/internal/vm"
+)
+
+// runScenario executes one fault-free session.
+func runScenario(t *testing.T, app *target.App, sc target.Scenario) (target.Client, *kernel.Kernel, error) {
+	t.Helper()
+	client := sc.New()
+	k := kernel.New(client)
+	ld, err := app.Image.Load(k, nil)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return client, k, ld.Machine.Run()
+}
+
+func TestGoldenRuns(t *testing.T) {
+	app, err := ftpd.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	tests := []struct {
+		scenario  string
+		wantGrant bool
+		wantLine  string // a server line that must appear
+		rejectsub string // a substring that must NOT appear
+	}{
+		{"Client1", false, "530 Login incorrect.", "230"},
+		{"Client2", true, "230 User alice logged in.", "530"},
+		{"Client3", false, "530 Login incorrect.", "230"},
+		{"Client4", true, "230 Guest login ok, access restrictions apply.", "530 Login"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.scenario, func(t *testing.T) {
+			sc, ok := app.Scenario(tt.scenario)
+			if !ok {
+				t.Fatalf("scenario %s not found", tt.scenario)
+			}
+			client, k, err := runScenario(t, app, sc)
+			var exit *vm.ExitStatus
+			if !errors.As(err, &exit) {
+				t.Fatalf("run ended with %v, want clean exit\ntranscript:\n%s", err, k.Transcript.String())
+			}
+			if client.Granted() != tt.wantGrant {
+				t.Errorf("granted = %v, want %v\ntranscript:\n%s",
+					client.Granted(), tt.wantGrant, k.Transcript.String())
+			}
+			if sc.ShouldGrant != tt.wantGrant {
+				t.Errorf("scenario.ShouldGrant = %v, want %v", sc.ShouldGrant, tt.wantGrant)
+			}
+			out := string(k.Transcript.ServerBytes())
+			if !strings.Contains(out, tt.wantLine) {
+				t.Errorf("transcript missing %q:\n%s", tt.wantLine, k.Transcript.String())
+			}
+			if tt.rejectsub != "" && strings.Contains(out, tt.rejectsub) {
+				t.Errorf("transcript unexpectedly contains %q:\n%s", tt.rejectsub, k.Transcript.String())
+			}
+		})
+	}
+}
+
+func TestAuthorizedClientsRetrieveFiles(t *testing.T) {
+	app, err := ftpd.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	for _, name := range []string{"Client2", "Client4"} {
+		sc, _ := app.Scenario(name)
+		_, k, runErr := runScenario(t, app, sc)
+		var exit *vm.ExitStatus
+		if !errors.As(runErr, &exit) {
+			t.Fatalf("%s: %v", name, runErr)
+		}
+		out := string(k.Transcript.ServerBytes())
+		if !strings.Contains(out, "DATA Welcome to the mini FTP archive.") {
+			t.Errorf("%s did not retrieve readme.txt:\n%s", name, k.Transcript.String())
+		}
+		if name == "Client4" && !strings.Contains(out, "550 Permission denied.") {
+			t.Errorf("guest should be denied data.bin:\n%s", k.Transcript.String())
+		}
+		if name == "Client2" && !strings.Contains(out, "DATA 00112233445566778899aabbccddeeff") {
+			t.Errorf("Client2 should retrieve data.bin:\n%s", k.Transcript.String())
+		}
+	}
+}
+
+func TestRootCannotLogIn(t *testing.T) {
+	// root's password is correct, but FTP for uid 0 is denied (and root is
+	// in ftpusers, so user_ok is never set in the first place).
+	app, err := ftpd.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	sc := target.Scenario{
+		Name: "root", ShouldGrant: false,
+		New: func() target.Client { return ftpd.NewClientForTest("root", "t0psecret") },
+	}
+	client, k, runErr := runScenario(t, app, sc)
+	var exit *vm.ExitStatus
+	if !errors.As(runErr, &exit) {
+		t.Fatalf("run: %v", runErr)
+	}
+	if client.Granted() {
+		t.Errorf("root was granted FTP access:\n%s", k.Transcript.String())
+	}
+}
+
+func TestGuestNeedsEmailPassword(t *testing.T) {
+	app, err := ftpd.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	sc := target.Scenario{
+		Name: "anon-bad", ShouldGrant: false,
+		New: func() target.Client { return ftpd.NewClientForTest("anonymous", "no-at-sign") },
+	}
+	client, k, runErr := runScenario(t, app, sc)
+	var exit *vm.ExitStatus
+	if !errors.As(runErr, &exit) {
+		t.Fatalf("run: %v", runErr)
+	}
+	if client.Granted() {
+		t.Errorf("guest with bad email was granted access:\n%s", k.Transcript.String())
+	}
+	if !strings.Contains(string(k.Transcript.ServerBytes()), "530 Guest login incorrect.") {
+		t.Errorf("missing guest rejection:\n%s", k.Transcript.String())
+	}
+}
+
+func TestAuthFunctionsHaveManyBranches(t *testing.T) {
+	// The study needs a rich branch population in the auth section; make
+	// sure the compiled user()/pass() carry a realistic count, with both
+	// 2-byte and (possibly) 6-byte encodings.
+	app, err := ftpd.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	total := 0
+	for _, fname := range app.AuthFuncs {
+		f, ok := app.Image.FuncByName(fname)
+		if !ok {
+			t.Fatalf("function %s missing from image", fname)
+		}
+		entries := disasm.Sweep(app.Image.Text, app.Image.TextBase,
+			f.Start-app.Image.TextBase, f.End-app.Image.TextBase)
+		branches := disasm.Branches(entries)
+		if len(branches) < 10 {
+			t.Errorf("%s has only %d branch instructions", fname, len(branches))
+		}
+		total += len(branches)
+		for _, e := range entries {
+			if e.Bad {
+				t.Errorf("%s contains undecodable byte at %#x", fname, e.Addr)
+			}
+		}
+	}
+	if total < 30 {
+		t.Errorf("auth section has only %d branches; campaign would be too small", total)
+	}
+	t.Logf("ftpd auth section: %d branch instructions", total)
+}
+
+func TestDeterministicGoldenTranscript(t *testing.T) {
+	app, err := ftpd.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	sc, _ := app.Scenario("Client2")
+	_, k1, err1 := runScenario(t, app, sc)
+	_, k2, err2 := runScenario(t, app, sc)
+	if (err1 == nil) != (err2 == nil) {
+		t.Fatalf("nondeterministic termination: %v vs %v", err1, err2)
+	}
+	if string(k1.Transcript.ServerBytes()) != string(k2.Transcript.ServerBytes()) {
+		t.Error("golden transcript is not deterministic")
+	}
+}
+
+func TestEscalationGolden(t *testing.T) {
+	// Fault-free: the guest logs in but the forbidden retrieval is denied.
+	app, err := ftpd.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := ftpd.EscalationScenario()
+	client, k, runErr := runScenario(t, app, sc)
+	var exit *vm.ExitStatus
+	if !errors.As(runErr, &exit) {
+		t.Fatalf("run ended %v\n%s", runErr, k.Transcript.String())
+	}
+	out := string(k.Transcript.ServerBytes())
+	if !strings.Contains(out, "230 Guest login ok") {
+		t.Errorf("guest login missing:\n%s", k.Transcript.String())
+	}
+	if !strings.Contains(out, "550 Permission denied.") {
+		t.Errorf("forbidden file not denied:\n%s", k.Transcript.String())
+	}
+	if client.Granted() {
+		t.Error("golden escalation client reports escalation")
+	}
+}

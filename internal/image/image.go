@@ -1,0 +1,241 @@
+// Package image links assembled objects into runnable program images and
+// instantiates fresh virtual machines from them.
+//
+// The layout mirrors a classic Linux i386 ELF executable: text at
+// 0x08048000 (read+execute), then rodata (read), data and bss
+// (read+write), and a stack below 0xC0000000. Keeping text non-writable is
+// essential to the study: only the injector (the "debugger") may corrupt
+// it, via vm.Memory.Poke, and a corrupted page stays corrupted across
+// connections until the image is reloaded — the paper's permanent window
+// of vulnerability.
+package image
+
+import (
+	"fmt"
+
+	"faultsec/internal/asm"
+	"faultsec/internal/vm"
+	"faultsec/internal/x86"
+)
+
+// Standard layout constants.
+const (
+	// TextBase is the load address of .text (the i386 ELF default).
+	TextBase = 0x08048000
+	// StackTop is one past the highest stack address.
+	StackTop = 0xC0000000
+	// StackSize is the stack region size.
+	StackSize = 0x40000
+	pageSize  = 0x1000
+)
+
+// Func is a named function extent in the linked text segment.
+type Func struct {
+	Name  string
+	Start uint32 // virtual address of the first byte
+	End   uint32 // one past the last byte
+}
+
+// Size returns the function length in bytes.
+func (f Func) Size() uint32 { return f.End - f.Start }
+
+// Image is a linked, loadable program.
+type Image struct {
+	Entry    uint32
+	TextBase uint32
+	Text     []byte // pristine text bytes (never mutated by runs)
+	ROData   []byte
+	RODBase  uint32
+	Data     []byte
+	DataBase uint32
+	BSSSize  uint32
+	BSSBase  uint32
+	Symbols  map[string]uint32
+	Funcs    []Func
+}
+
+func alignUp(v, a uint32) uint32 { return (v + a - 1) &^ (a - 1) }
+
+// Link resolves an assembled object into an Image.
+func Link(obj *asm.Object) (*Image, error) {
+	get := func(name string) []byte {
+		if s, ok := obj.Sections[name]; ok {
+			return s.Bytes
+		}
+		return nil
+	}
+	img := &Image{
+		TextBase: TextBase,
+		Text:     append([]byte(nil), get("text")...),
+		ROData:   append([]byte(nil), get("rodata")...),
+		Data:     append([]byte(nil), get("data")...),
+		BSSSize:  uint32(len(get("bss"))),
+		Symbols:  make(map[string]uint32, len(obj.Symbols)),
+	}
+	if len(img.Text) == 0 {
+		return nil, fmt.Errorf("image: empty text section")
+	}
+	img.RODBase = alignUp(img.TextBase+uint32(len(img.Text)), pageSize)
+	img.DataBase = alignUp(img.RODBase+uint32(len(img.ROData)), pageSize)
+	if len(img.ROData) == 0 {
+		img.DataBase = img.RODBase
+	}
+	img.BSSBase = alignUp(img.DataBase+uint32(len(img.Data)), 16)
+
+	base := func(section string) (uint32, error) {
+		switch section {
+		case "text":
+			return img.TextBase, nil
+		case "rodata":
+			return img.RODBase, nil
+		case "data":
+			return img.DataBase, nil
+		case "bss":
+			return img.BSSBase, nil
+		}
+		return 0, fmt.Errorf("image: unknown section %q", section)
+	}
+
+	for name, sym := range obj.Symbols {
+		b, err := base(sym.Section)
+		if err != nil {
+			return nil, fmt.Errorf("symbol %q: %w", name, err)
+		}
+		img.Symbols[name] = b + sym.Offset
+	}
+	for _, f := range obj.Funcs {
+		img.Funcs = append(img.Funcs, Func{
+			Name:  f.Name,
+			Start: img.TextBase + f.Start,
+			End:   img.TextBase + f.End,
+		})
+	}
+
+	// Apply relocations.
+	for secName, sec := range obj.Sections {
+		var buf []byte
+		switch secName {
+		case "text":
+			buf = img.Text
+		case "rodata":
+			buf = img.ROData
+		case "data":
+			buf = img.Data
+		case "bss":
+			if len(sec.Relocs) > 0 {
+				return nil, fmt.Errorf("image: relocations in .bss")
+			}
+			continue
+		default:
+			return nil, fmt.Errorf("image: unknown section %q", secName)
+		}
+		for _, r := range sec.Relocs {
+			addr, ok := img.Symbols[r.Symbol]
+			if !ok {
+				return nil, fmt.Errorf("image: undefined symbol %q", r.Symbol)
+			}
+			if r.Kind != asm.RelocAbs32 {
+				return nil, fmt.Errorf("image: unknown relocation kind %d", r.Kind)
+			}
+			v := addr + uint32(r.Addend)
+			if int(r.Offset)+4 > len(buf) {
+				return nil, fmt.Errorf("image: relocation outside section %q", secName)
+			}
+			buf[r.Offset] = byte(v)
+			buf[r.Offset+1] = byte(v >> 8)
+			buf[r.Offset+2] = byte(v >> 16)
+			buf[r.Offset+3] = byte(v >> 24)
+		}
+	}
+
+	entry := obj.Entry
+	if entry == "" {
+		entry = "_start"
+	}
+	e, ok := img.Symbols[entry]
+	if !ok {
+		return nil, fmt.Errorf("image: undefined entry symbol %q", entry)
+	}
+	img.Entry = e
+	return img, nil
+}
+
+// FuncByName returns the extent of a named function.
+func (img *Image) FuncByName(name string) (Func, bool) {
+	for _, f := range img.Funcs {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Func{}, false
+}
+
+// Loaded is a program instantiated into an address space.
+type Loaded struct {
+	Machine *vm.Machine
+	// TextRegion is the mapped (mutable) copy of the text segment; the
+	// injector corrupts these bytes, never the Image's pristine copy.
+	TextRegion *vm.Region
+}
+
+// Load instantiates a fresh machine: new copies of every section, a zeroed
+// bss, a fresh stack, registers cleared, EIP at the entry point. The text
+// bytes may be overridden (corrupted) via the text argument; pass nil for
+// the pristine image text.
+func (img *Image) Load(sys vm.SyscallHandler, text []byte) (*Loaded, error) {
+	if text == nil {
+		text = img.Text
+	}
+	if len(text) != len(img.Text) {
+		return nil, fmt.Errorf("image: text override length %d != %d", len(text), len(img.Text))
+	}
+	mem := vm.NewMemory()
+	textRegion := &vm.Region{
+		Name: "text",
+		Base: img.TextBase,
+		Perm: vm.PermRead | vm.PermExec,
+		Data: append([]byte(nil), text...),
+	}
+	if err := mem.Map(textRegion); err != nil {
+		return nil, err
+	}
+	if len(img.ROData) > 0 {
+		if err := mem.Map(&vm.Region{
+			Name: "rodata",
+			Base: img.RODBase,
+			Perm: vm.PermRead,
+			Data: append([]byte(nil), img.ROData...),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	bssEnd := img.BSSBase + img.BSSSize
+	blob := make([]byte, bssEnd-img.DataBase)
+	copy(blob, img.Data)
+	if len(blob) > 0 {
+		if err := mem.Map(&vm.Region{
+			Name: "data",
+			Base: img.DataBase,
+			Perm: vm.PermRead | vm.PermWrite,
+			Data: blob,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if err := mem.Map(&vm.Region{
+		Name: "stack",
+		Base: StackTop - StackSize,
+		Perm: vm.PermRead | vm.PermWrite,
+		Data: make([]byte, StackSize),
+	}); err != nil {
+		return nil, err
+	}
+
+	m := vm.New(mem, sys)
+	m.EIP = img.Entry
+	// Leave room above the initial stack pointer, as the argv/environment
+	// area does on Linux (buffer overruns past the first frame land in
+	// writable memory there, not instantly off the top of the stack).
+	m.Regs[x86.ESP] = StackTop - 4096
+	return &Loaded{Machine: m, TextRegion: textRegion}, nil
+}

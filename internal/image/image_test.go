@@ -1,0 +1,218 @@
+package image_test
+
+import (
+	"errors"
+	"testing"
+
+	"faultsec/internal/asm"
+	"faultsec/internal/image"
+	"faultsec/internal/kernel"
+	"faultsec/internal/vm"
+)
+
+// scriptClient replies with canned lines and records what it saw.
+type scriptClient struct {
+	replies map[string][]string
+	seen    []string
+	done    bool
+}
+
+func (c *scriptClient) OnServerLine(line string) []string {
+	c.seen = append(c.seen, line)
+	if r, ok := c.replies[line]; ok {
+		return r
+	}
+	return nil
+}
+
+func (c *scriptClient) Done() bool { return c.done }
+
+const helloSrc = `
+.text
+.global _start
+.func _start
+_start:
+	mov eax, 4        ; sys_write
+	mov ebx, 1
+	mov ecx, msg
+	mov edx, msglen
+	int 0x80
+	mov eax, 1        ; sys_exit
+	mov ebx, 42
+	int 0x80
+.endfunc
+.data
+msg: .ascii "220 hello srv\r\n"
+msgend:
+`
+
+func buildAndRun(t *testing.T, src string, client kernel.Client) (*kernel.Kernel, error) {
+	t.Helper()
+	obj, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	img, err := image.Link(obj)
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	k := kernel.New(client)
+	ld, err := img.Load(k, nil)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return k, ld.Machine.Run()
+}
+
+func TestHelloEndToEnd(t *testing.T) {
+	src := helloSrc
+	// msglen is not a numeric constant the assembler knows; compute inline.
+	src = replaceAll(src, "msglen", "15")
+	client := &scriptClient{}
+	k, err := buildAndRun(t, src, client)
+
+	var exit *vm.ExitStatus
+	if !errors.As(err, &exit) {
+		t.Fatalf("run ended with %v, want exit", err)
+	}
+	if exit.Code != 42 {
+		t.Errorf("exit code = %d, want 42", exit.Code)
+	}
+	if len(client.seen) != 1 || client.seen[0] != "220 hello srv" {
+		t.Errorf("client saw %q, want [220 hello srv]", client.seen)
+	}
+	lines := k.Transcript.ServerLines()
+	if len(lines) != 1 || lines[0] != "220 hello srv" {
+		t.Errorf("transcript = %q", lines)
+	}
+}
+
+func TestEchoLoop(t *testing.T) {
+	// Server reads one line and echoes it back prefixed with "OK ", then
+	// exits. Exercises sys_read, the client state machine, and buffers.
+	src := `
+.text
+.global _start
+.func _start
+_start:
+	mov eax, 4
+	mov ebx, 1
+	mov ecx, greet
+	mov edx, 7
+	int 0x80
+	; read up to 64 bytes
+	mov eax, 3
+	mov ebx, 0
+	mov ecx, buf
+	mov edx, 64
+	int 0x80
+	; write "OK " then the received bytes
+	mov esi, eax      ; length read
+	mov eax, 4
+	mov ebx, 1
+	mov ecx, okmsg
+	mov edx, 3
+	int 0x80
+	mov eax, 4
+	mov ebx, 1
+	mov ecx, buf
+	mov edx, esi
+	int 0x80
+	mov eax, 1
+	mov ebx, 0
+	int 0x80
+.endfunc
+.data
+greet: .ascii "READY\r\n"
+okmsg: .ascii "OK "
+.bss
+buf: .space 64
+`
+	client := &scriptClient{replies: map[string][]string{"READY": {"ping"}}}
+	k, err := buildAndRun(t, src, client)
+	var exit *vm.ExitStatus
+	if !errors.As(err, &exit) {
+		t.Fatalf("run ended with %v, want exit", err)
+	}
+	got := k.Transcript.ServerLines()
+	want := []string{"READY", "OK ping"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("server lines = %q, want %q", got, want)
+	}
+}
+
+func TestHangDetection(t *testing.T) {
+	// Server reads without ever greeting: the client has nothing to say,
+	// so the kernel must report a hang rather than block forever.
+	src := `
+.text
+.global _start
+.func _start
+_start:
+	mov eax, 3
+	mov ebx, 0
+	mov ecx, buf
+	mov edx, 16
+	int 0x80
+	mov eax, 1
+	mov ebx, 0
+	int 0x80
+.endfunc
+.bss
+buf: .space 16
+`
+	client := &scriptClient{}
+	_, err := buildAndRun(t, src, client)
+	var hang *kernel.HangError
+	if !errors.As(err, &hang) {
+		t.Fatalf("run ended with %v, want hang", err)
+	}
+}
+
+func TestEOFAfterClientDone(t *testing.T) {
+	src := `
+.text
+.global _start
+.func _start
+_start:
+	mov eax, 3
+	mov ebx, 0
+	mov ecx, buf
+	mov edx, 16
+	int 0x80
+	mov ebx, eax      ; exit status = bytes read (0 at EOF)
+	mov eax, 1
+	int 0x80
+.endfunc
+.bss
+buf: .space 16
+`
+	client := &scriptClient{done: true}
+	_, err := buildAndRun(t, src, client)
+	var exit *vm.ExitStatus
+	if !errors.As(err, &exit) {
+		t.Fatalf("run ended with %v, want exit", err)
+	}
+	if exit.Code != 0 {
+		t.Errorf("exit = %d, want 0 (EOF read)", exit.Code)
+	}
+}
+
+func replaceAll(s, old, new string) string {
+	for {
+		i := index(s, old)
+		if i < 0 {
+			return s
+		}
+		s = s[:i] + new + s[i+len(old):]
+	}
+}
+
+func index(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

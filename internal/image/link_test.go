@@ -1,0 +1,201 @@
+package image_test
+
+import (
+	"strings"
+	"testing"
+
+	"faultsec/internal/asm"
+	"faultsec/internal/image"
+	"faultsec/internal/x86"
+)
+
+func mustAssemble(t *testing.T, src string) *asm.Object {
+	t.Helper()
+	obj, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return obj
+}
+
+func TestLinkLayout(t *testing.T) {
+	obj := mustAssemble(t, `
+.text
+.global _start
+_start:
+	mov eax, msg
+	mov ebx, [counter]
+	ret
+.data
+counter: .dd 1
+.rodata
+msg: .asciz "hello"
+.bss
+buf: .space 64
+`)
+	img, err := image.Link(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.TextBase != image.TextBase {
+		t.Errorf("text base = %#x", img.TextBase)
+	}
+	if img.RODBase <= img.TextBase || img.RODBase%0x1000 != 0 {
+		t.Errorf("rodata base = %#x", img.RODBase)
+	}
+	if img.DataBase <= img.RODBase || img.DataBase%0x1000 != 0 {
+		t.Errorf("data base = %#x", img.DataBase)
+	}
+	if img.BSSBase < img.DataBase+uint32(len(img.Data)) {
+		t.Errorf("bss base = %#x overlaps data", img.BSSBase)
+	}
+	if img.Entry != img.Symbols["_start"] {
+		t.Errorf("entry = %#x, symbol = %#x", img.Entry, img.Symbols["_start"])
+	}
+	// Relocation for msg points into rodata; for counter into data.
+	msgAddr := img.Symbols["msg"]
+	if msgAddr < img.RODBase || msgAddr >= img.RODBase+uint32(len(img.ROData)) {
+		t.Errorf("msg at %#x outside rodata", msgAddr)
+	}
+	// The mov eax, msg immediate must hold msg's address.
+	imm := uint32(img.Text[1]) | uint32(img.Text[2])<<8 | uint32(img.Text[3])<<16 | uint32(img.Text[4])<<24
+	if imm != msgAddr {
+		t.Errorf("relocated immediate = %#x, want %#x", imm, msgAddr)
+	}
+}
+
+func TestLinkErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			name: "undefined_symbol",
+			src:  ".text\n_start:\n\tmov eax, missing\n\tret\n.global _start\n",
+			want: "undefined symbol",
+		},
+		{
+			name: "no_entry",
+			src:  ".text\nfoo:\n\tret\n",
+			want: "undefined entry",
+		},
+		{
+			name: "empty_text",
+			src:  ".data\nx: .dd 1\n",
+			want: "empty text",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			obj := mustAssemble(t, tt.src)
+			_, err := image.Link(obj)
+			if err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("Link error = %v, want substring %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestLoadIsolation(t *testing.T) {
+	// Two loads of the same image must not share mutable state.
+	obj := mustAssemble(t, `
+.text
+.global _start
+_start:
+	mov eax, [counter]
+	ret
+.data
+counter: .dd 7
+`)
+	img, err := image.Link(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld1, err := img.Load(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld2, err := img.Load(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := img.Symbols["counter"]
+	if f := ld1.Machine.Mem.Write32(addr, 99); f != nil {
+		t.Fatal(f)
+	}
+	v, f := ld2.Machine.Mem.Read32(addr)
+	if f != nil || v != 7 {
+		t.Errorf("second load sees %d (fault %v), want 7", v, f)
+	}
+	// The pristine image must be untouched by text corruption of a load.
+	if err := ld1.Machine.Mem.Poke(img.TextBase, []byte{0xCC}); err != nil {
+		t.Fatal(err)
+	}
+	if img.Text[0] == 0xCC {
+		t.Error("poking a loaded machine corrupted the pristine image")
+	}
+}
+
+func TestLoadTextOverride(t *testing.T) {
+	obj := mustAssemble(t, `
+.text
+.global _start
+_start:
+	ret
+`)
+	img, err := image.Link(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	override := make([]byte, len(img.Text))
+	copy(override, img.Text)
+	override[0] = 0x90 // nop instead of ret
+	ld, err := img.Load(nil, override)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, errPeek := ld.Machine.Mem.Peek(img.TextBase, 1)
+	if errPeek != nil || v[0] != 0x90 {
+		t.Errorf("override not applied: %v %v", v, errPeek)
+	}
+	if _, err := img.Load(nil, []byte{1, 2, 3}); err == nil {
+		t.Error("short override accepted")
+	}
+}
+
+func TestLoadMemoryProtections(t *testing.T) {
+	obj := mustAssemble(t, `
+.text
+.global _start
+_start:
+	ret
+.data
+x: .dd 5
+`)
+	img, err := image.Link(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, err := img.Load(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := ld.Machine.Mem
+	// Text is not writable by the program.
+	if f := mem.Write8(img.TextBase, 0); f == nil {
+		t.Error("text is writable")
+	}
+	// Data is not executable.
+	if _, f := mem.Fetch(img.DataBase, 1); f == nil {
+		t.Error("data is executable")
+	}
+	// Stack exists and is writable.
+	if f := mem.Write32(ld.Machine.Regs[x86.ESP]-4, 42); f != nil {
+		t.Errorf("stack not writable: %v", f)
+	}
+	// ESP leaves argv/env headroom below the stack top.
+	if ld.Machine.Regs[x86.ESP] >= image.StackTop {
+		t.Error("no headroom above initial ESP")
+	}
+}

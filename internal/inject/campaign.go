@@ -1,0 +1,229 @@
+package inject
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"faultsec/internal/classify"
+	"faultsec/internal/encoding"
+	"faultsec/internal/target"
+)
+
+// DefaultFuel bounds each injected run. Fault-free sessions retire well
+// under 100k instructions; corrupted runs stuck in loops hit this budget
+// and classify as hangs (FSV).
+const DefaultFuel = 400_000
+
+// Config parameterizes one campaign: one application, one client access
+// pattern, one encoding scheme, every bit of every branch instruction in
+// the authentication functions.
+type Config struct {
+	App      *target.App
+	Scenario target.Scenario
+	Scheme   encoding.Scheme
+	// Fuel is the per-run instruction budget; 0 means DefaultFuel.
+	Fuel uint64
+	// Parallelism is the worker count; 0 means GOMAXPROCS.
+	Parallelism int
+	// KeepResults retains every per-run Result in Stats.Results.
+	KeepResults bool
+	// Watchdog enables the control-flow checker for every run (ablation:
+	// what does a software signature checker catch that the encoding fix
+	// does, and vice versa).
+	Watchdog bool
+	// Progress, when non-nil, receives (done, total) after each run.
+	Progress func(done, total int)
+}
+
+// Stats aggregates a campaign.
+type Stats struct {
+	App      string
+	Scenario string
+	Scheme   encoding.Scheme
+
+	// Total is the number of runs (one per injected bit).
+	Total int
+	// Counts maps each outcome to its run count.
+	Counts map[classify.Outcome]int
+	// ByLocation maps Table 2 locations to per-outcome counts.
+	ByLocation map[classify.Location]map[classify.Outcome]int
+	// CrashLatencies holds the activation-to-crash instruction counts of
+	// every crashed run (Figure 4 input).
+	CrashLatencies []uint64
+	// Window summarizes network activity inside crash windows (§5.4).
+	Window TransientWindow
+	// WatchdogDetections counts runs terminated by the control-flow
+	// checker (only when Config.Watchdog was set).
+	WatchdogDetections int
+	// Results holds per-run detail when Config.KeepResults is set.
+	Results []Result
+}
+
+// TransientWindow aggregates the paper's §5.4 analysis: how long crashed
+// runs keep executing after activation, and whether they talk to the
+// network inside that window.
+type TransientWindow struct {
+	// Crashes is the number of crashed runs.
+	Crashes int
+	// LongLatency counts crashes more than 100 instructions after
+	// activation (the paper's 8.5% tail).
+	LongLatency int
+	// WroteInWindow counts crashed runs that sent bytes to the client
+	// between activation and the crash.
+	WroteInWindow int
+	// LongAndWrote counts long-latency crashes that also wrote — the
+	// paper's "erroneous messages were sent out" cases.
+	LongAndWrote int
+}
+
+// Activated returns the number of activated runs (everything but NA).
+func (s *Stats) Activated() int {
+	return s.Total - s.Counts[classify.OutcomeNA]
+}
+
+// PctOfActivated returns a count as a percentage of activated runs.
+func (s *Stats) PctOfActivated(o classify.Outcome) float64 {
+	a := s.Activated()
+	if a == 0 {
+		return 0
+	}
+	return 100 * float64(s.Counts[o]) / float64(a)
+}
+
+// ManifestedBreakdown returns the BRK+FSV counts per location — the
+// paper's Table 3 rows (it describes the table as "Break-ins and Fail
+// Silence Violations by Location").
+func (s *Stats) ManifestedBreakdown() map[classify.Location]int {
+	out := make(map[classify.Location]int, len(s.ByLocation))
+	for loc, m := range s.ByLocation {
+		out[loc] = m[classify.OutcomeBRK] + m[classify.OutcomeFSV]
+	}
+	return out
+}
+
+func newStats(app, scenario string, scheme encoding.Scheme) *Stats {
+	return &Stats{
+		App:        app,
+		Scenario:   scenario,
+		Scheme:     scheme,
+		Counts:     make(map[classify.Outcome]int),
+		ByLocation: make(map[classify.Location]map[classify.Outcome]int),
+	}
+}
+
+func (s *Stats) add(r Result) {
+	s.Total++
+	s.Counts[r.Outcome]++
+	locM := s.ByLocation[r.Location]
+	if locM == nil {
+		locM = make(map[classify.Outcome]int)
+		s.ByLocation[r.Location] = locM
+	}
+	locM[r.Outcome]++
+	if r.Crashed {
+		s.CrashLatencies = append(s.CrashLatencies, r.CrashLatency)
+		s.Window.Crashes++
+		long := r.CrashLatency > 100
+		if long {
+			s.Window.LongLatency++
+		}
+		if r.BytesInWindow > 0 {
+			s.Window.WroteInWindow++
+			if long {
+				s.Window.LongAndWrote++
+			}
+		}
+	}
+	if r.DetectedByWatchdog {
+		s.WatchdogDetections++
+	}
+}
+
+// Run executes the full selective-exhaustive campaign described by cfg.
+func Run(ctx context.Context, cfg Config) (*Stats, error) {
+	targets, err := Targets(cfg.App)
+	if err != nil {
+		return nil, err
+	}
+	return RunExperiments(ctx, cfg, Enumerate(targets, cfg.Scheme))
+}
+
+// RunExperiments executes an explicit experiment list under cfg, in
+// parallel, and aggregates deterministically (experiment order).
+func RunExperiments(ctx context.Context, cfg Config, experiments []Experiment) (*Stats, error) {
+	fuel := cfg.Fuel
+	if fuel == 0 {
+		fuel = DefaultFuel
+	}
+	golden, err := GoldenRun(cfg.App, cfg.Scenario, fuel)
+	if err != nil {
+		return nil, err
+	}
+	var cfValid map[uint32]struct{}
+	if cfg.Watchdog {
+		cfValid = ValidInstructionStarts(cfg.App)
+	}
+
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(experiments) && len(experiments) > 0 {
+		workers = len(experiments)
+	}
+
+	results := make([]Result, len(experiments))
+	errs := make([]error, len(experiments))
+	indexes := make(chan int)
+
+	var wg sync.WaitGroup
+	var done int
+	var doneMu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indexes {
+				results[i], errs[i] = RunOneWatched(cfg.App, cfg.Scenario, golden, experiments[i], fuel, cfValid)
+				if cfg.Progress != nil {
+					doneMu.Lock()
+					done++
+					d := done
+					doneMu.Unlock()
+					cfg.Progress(d, len(experiments))
+				}
+			}
+		}()
+	}
+
+feed:
+	for i := range experiments {
+		select {
+		case <-ctx.Done():
+			break feed
+		case indexes <- i:
+		}
+	}
+	close(indexes)
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("inject: campaign canceled: %w", err)
+	}
+	for i, e := range errs {
+		if e != nil {
+			return nil, fmt.Errorf("inject: experiment %d: %w", i, e)
+		}
+	}
+
+	stats := newStats(cfg.App.Name, cfg.Scenario.Name, cfg.Scheme)
+	for _, r := range results {
+		stats.add(r)
+	}
+	if cfg.KeepResults {
+		stats.Results = results
+	}
+	return stats, nil
+}

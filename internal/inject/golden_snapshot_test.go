@@ -1,0 +1,119 @@
+package inject_test
+
+import (
+	"testing"
+
+	"faultsec/internal/inject"
+	"faultsec/internal/kernel"
+	"faultsec/internal/target"
+)
+
+// goldenLines pins the exact server-side protocol lines of every fault-free
+// scenario. Any change to the servers, the compiler, the assembler, the
+// interpreter, or the kernel that alters observable behaviour fails here —
+// which matters doubly in this repository, because the golden transcripts
+// are the baseline every injection outcome is classified against.
+var goldenLines = map[string][]string{
+	"ftpd/Client1": {
+		"220 miniftpd 2.6.0 FTP server ready.",
+		"331 Password required for alice.",
+		"530 Login incorrect.",
+		"221 Goodbye.",
+	},
+	"ftpd/Client2": {
+		"220 miniftpd 2.6.0 FTP server ready.",
+		"331 Password required for alice.",
+		"230 User alice logged in.",
+		"150 Opening ASCII mode data connection.",
+		"DATA Welcome to the mini FTP archive.",
+		"226 Transfer complete.",
+		"150 Opening ASCII mode data connection.",
+		"DATA 00112233445566778899aabbccddeeff",
+		"226 Transfer complete.",
+		"221 Goodbye.",
+	},
+	"ftpd/Client3": {
+		"220 miniftpd 2.6.0 FTP server ready.",
+		"331 Password required.",
+		"530 Login incorrect.",
+		"221 Goodbye.",
+	},
+	"ftpd/Client4": {
+		"220 miniftpd 2.6.0 FTP server ready.",
+		"331 Guest login ok, send your complete e-mail address as password.",
+		"230 Guest login ok, access restrictions apply.",
+		"150 Opening ASCII mode data connection.",
+		"DATA Welcome to the mini FTP archive.",
+		"226 Transfer complete.",
+		"550 Permission denied.",
+		"221 Goodbye.",
+	},
+	"sshd/Client1": {
+		"SSH-1.99-minisshd_1.2.30",
+		"WELCOME minisshd protocol ready",
+		"AUTH_FAILED rhosts",
+		"AUTH_FAILED rsa",
+		"AUTH_FAILED password",
+		"AUTH_FAILED password",
+		"DISCONNECT Too many authentication failures.",
+	},
+	"sshd/Client2": {
+		"SSH-1.99-minisshd_1.2.30",
+		"WELCOME minisshd protocol ready",
+		"AUTH_FAILED rhosts",
+		"AUTH_FAILED rsa",
+		"AUTH_SUCCESS password",
+		"alice",
+		"EXIT_STATUS 0",
+		"BYE",
+	},
+}
+
+func TestGoldenTranscriptSnapshots(t *testing.T) {
+	for _, app := range []*target.App{ftpApp(t), sshApp(t)} {
+		for _, sc := range app.Scenarios {
+			key := app.Name + "/" + sc.Name
+			t.Run(key, func(t *testing.T) {
+				want, ok := goldenLines[key]
+				if !ok {
+					t.Fatalf("no snapshot for %s", key)
+				}
+				client := sc.New()
+				k := kernel.New(client)
+				ld, err := app.Image.Load(k, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				_ = ld.Machine.Run()
+				got := k.Transcript.ServerLines()
+				if len(got) != len(want) {
+					t.Fatalf("server lines = %d, want %d:\n%s",
+						len(got), len(want), k.Transcript.String())
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Errorf("line %d = %q, want %q", i, got[i], want[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestGoldenStepCountsStable pins the retired-instruction counts of the
+// golden runs within a coarse band: a large unexplained jump would change
+// the Figure 4 latency distribution and campaign runtimes.
+func TestGoldenStepCountsStable(t *testing.T) {
+	for _, app := range []*target.App{ftpApp(t), sshApp(t)} {
+		for _, sc := range app.Scenarios {
+			g, err := inject.GoldenRun(app, sc, 0)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", app.Name, sc.Name, err)
+			}
+			if g.Steps < 10_000 || g.Steps > 320_000 {
+				t.Errorf("%s/%s: golden run retires %d instructions, outside [10k, 320k]",
+					app.Name, sc.Name, g.Steps)
+			}
+		}
+	}
+}

@@ -1,0 +1,267 @@
+// Package inject implements the study's error-injection machinery: an
+// NFTAPE-style debugger-based injector over the VM (run to a breakpoint at
+// the target instruction, flip one bit, continue), selective-exhaustive
+// campaign enumeration over the branch instructions of the authentication
+// functions, a parallel campaign runner, and the random whole-text
+// injection testbed from the paper's §7.
+package inject
+
+import (
+	"errors"
+	"fmt"
+
+	"faultsec/internal/classify"
+	"faultsec/internal/disasm"
+	"faultsec/internal/encoding"
+	"faultsec/internal/kernel"
+	"faultsec/internal/target"
+	"faultsec/internal/vm"
+	"faultsec/internal/x86"
+)
+
+// Target is one instruction selected for injection.
+type Target struct {
+	// Func is the function containing the instruction.
+	Func string
+	// Addr is the instruction's virtual address.
+	Addr uint32
+	// Raw is the pristine encoding.
+	Raw []byte
+	// Inst is the decoded instruction.
+	Inst x86.Inst
+}
+
+// Bits returns the number of single-bit experiments this target yields.
+func (t Target) Bits() int { return len(t.Raw) * 8 }
+
+// isBranchTarget reports whether a decoded instruction belongs to the
+// paper's "branch instruction" target population: all conditional branches
+// (2-byte and 6-byte jcc — the Table 2 locations), plus the short
+// intra-function transfers (jmp rel8, loop/jecxz, ret) that populate the
+// small MISC row of Table 3. Long-range transfers (call rel32, jmp rel32)
+// are not branch instructions in the paper's sense; their 32-bit operands
+// would otherwise dominate the injected-bit population.
+func isBranchTarget(in *x86.Inst, raw []byte) bool {
+	switch in.Op {
+	case x86.OpJcc, x86.OpLoop, x86.OpLoopE, x86.OpLoopNE, x86.OpJCXZ, x86.OpRet:
+		return true
+	case x86.OpJmp:
+		return len(raw) == 2 // jmp rel8 only
+	}
+	return false
+}
+
+// Targets enumerates the branch instructions of the app's authentication
+// functions, in address order — the selective-exhaustive target set.
+func Targets(app *target.App) ([]Target, error) {
+	var out []Target
+	for _, fname := range app.AuthFuncs {
+		f, ok := app.Image.FuncByName(fname)
+		if !ok {
+			return nil, fmt.Errorf("inject: function %q not in image", fname)
+		}
+		entries := disasm.Sweep(app.Image.Text, app.Image.TextBase,
+			f.Start-app.Image.TextBase, f.End-app.Image.TextBase)
+		for _, e := range entries {
+			if e.Bad {
+				return nil, fmt.Errorf("inject: undecodable byte at %#x in %s", e.Addr, fname)
+			}
+			if isBranchTarget(&e.Inst, e.Raw) {
+				raw := make([]byte, len(e.Raw))
+				copy(raw, e.Raw)
+				out = append(out, Target{Func: fname, Addr: e.Addr, Raw: raw, Inst: e.Inst})
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("inject: no branch instructions in %v", app.AuthFuncs)
+	}
+	return out, nil
+}
+
+// TotalBits returns the number of experiments (one per bit) for a target
+// set — the paper's per-client run count.
+func TotalBits(targets []Target) int {
+	n := 0
+	for _, t := range targets {
+		n += t.Bits()
+	}
+	return n
+}
+
+// GoldenRun executes one fault-free session and records the golden
+// behaviour. It fails if the fault-free server does not exit cleanly.
+func GoldenRun(app *target.App, sc target.Scenario, fuel uint64) (*classify.Golden, error) {
+	client := sc.New()
+	k := kernel.New(client)
+	ld, err := app.Image.Load(k, nil)
+	if err != nil {
+		return nil, fmt.Errorf("inject: golden load: %w", err)
+	}
+	m := ld.Machine
+	if fuel != 0 {
+		m.Fuel = fuel
+	}
+	runErr := m.Run()
+	var exit *vm.ExitStatus
+	if !errors.As(runErr, &exit) {
+		return nil, fmt.Errorf("inject: golden run of %s/%s did not exit cleanly: %w\ntranscript:\n%s",
+			app.Name, sc.Name, runErr, k.Transcript.String())
+	}
+	if client.Granted() != sc.ShouldGrant {
+		return nil, fmt.Errorf("inject: golden run of %s/%s granted=%v, want %v",
+			app.Name, sc.Name, client.Granted(), sc.ShouldGrant)
+	}
+	return &classify.Golden{
+		ServerBytes: k.Transcript.ServerBytes(),
+		Granted:     client.Granted(),
+		ExitCode:    exit.Code,
+		Steps:       m.Steps,
+	}, nil
+}
+
+// Experiment identifies one single-bit injection.
+type Experiment struct {
+	Target  Target
+	ByteIdx int
+	Bit     int
+	Scheme  encoding.Scheme
+}
+
+// CorruptedBytes returns the instruction bytes this experiment executes.
+func (e Experiment) CorruptedBytes() []byte {
+	return encoding.Corrupt(e.Target.Raw, e.ByteIdx, e.Bit, e.Scheme)
+}
+
+// Result is the classified outcome of one experiment.
+type Result struct {
+	Experiment Experiment
+	Outcome    classify.Outcome
+	Location   classify.Location
+	// Activated mirrors Outcome != NA, kept for convenience.
+	Activated bool
+	// FaultKind is the crash signal class for SD/FSV-with-crash runs
+	// (empty otherwise).
+	FaultKind string
+	// CrashLatency is the instruction count between activation and crash
+	// (Figure 4), valid when the run crashed.
+	CrashLatency uint64
+	// Crashed reports whether the run ended in a processor fault
+	// (regardless of classification).
+	Crashed bool
+	// Granted is the client's access observation.
+	Granted bool
+	// BytesInWindow counts server-to-client bytes written between error
+	// activation and the end of the run — the network activity inside the
+	// transient window of vulnerability (§5.4: "erroneous messages were
+	// sent out").
+	BytesInWindow int
+	// DetectedByWatchdog reports that the control-flow watchdog (when
+	// enabled) terminated the run.
+	DetectedByWatchdog bool
+}
+
+// RunOne executes a single injection experiment against a fresh server
+// instance and classifies it against the golden run.
+func RunOne(app *target.App, sc target.Scenario, golden *classify.Golden,
+	ex Experiment, fuel uint64) (Result, error) {
+	return RunOneWatched(app, sc, golden, ex, fuel, nil)
+}
+
+// RunOneWatched is RunOne with an optional control-flow watchdog: when
+// cfValid is non-nil, the machine stops with a CFE detection as soon as
+// EIP leaves the program's known instruction boundaries (a software
+// signature checker in the style of the paper's related work).
+func RunOneWatched(app *target.App, sc target.Scenario, golden *classify.Golden,
+	ex Experiment, fuel uint64, cfValid map[uint32]struct{}) (Result, error) {
+	client := sc.New()
+	k := kernel.New(client)
+	ld, err := app.Image.Load(k, nil)
+	if err != nil {
+		return Result{}, fmt.Errorf("inject: load: %w", err)
+	}
+	m := ld.Machine
+	if fuel != 0 {
+		m.Fuel = fuel
+	}
+	m.CFValid = cfValid
+
+	// Debugger protocol: run to the target instruction, corrupt it, resume.
+	m.SetBreakpoint(ex.Target.Addr)
+	runErr := m.Run()
+	activated := false
+	var activationSteps uint64
+	bytesAtActivation := 0
+	var bp *vm.BreakpointHit
+	if errors.As(runErr, &bp) {
+		activated = true
+		activationSteps = m.Steps
+		bytesAtActivation = len(k.Transcript.ServerBytes())
+		if pokeErr := m.Mem.Poke(ex.Target.Addr, ex.CorruptedBytes()); pokeErr != nil {
+			return Result{}, fmt.Errorf("inject: poke: %w", pokeErr)
+		}
+		m.ClearBreakpoint(ex.Target.Addr)
+		runErr = m.Run()
+	}
+
+	serverBytes := k.Transcript.ServerBytes()
+	run := &classify.Run{
+		Activated:       activated,
+		Err:             runErr,
+		ServerBytes:     serverBytes,
+		Granted:         client.Granted(),
+		ActivationSteps: activationSteps,
+		EndSteps:        m.Steps,
+	}
+	outcome := classify.Classify(golden, run, sc.ShouldGrant)
+	res := Result{
+		Experiment: ex,
+		Outcome:    outcome,
+		Location:   classify.LocationOf(&ex.Target.Inst, ex.Target.Raw, ex.ByteIdx),
+		Activated:  activated,
+		Granted:    client.Granted(),
+	}
+	if activated {
+		res.BytesInWindow = len(serverBytes) - bytesAtActivation
+	}
+	if fault, crashed := run.Crashed(); crashed {
+		res.Crashed = true
+		res.FaultKind = fault.Kind.Signal()
+		res.CrashLatency = run.CrashLatency()
+		res.DetectedByWatchdog = fault.Kind == vm.FaultCFE
+	}
+	return res, nil
+}
+
+// Enumerate lists every single-bit experiment for the target set under the
+// given scheme, in deterministic order.
+func Enumerate(targets []Target, scheme encoding.Scheme) []Experiment {
+	var out []Experiment
+	for _, t := range targets {
+		for byteIdx := 0; byteIdx < len(t.Raw); byteIdx++ {
+			for bit := 0; bit < 8; bit++ {
+				out = append(out, Experiment{
+					Target:  t,
+					ByteIdx: byteIdx,
+					Bit:     bit,
+					Scheme:  scheme,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// ValidInstructionStarts returns the set of instruction-start addresses of
+// the pristine program — the signature database the control-flow watchdog
+// checks EIP against.
+func ValidInstructionStarts(app *target.App) map[uint32]struct{} {
+	entries := disasm.Sweep(app.Image.Text, app.Image.TextBase, 0, uint32(len(app.Image.Text)))
+	out := make(map[uint32]struct{}, len(entries))
+	for _, e := range entries {
+		if !e.Bad {
+			out[e.Addr] = struct{}{}
+		}
+	}
+	return out
+}

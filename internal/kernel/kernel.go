@@ -1,0 +1,341 @@
+// Package kernel provides the minimal Linux-like operating system
+// personality underneath the study's server programs: the int 0x80 system
+// call ABI (i386 calling convention), a deterministic duplex "network
+// connection" on file descriptors 0/1 (the servers run inetd-style, exactly
+// like wu-ftpd under inetd), transcript recording for fail-silence
+// analysis, and hang detection.
+//
+// Determinism is load-bearing: the fault-free ("golden") run of every
+// client scenario must be bit-for-bit reproducible so that any deviation
+// observed in an injection run is attributable to the injected error.
+package kernel
+
+import (
+	"bytes"
+	"fmt"
+
+	"faultsec/internal/vm"
+	"faultsec/internal/x86"
+)
+
+// Linux i386 system call numbers (the subset the runtime uses; everything
+// else returns -ENOSYS, as a real kernel would).
+const (
+	SysExit   = 1
+	SysRead   = 3
+	SysWrite  = 4
+	SysTime   = 13
+	SysGetPID = 20
+)
+
+// Linux errno values returned as negative numbers in EAX.
+const (
+	errnoEBADF  = 9
+	errnoEFAULT = 14
+	errnoENOSYS = 38
+)
+
+// Client is the remote peer driving a server session. Implementations are
+// deterministic state machines: the same sequence of server lines always
+// produces the same client behaviour.
+type Client interface {
+	// OnServerLine is invoked for every complete line the server writes to
+	// the connection (line terminators stripped). It returns zero or more
+	// lines for the client to send back; each is terminated with CRLF on
+	// the wire.
+	OnServerLine(line string) []string
+	// Done reports that the client has finished its session script and
+	// will send nothing further; a subsequent server read sees EOF.
+	Done() bool
+}
+
+// Dir is the direction of a transcript event.
+type Dir int
+
+// Transcript directions.
+const (
+	DirServerToClient Dir = iota + 1
+	DirClientToServer
+)
+
+// Event is one chunk of connection traffic.
+type Event struct {
+	Dir  Dir
+	Data []byte
+}
+
+// Transcript records the complete connection traffic of one session.
+type Transcript struct {
+	Events []Event
+}
+
+// ServerBytes returns the concatenated server-to-client byte stream.
+func (t *Transcript) ServerBytes() []byte {
+	var buf bytes.Buffer
+	for _, e := range t.Events {
+		if e.Dir == DirServerToClient {
+			buf.Write(e.Data)
+		}
+	}
+	return buf.Bytes()
+}
+
+// ClientBytes returns the concatenated client-to-server byte stream.
+func (t *Transcript) ClientBytes() []byte {
+	var buf bytes.Buffer
+	for _, e := range t.Events {
+		if e.Dir == DirClientToServer {
+			buf.Write(e.Data)
+		}
+	}
+	return buf.Bytes()
+}
+
+// ServerLines returns the server-to-client stream split into lines with
+// terminators stripped. A trailing partial line is included.
+func (t *Transcript) ServerLines() []string {
+	return splitLines(t.ServerBytes())
+}
+
+func splitLines(b []byte) []string {
+	if len(b) == 0 {
+		return nil
+	}
+	raw := bytes.Split(b, []byte{'\n'})
+	out := make([]string, 0, len(raw))
+	for i, l := range raw {
+		if i == len(raw)-1 && len(l) == 0 {
+			break
+		}
+		out = append(out, string(bytes.TrimSuffix(l, []byte{'\r'})))
+	}
+	return out
+}
+
+// String renders the transcript as an annotated log for reports. Adjacent
+// events in the same direction are merged so that multi-write lines render
+// as single lines.
+func (t *Transcript) String() string {
+	var buf bytes.Buffer
+	flush := func(dir Dir, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		tag := "S>"
+		if dir == DirClientToServer {
+			tag = "C>"
+		}
+		for _, line := range splitLines(data) {
+			fmt.Fprintf(&buf, "%s %s\n", tag, line)
+		}
+	}
+	var cur Dir
+	var pending []byte
+	for _, e := range t.Events {
+		if e.Dir != cur {
+			flush(cur, pending)
+			pending = pending[:0]
+			cur = e.Dir
+		}
+		pending = append(pending, e.Data...)
+	}
+	flush(cur, pending)
+	return buf.String()
+}
+
+// HangError reports a deadlocked session: the server blocked in read(2)
+// while the client was itself waiting for server output. The paper's
+// clients observe this as a hang (a fail-silence violation).
+type HangError struct {
+	Steps uint64
+}
+
+// Error implements the error interface.
+func (h *HangError) Error() string {
+	return fmt.Sprintf("session hang: server blocked in read after %d instructions", h.Steps)
+}
+
+// FloodError reports that the server produced more output than the
+// transcript cap allows (a corrupted server looping in write).
+type FloodError struct {
+	Bytes int
+}
+
+// Error implements the error interface.
+func (f *FloodError) Error() string {
+	return fmt.Sprintf("server output flood: %d bytes", f.Bytes)
+}
+
+// DefaultMaxOutput caps the server-to-client stream per session.
+const DefaultMaxOutput = 1 << 20
+
+// defaultMaxLine caps the server line accumulator; longer runs of
+// unterminated output are flushed to the client as a jumbo line.
+const defaultMaxLine = 8192
+
+// Kernel implements vm.SyscallHandler for one server session.
+type Kernel struct {
+	Transcript Transcript
+
+	// MaxOutput caps total server output; 0 means DefaultMaxOutput.
+	MaxOutput int
+
+	client      Client
+	inBuf       []byte // pending client-to-server bytes
+	lineBuf     []byte // partial server line, not yet delivered to client
+	serverOut   int    // total server-to-client bytes
+	readsAtEOF  int
+	exitedEarly bool
+}
+
+// New returns a kernel for one session driven by client.
+func New(client Client) *Kernel {
+	return &Kernel{client: client}
+}
+
+var _ vm.SyscallHandler = (*Kernel)(nil)
+
+// Syscall dispatches an int 0x80 trap.
+func (k *Kernel) Syscall(m *vm.Machine) error {
+	nr := m.Regs[x86.EAX]
+	switch nr {
+	case SysExit:
+		return &vm.ExitStatus{Code: int(int32(m.Regs[x86.EBX]))}
+	case SysRead:
+		return k.sysRead(m)
+	case SysWrite:
+		return k.sysWrite(m)
+	case SysTime:
+		// Deterministic clock derived from retired instructions.
+		t := uint32(0x3B9ACA00) + uint32(m.Steps/100000)
+		if buf := m.Regs[x86.EBX]; buf != 0 {
+			if f := m.Mem.Write32(buf, t); f != nil {
+				m.Regs[x86.EAX] = negErrno(errnoEFAULT)
+				return nil
+			}
+		}
+		m.Regs[x86.EAX] = t
+		return nil
+	case SysGetPID:
+		m.Regs[x86.EAX] = 4242
+		return nil
+	default:
+		m.Regs[x86.EAX] = negErrno(errnoENOSYS)
+		return nil
+	}
+}
+
+func negErrno(e int32) uint32 { return uint32(-e) }
+
+func (k *Kernel) sysRead(m *vm.Machine) error {
+	fd := m.Regs[x86.EBX]
+	buf := m.Regs[x86.ECX]
+	count := m.Regs[x86.EDX]
+	if fd != 0 {
+		m.Regs[x86.EAX] = negErrno(errnoEBADF)
+		return nil
+	}
+	if count == 0 {
+		m.Regs[x86.EAX] = 0
+		return nil
+	}
+	if len(k.inBuf) == 0 {
+		if k.client.Done() {
+			// EOF. A corrupted server may spin on EOF; the fuel budget
+			// bounds that, but track it for diagnostics.
+			k.readsAtEOF++
+			m.Regs[x86.EAX] = 0
+			return nil
+		}
+		// Both ends waiting: deadlock, observed by the client as a hang.
+		return &HangError{Steps: m.Steps}
+	}
+	n := uint32(len(k.inBuf))
+	if n > count {
+		n = count
+	}
+	// Copy byte-by-byte so a partially invalid buffer faults exactly where
+	// the kernel's copy_to_user would stop: read(2) returns -EFAULT.
+	for i := uint32(0); i < n; i++ {
+		if f := m.Mem.Write8(buf+i, uint32(k.inBuf[i])); f != nil {
+			m.Regs[x86.EAX] = negErrno(errnoEFAULT)
+			return nil
+		}
+	}
+	k.inBuf = k.inBuf[n:]
+	m.Regs[x86.EAX] = n
+	return nil
+}
+
+func (k *Kernel) sysWrite(m *vm.Machine) error {
+	fd := m.Regs[x86.EBX]
+	buf := m.Regs[x86.ECX]
+	count := m.Regs[x86.EDX]
+	if fd != 1 && fd != 2 {
+		m.Regs[x86.EAX] = negErrno(errnoEBADF)
+		return nil
+	}
+	if count == 0 {
+		m.Regs[x86.EAX] = 0
+		return nil
+	}
+	maxOut := k.MaxOutput
+	if maxOut == 0 {
+		maxOut = DefaultMaxOutput
+	}
+	data, f := m.Mem.Read(buf, int(count))
+	if f != nil {
+		// Try a partial write up to the fault, as write(2) does; if the
+		// very first byte faults, return -EFAULT.
+		n := uint32(0)
+		for n < count {
+			if _, ff := m.Mem.Read8(buf + n); ff != nil {
+				break
+			}
+			n++
+		}
+		if n == 0 {
+			m.Regs[x86.EAX] = negErrno(errnoEFAULT)
+			return nil
+		}
+		data, _ = m.Mem.Read(buf, int(n))
+		count = n
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	k.serverOut += len(cp)
+	k.Transcript.Events = append(k.Transcript.Events, Event{Dir: DirServerToClient, Data: cp})
+	if k.serverOut > maxOut {
+		return &FloodError{Bytes: k.serverOut}
+	}
+	k.deliverToClient(cp)
+	m.Regs[x86.EAX] = count
+	return nil
+}
+
+// deliverToClient feeds server output through the line splitter and routes
+// complete lines to the client state machine, queueing its replies.
+func (k *Kernel) deliverToClient(data []byte) {
+	k.lineBuf = append(k.lineBuf, data...)
+	for {
+		idx := bytes.IndexByte(k.lineBuf, '\n')
+		var line []byte
+		switch {
+		case idx >= 0:
+			line = k.lineBuf[:idx]
+			k.lineBuf = k.lineBuf[idx+1:]
+		case len(k.lineBuf) > defaultMaxLine:
+			line = k.lineBuf
+			k.lineBuf = nil
+		default:
+			return
+		}
+		text := string(bytes.TrimSuffix(line, []byte{'\r'}))
+		for _, reply := range k.client.OnServerLine(text) {
+			wire := append([]byte(reply), '\r', '\n')
+			k.Transcript.Events = append(k.Transcript.Events,
+				Event{Dir: DirClientToServer, Data: wire})
+			k.inBuf = append(k.inBuf, wire...)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package kernel
+
+import (
+	"io"
+
+	"faultsec/internal/vm"
+	"faultsec/internal/x86"
+)
+
+// StreamKernel is a syscall handler whose connection is a real byte stream
+// (for example a TCP connection or stdin/stdout). It lets the simulated
+// servers talk to live clients — the inetd model for real — while the
+// deterministic Kernel remains the harness for injection campaigns.
+type StreamKernel struct {
+	// RW is the connection; reads block like a real socket.
+	RW io.ReadWriter
+	// Transcript records traffic like the deterministic kernel.
+	Transcript Transcript
+}
+
+// NewStream returns a kernel over a live byte stream.
+func NewStream(rw io.ReadWriter) *StreamKernel {
+	return &StreamKernel{RW: rw}
+}
+
+var _ vm.SyscallHandler = (*StreamKernel)(nil)
+
+// Syscall dispatches an int 0x80 trap against the live stream.
+func (k *StreamKernel) Syscall(m *vm.Machine) error {
+	nr := m.Regs[x86.EAX]
+	switch nr {
+	case SysExit:
+		return &vm.ExitStatus{Code: int(int32(m.Regs[x86.EBX]))}
+	case SysRead:
+		fd := m.Regs[x86.EBX]
+		buf := m.Regs[x86.ECX]
+		count := m.Regs[x86.EDX]
+		if fd != 0 {
+			m.Regs[x86.EAX] = negErrno(errnoEBADF)
+			return nil
+		}
+		if count > 4096 {
+			count = 4096
+		}
+		tmp := make([]byte, count)
+		n, err := k.RW.Read(tmp)
+		if n > 0 {
+			for i := 0; i < n; i++ {
+				if f := m.Mem.Write8(buf+uint32(i), uint32(tmp[i])); f != nil {
+					m.Regs[x86.EAX] = negErrno(errnoEFAULT)
+					return nil
+				}
+			}
+			k.Transcript.Events = append(k.Transcript.Events,
+				Event{Dir: DirClientToServer, Data: append([]byte(nil), tmp[:n]...)})
+			m.Regs[x86.EAX] = uint32(n)
+			return nil
+		}
+		if err != nil && err != io.EOF {
+			m.Regs[x86.EAX] = negErrno(5) // EIO
+			return nil
+		}
+		m.Regs[x86.EAX] = 0
+		return nil
+	case SysWrite:
+		fd := m.Regs[x86.EBX]
+		buf := m.Regs[x86.ECX]
+		count := m.Regs[x86.EDX]
+		if fd != 1 && fd != 2 {
+			m.Regs[x86.EAX] = negErrno(errnoEBADF)
+			return nil
+		}
+		data, f := m.Mem.Read(buf, int(count))
+		if f != nil {
+			m.Regs[x86.EAX] = negErrno(errnoEFAULT)
+			return nil
+		}
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		k.Transcript.Events = append(k.Transcript.Events,
+			Event{Dir: DirServerToClient, Data: cp})
+		if _, err := k.RW.Write(cp); err != nil {
+			m.Regs[x86.EAX] = negErrno(32) // EPIPE
+			return nil
+		}
+		m.Regs[x86.EAX] = count
+		return nil
+	case SysTime:
+		m.Regs[x86.EAX] = 0x3B9ACA00
+		return nil
+	case SysGetPID:
+		m.Regs[x86.EAX] = 4242
+		return nil
+	default:
+		m.Regs[x86.EAX] = negErrno(errnoENOSYS)
+		return nil
+	}
+}

@@ -1,0 +1,73 @@
+package report
+
+import (
+	"encoding/json"
+
+	"faultsec/internal/classify"
+	"faultsec/internal/inject"
+)
+
+// Export is the JSON-serializable form of campaign results, for downstream
+// analysis outside this repository (plotting, aggregation across runs).
+type Export struct {
+	App      string         `json:"app"`
+	Scenario string         `json:"scenario"`
+	Scheme   string         `json:"scheme"`
+	Total    int            `json:"total_runs"`
+	Counts   map[string]int `json:"outcomes"`
+	// ByLocation maps location -> outcome -> count.
+	ByLocation map[string]map[string]int `json:"by_location"`
+	// CrashLatencyBins is the Figure 4 histogram (log-2 bins).
+	CrashLatencyBins []int `json:"crash_latency_bins"`
+	// PctWithin100 is the share of crashes within 100 instructions.
+	PctWithin100 float64 `json:"pct_within_100"`
+	// MaxLatency is the largest activation-to-crash distance.
+	MaxLatency uint64 `json:"max_latency"`
+	// Window is the transient-window activity summary.
+	Window inject.TransientWindow `json:"transient_window"`
+	// WatchdogDetections counts control-flow-checker terminations.
+	WatchdogDetections int `json:"watchdog_detections,omitempty"`
+}
+
+// NewExport converts campaign stats into the export form.
+func NewExport(s *inject.Stats) *Export {
+	e := &Export{
+		App:        s.App,
+		Scenario:   s.Scenario,
+		Scheme:     s.Scheme.String(),
+		Total:      s.Total,
+		Counts:     make(map[string]int, len(s.Counts)),
+		ByLocation: make(map[string]map[string]int, len(s.ByLocation)),
+		Window:     s.Window,
+
+		WatchdogDetections: s.WatchdogDetections,
+	}
+	for _, o := range classify.Outcomes() {
+		if n := s.Counts[o]; n > 0 {
+			e.Counts[o.String()] = n
+		}
+	}
+	for loc, m := range s.ByLocation {
+		lm := make(map[string]int, len(m))
+		for o, n := range m {
+			if n > 0 {
+				lm[o.String()] = n
+			}
+		}
+		e.ByLocation[loc.String()] = lm
+	}
+	h := NewHistogram(s.CrashLatencies)
+	e.CrashLatencyBins = h.Bins
+	e.PctWithin100 = h.PctWithin100()
+	e.MaxLatency = h.Max
+	return e
+}
+
+// MarshalStats renders one or more campaigns as indented JSON.
+func MarshalStats(stats []*inject.Stats) ([]byte, error) {
+	exports := make([]*Export, len(stats))
+	for i, s := range stats {
+		exports[i] = NewExport(s)
+	}
+	return json.MarshalIndent(exports, "", "  ")
+}

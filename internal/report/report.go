@@ -1,0 +1,283 @@
+// Package report renders the study's results in the layout of the paper's
+// tables and figure: Table 1 (outcome distributions), Table 3 (BRK+FSV by
+// error location), Table 4 (the re-encoding map), Table 5 (new-encoding
+// distributions with reduction rows), and Figure 4 (the crash-latency
+// histogram on a log-2 scale).
+package report
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"faultsec/internal/classify"
+	"faultsec/internal/encoding"
+	"faultsec/internal/inject"
+)
+
+// table is a simple column-aligned text table builder.
+type table struct {
+	rows [][]string
+}
+
+func (t *table) add(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+func (t *table) String() string {
+	if len(t.rows) == 0 {
+		return ""
+	}
+	cols := 0
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := widths[i] - len(c)
+			if i == 0 {
+				b.WriteString(c)
+				b.WriteString(strings.Repeat(" ", pad))
+			} else {
+				b.WriteString(strings.Repeat(" ", pad))
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// colName renders a campaign's column header ("FTP Client1").
+func colName(s *inject.Stats) string {
+	app := strings.ToUpper(strings.TrimSuffix(s.App, "d"))
+	return app + " " + s.Scenario
+}
+
+// cellCountPct renders "n" and "pct%" cells for one outcome of one
+// campaign; NA has no percentage (the paper prints a dash).
+func cellCountPct(s *inject.Stats, o classify.Outcome) (string, string) {
+	n := s.Counts[o]
+	if o == classify.OutcomeNA {
+		return fmt.Sprintf("%d", n), "-"
+	}
+	if n == 0 {
+		return "-", "-"
+	}
+	return fmt.Sprintf("%d", n), fmt.Sprintf("%.2f%%", s.PctOfActivated(o))
+}
+
+// Table1 renders the paper's Table 1 layout: one column pair per campaign,
+// one row per outcome type, percentages computed against activated errors.
+func Table1(stats []*inject.Stats) string {
+	t := &table{}
+	header := []string{"Type"}
+	for _, s := range stats {
+		header = append(header, colName(s), "%act")
+	}
+	t.add(header...)
+	for _, o := range classify.Outcomes() {
+		row := []string{o.String()}
+		for _, s := range stats {
+			c, p := cellCountPct(s, o)
+			row = append(row, c, p)
+		}
+		t.add(row...)
+	}
+	footer := []string{"Total"}
+	for _, s := range stats {
+		footer = append(footer, fmt.Sprintf("%d", s.Total), "")
+	}
+	t.add(footer...)
+	return t.String()
+}
+
+// Table2 renders the error-location legend.
+func Table2() string {
+	t := &table{}
+	t.add("Abbr.", "Definition")
+	defs := []struct {
+		loc classify.Location
+		def string
+	}{
+		{classify.Loc2BC, "Opcode of 2-byte conditional branch instruction"},
+		{classify.Loc2BO, "Operand of 2-byte conditional branch instruction"},
+		{classify.Loc6BC1, "Byte 1 of opcode of 6-byte conditional branch instruction"},
+		{classify.Loc6BC2, "Byte 2 of opcode of 6-byte conditional branch instruction"},
+		{classify.Loc6BO, "Operand of 6-byte conditional branch instruction"},
+		{classify.LocMISC, "Others"},
+	}
+	for _, d := range defs {
+		t.add(d.loc.String(), d.def)
+	}
+	return t.String()
+}
+
+// Table3 renders the paper's Table 3: BRK and FSV cases broken down by
+// error location, with percentages against each campaign's manifested
+// (BRK+FSV) total.
+func Table3(stats []*inject.Stats) string {
+	t := &table{}
+	header := []string{"Location"}
+	for _, s := range stats {
+		header = append(header, colName(s), "%")
+	}
+	t.add(header...)
+	totals := make([]int, len(stats))
+	for i, s := range stats {
+		for _, n := range s.ManifestedBreakdown() {
+			totals[i] += n
+		}
+	}
+	for _, loc := range classify.Locations() {
+		row := []string{loc.String()}
+		for i, s := range stats {
+			n := s.ManifestedBreakdown()[loc]
+			pct := "-"
+			if totals[i] > 0 {
+				pct = fmt.Sprintf("%.2f%%", 100*float64(n)/float64(totals[i]))
+			}
+			row = append(row, fmt.Sprintf("%d", n), pct)
+		}
+		t.add(row...)
+	}
+	footer := []string{"Total"}
+	for _, tot := range totals {
+		footer = append(footer, fmt.Sprintf("%d", tot), "-")
+	}
+	t.add(footer...)
+	return t.String()
+}
+
+// Table4 renders the derived re-encoding map in the paper's layout.
+func Table4() string {
+	t := &table{}
+	t.add("Mnemonics", "2-byte Old", "2-byte New", "6-byte Old", "6-byte New")
+	for _, r := range encoding.Table4() {
+		t.add(r.Mnemonic,
+			fmt.Sprintf("%02X", r.Old2),
+			fmt.Sprintf("%02X", r.New2),
+			fmt.Sprintf("0F %02X", r.Old6Byte2),
+			fmt.Sprintf("0F %02X", r.New6Byte2))
+	}
+	return t.String()
+}
+
+// Table5 renders the paper's Table 5: the outcome distribution under the
+// new encoding plus the FSV/BRK reduction rows relative to the baseline
+// campaigns. old and new must be parallel slices (same app/scenario
+// order).
+func Table5(old, new_ []*inject.Stats) string {
+	t := &table{}
+	header := []string{"Type"}
+	for _, s := range new_ {
+		header = append(header, colName(s), "%act")
+	}
+	t.add(header...)
+	for _, o := range classify.Outcomes() {
+		row := []string{o.String()}
+		for _, s := range new_ {
+			c, p := cellCountPct(s, o)
+			row = append(row, c, p)
+		}
+		t.add(row...)
+	}
+	redRow := func(label string, o classify.Outcome) []string {
+		row := []string{label}
+		for i := range new_ {
+			ob, nb := old[i].Counts[o], new_[i].Counts[o]
+			if ob == 0 {
+				row = append(row, "-", "-")
+				continue
+			}
+			red := ob - nb
+			row = append(row, fmt.Sprintf("%d", red),
+				fmt.Sprintf("%.0f%%", 100*float64(red)/float64(ob)))
+		}
+		return row
+	}
+	t.add(redRow("FSV Red.", classify.OutcomeFSV)...)
+	t.add(redRow("BRK Red.", classify.OutcomeBRK)...)
+	return t.String()
+}
+
+// Histogram is the Figure 4 data: log-2 binned crash latencies.
+type Histogram struct {
+	// Bins[i] counts crashes with latency in (2^(i-1), 2^i].
+	Bins []int
+	// Total is the number of crashes.
+	Total int
+	// Within100 is the count with latency <= 100 instructions.
+	Within100 int
+	// Max is the largest observed latency.
+	Max uint64
+}
+
+// NewHistogram bins crash latencies as in Figure 4.
+func NewHistogram(latencies []uint64) *Histogram {
+	h := &Histogram{}
+	for _, lat := range latencies {
+		bin := bits.Len64(lat)
+		for len(h.Bins) <= bin {
+			h.Bins = append(h.Bins, 0)
+		}
+		h.Bins[bin]++
+		h.Total++
+		if lat <= 100 {
+			h.Within100++
+		}
+		if lat > h.Max {
+			h.Max = lat
+		}
+	}
+	return h
+}
+
+// PctWithin100 is the share of crashes within 100 instructions (the paper
+// reports 91.5%).
+func (h *Histogram) PctWithin100() float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return 100 * float64(h.Within100) / float64(h.Total)
+}
+
+// Figure4 renders the histogram as ASCII art on a log-2 X axis.
+func Figure4(h *Histogram) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Number of instructions between error and crash (log2 bins)\n")
+	fmt.Fprintf(&b, "crashes=%d, within 100 instructions: %.1f%%, max latency: %d\n",
+		h.Total, h.PctWithin100(), h.Max)
+	maxCount := 0
+	for _, c := range h.Bins {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if maxCount == 0 {
+		return b.String()
+	}
+	const barWidth = 50
+	for i, c := range h.Bins {
+		if c == 0 {
+			continue
+		}
+		bar := strings.Repeat("#", 1+c*barWidth/maxCount)
+		fmt.Fprintf(&b, "2^%-2d %5d %s\n", i, c, bar)
+	}
+	return b.String()
+}

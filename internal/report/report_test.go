@@ -1,0 +1,188 @@
+package report_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"faultsec/internal/classify"
+	"faultsec/internal/encoding"
+	"faultsec/internal/inject"
+	"faultsec/internal/report"
+)
+
+// fakeStats builds a Stats with the given outcome counts.
+func fakeStats(app, scenario string, na, nm, sd, fsv, brk int) *inject.Stats {
+	s := &inject.Stats{
+		App:      app,
+		Scenario: scenario,
+		Scheme:   encoding.SchemeX86,
+		Counts: map[classify.Outcome]int{
+			classify.OutcomeNA:  na,
+			classify.OutcomeNM:  nm,
+			classify.OutcomeSD:  sd,
+			classify.OutcomeFSV: fsv,
+			classify.OutcomeBRK: brk,
+		},
+		ByLocation: map[classify.Location]map[classify.Outcome]int{
+			classify.Loc2BC: {classify.OutcomeBRK: brk, classify.OutcomeFSV: fsv / 2},
+			classify.Loc2BO: {classify.OutcomeFSV: fsv - fsv/2},
+		},
+	}
+	s.Total = na + nm + sd + fsv + brk
+	return s
+}
+
+func TestTable1Layout(t *testing.T) {
+	stats := []*inject.Stats{
+		fakeStats("ftpd", "Client1", 6776, 307, 285, 57, 7),
+		fakeStats("sshd", "Client1", 1424, 498, 650, 73, 19),
+	}
+	out := report.Table1(stats)
+	for _, want := range []string{"FTP Client1", "SSH Client1", "NA", "NM", "SD", "FSV", "BRK", "Total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q:\n%s", want, out)
+		}
+	}
+	// Percentages are against activated errors: 7 / (307+285+57+7) = 1.07%.
+	if !strings.Contains(out, "1.07%") {
+		t.Errorf("Table1 missing the paper's BRK percentage:\n%s", out)
+	}
+	if !strings.Contains(out, "7432") {
+		t.Errorf("Table1 missing total:\n%s", out)
+	}
+}
+
+func TestTable2HasAllLocations(t *testing.T) {
+	out := report.Table2()
+	for _, want := range []string{"2BC", "2BO", "6BC1", "6BC2", "6BO", "MISC", "Opcode of 2-byte"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table2 missing %q", want)
+		}
+	}
+}
+
+func TestTable3Percentages(t *testing.T) {
+	stats := []*inject.Stats{fakeStats("ftpd", "Client1", 100, 10, 10, 10, 10)}
+	out := report.Table3(stats)
+	if !strings.Contains(out, "2BC") || !strings.Contains(out, "Total") {
+		t.Errorf("Table3 layout broken:\n%s", out)
+	}
+	// 2BC holds BRK=10 + FSV/2=5 of 20 manifested = 75%.
+	if !strings.Contains(out, "75.00%") {
+		t.Errorf("Table3 percentage wrong:\n%s", out)
+	}
+}
+
+func TestTable4ContainsPaperRows(t *testing.T) {
+	// Collapse runs of spaces so the assertions are independent of column
+	// alignment.
+	out := strings.Join(strings.Fields(report.Table4()), " ")
+	for _, want := range []string{
+		"JNO 71 61 0F 81 0F 81",
+		"JE 74 64 0F 84 0F 84",
+		"JO 70 70 0F 80 0F 90",
+		"JG 7F 7F 0F 8F 0F 9F",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table4 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable5ReductionRows(t *testing.T) {
+	old := []*inject.Stats{fakeStats("ftpd", "Client1", 6776, 307, 285, 57, 7)}
+	new_ := []*inject.Stats{fakeStats("ftpd", "Client1", 6776, 234, 381, 40, 1)}
+	out := report.Table5(old, new_)
+	if !strings.Contains(out, "FSV Red.") || !strings.Contains(out, "BRK Red.") {
+		t.Fatalf("Table5 missing reduction rows:\n%s", out)
+	}
+	// BRK reduction: (7-1)/7 = 86%.
+	if !strings.Contains(out, "86%") {
+		t.Errorf("Table5 BRK reduction wrong:\n%s", out)
+	}
+	// FSV reduction: (57-40)/57 = 30%.
+	if !strings.Contains(out, "30%") {
+		t.Errorf("Table5 FSV reduction wrong:\n%s", out)
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	// Latencies 1, 2, 3, 100, 16384 -> bins 1, 2, 2, 7, 15.
+	h := report.NewHistogram([]uint64{1, 2, 3, 100, 16384})
+	if h.Total != 5 {
+		t.Errorf("total = %d", h.Total)
+	}
+	if h.Within100 != 4 {
+		t.Errorf("within100 = %d", h.Within100)
+	}
+	if h.Max != 16384 {
+		t.Errorf("max = %d", h.Max)
+	}
+	if h.Bins[1] != 1 || h.Bins[2] != 2 || h.Bins[7] != 1 || h.Bins[15] != 1 {
+		t.Errorf("bins = %v", h.Bins)
+	}
+	if pct := h.PctWithin100(); pct != 80 {
+		t.Errorf("pct = %f", pct)
+	}
+	out := report.Figure4(h)
+	if !strings.Contains(out, "2^15") || !strings.Contains(out, "#") {
+		t.Errorf("Figure4 rendering broken:\n%s", out)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := report.NewHistogram(nil)
+	if h.PctWithin100() != 0 {
+		t.Error("empty histogram pct should be 0")
+	}
+	if out := report.Figure4(h); !strings.Contains(out, "crashes=0") {
+		t.Errorf("empty Figure4:\n%s", out)
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	s := fakeStats("ftpd", "Client1", 100, 30, 50, 15, 5)
+	if s.Activated() != 100 {
+		t.Errorf("activated = %d", s.Activated())
+	}
+	if got := s.PctOfActivated(classify.OutcomeBRK); got != 5 {
+		t.Errorf("pct BRK = %f", got)
+	}
+	bd := s.ManifestedBreakdown()
+	if bd[classify.Loc2BC] != 5+7 || bd[classify.Loc2BO] != 8 {
+		t.Errorf("breakdown = %v", bd)
+	}
+}
+
+func TestExportJSON(t *testing.T) {
+	s := fakeStats("ftpd", "Client1", 100, 30, 50, 15, 5)
+	s.CrashLatencies = []uint64{1, 2, 200, 20000}
+	s.Window = inject.TransientWindow{Crashes: 4, LongLatency: 2, WroteInWindow: 1, LongAndWrote: 1}
+	data, err := report.MarshalStats([]*inject.Stats{s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(decoded) != 1 {
+		t.Fatalf("exports = %d", len(decoded))
+	}
+	e := decoded[0]
+	if e["app"] != "ftpd" || e["scenario"] != "Client1" || e["scheme"] != "x86" {
+		t.Errorf("identity fields wrong: %v", e)
+	}
+	outcomes, ok := e["outcomes"].(map[string]any)
+	if !ok || outcomes["BRK"] != float64(5) || outcomes["NA"] != float64(100) {
+		t.Errorf("outcomes wrong: %v", e["outcomes"])
+	}
+	if e["pct_within_100"].(float64) != 50 {
+		t.Errorf("pct_within_100 = %v", e["pct_within_100"])
+	}
+	window, ok := e["transient_window"].(map[string]any)
+	if !ok || window["Crashes"] != float64(4) {
+		t.Errorf("window wrong: %v", e["transient_window"])
+	}
+}

@@ -1,0 +1,172 @@
+package rt_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"faultsec/internal/kernel"
+	"faultsec/internal/rt"
+	"faultsec/internal/vm"
+)
+
+// expr is a randomly generated integer expression with its Go-evaluated
+// value (C semantics: 32-bit wrapping, truncating division).
+type expr struct {
+	text  string
+	value int32
+}
+
+// genExpr builds a random expression of bounded depth. Division and
+// modulus guard against zero and INT_MIN/-1 so both sides are defined.
+func genExpr(rng *rand.Rand, depth int) expr {
+	if depth == 0 || rng.Intn(3) == 0 {
+		v := int32(rng.Intn(2001) - 1000)
+		if v < 0 {
+			return expr{fmt.Sprintf("(%d)", v), v}
+		}
+		return expr{fmt.Sprintf("%d", v), v}
+	}
+	l := genExpr(rng, depth-1)
+	r := genExpr(rng, depth-1)
+	switch rng.Intn(10) {
+	case 0:
+		return expr{"(" + l.text + " + " + r.text + ")", l.value + r.value}
+	case 1:
+		return expr{"(" + l.text + " - " + r.text + ")", l.value - r.value}
+	case 2:
+		return expr{"(" + l.text + " * " + r.text + ")", l.value * r.value}
+	case 3:
+		if r.value == 0 || (l.value == -1<<31 && r.value == -1) {
+			return expr{"(" + l.text + " + " + r.text + ")", l.value + r.value}
+		}
+		return expr{"(" + l.text + " / " + r.text + ")", l.value / r.value}
+	case 4:
+		if r.value == 0 || (l.value == -1<<31 && r.value == -1) {
+			return expr{"(" + l.text + " - " + r.text + ")", l.value - r.value}
+		}
+		return expr{"(" + l.text + " % " + r.text + ")", l.value % r.value}
+	case 5:
+		return expr{"(" + l.text + " & " + r.text + ")", l.value & r.value}
+	case 6:
+		return expr{"(" + l.text + " | " + r.text + ")", l.value | r.value}
+	case 7:
+		return expr{"(" + l.text + " ^ " + r.text + ")", l.value ^ r.value}
+	case 8:
+		sh := rng.Intn(8)
+		return expr{fmt.Sprintf("(%s << %d)", l.text, sh), l.value << sh}
+	default:
+		sh := rng.Intn(8)
+		return expr{fmt.Sprintf("(%s >> %d)", l.text, sh), l.value >> sh}
+	}
+}
+
+// TestDifferentialExpressions compiles batches of random expressions
+// through the full toolchain (MiniC -> asm -> link -> VM) and compares
+// every value with Go's evaluation. One program carries many expressions
+// to amortize build cost; the program reports the index of the first
+// mismatch (or -1).
+func TestDifferentialExpressions(t *testing.T) {
+	rng := rand.New(rand.NewSource(20010425)) // deterministic: the paper's conference date
+	const batches = 6
+	const perBatch = 25
+	for b := 0; b < batches; b++ {
+		exprs := make([]expr, perBatch)
+		var src strings.Builder
+		src.WriteString("int main() {\n")
+		for i := range exprs {
+			exprs[i] = genExpr(rng, 4)
+			fmt.Fprintf(&src, "\tif ((%s) != (%d)) { return %d; }\n",
+				exprs[i].text, exprs[i].value, i+1)
+		}
+		src.WriteString("\treturn 0;\n}\n")
+
+		img, err := rt.BuildImage(src.String())
+		if err != nil {
+			t.Fatalf("batch %d: build: %v", b, err)
+		}
+		k := kernel.New(&silentClient{})
+		ld, err := img.Load(k, nil)
+		if err != nil {
+			t.Fatalf("batch %d: load: %v", b, err)
+		}
+		runErr := ld.Machine.Run()
+		exit, ok := runErr.(*vm.ExitStatus)
+		if !ok {
+			t.Fatalf("batch %d ended with %v", b, runErr)
+		}
+		if exit.Code != 0 {
+			idx := exit.Code - 1
+			t.Errorf("batch %d: expression %d mismatch:\n%s == %d (Go), MiniC disagrees",
+				b, idx, exprs[idx].text, exprs[idx].value)
+		}
+	}
+}
+
+// TestDifferentialComparisons does the same for comparison and logical
+// operators, whose codegen (branch materialization) differs from the
+// arithmetic path.
+func TestDifferentialComparisons(t *testing.T) {
+	rng := rand.New(rand.NewSource(2001))
+	const perBatch = 40
+	var src strings.Builder
+	type cmpCase struct {
+		text  string
+		value int32
+	}
+	cases := make([]cmpCase, perBatch)
+	ops := []struct {
+		sym string
+		fn  func(a, b int32) bool
+	}{
+		{"==", func(a, b int32) bool { return a == b }},
+		{"!=", func(a, b int32) bool { return a != b }},
+		{"<", func(a, b int32) bool { return a < b }},
+		{"<=", func(a, b int32) bool { return a <= b }},
+		{">", func(a, b int32) bool { return a > b }},
+		{">=", func(a, b int32) bool { return a >= b }},
+	}
+	src.WriteString("int main() {\n")
+	for i := range cases {
+		a := int32(rng.Intn(21) - 10)
+		bv := int32(rng.Intn(21) - 10)
+		op := ops[rng.Intn(len(ops))]
+		v := int32(0)
+		if op.fn(a, bv) {
+			v = 1
+		}
+		// Exercise both value context and condition context.
+		if i%2 == 0 {
+			cases[i] = cmpCase{fmt.Sprintf("((%d) %s (%d))", a, op.sym, bv), v}
+		} else {
+			neg := int32(0)
+			if v == 0 {
+				neg = 1
+			}
+			cases[i] = cmpCase{fmt.Sprintf("(!((%d) %s (%d)))", a, op.sym, bv), neg}
+		}
+		fmt.Fprintf(&src, "\tif ((%s) != (%d)) { return %d; }\n", cases[i].text, cases[i].value, i+1)
+	}
+	src.WriteString("\treturn 0;\n}\n")
+
+	img, err := rt.BuildImage(src.String())
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	k := kernel.New(&silentClient{})
+	ld, err := img.Load(k, nil)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	runErr := ld.Machine.Run()
+	exit, ok := runErr.(*vm.ExitStatus)
+	if !ok {
+		t.Fatalf("ended with %v", runErr)
+	}
+	if exit.Code != 0 {
+		idx := exit.Code - 1
+		t.Errorf("comparison %d mismatch: %s should be %d",
+			idx, cases[idx].text, cases[idx].value)
+	}
+}

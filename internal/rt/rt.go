@@ -1,0 +1,241 @@
+// Package rt provides the runtime underneath the study's MiniC programs:
+// the _start entry stub (assembly) and a small C library (MiniC source)
+// with string routines, line-oriented connection I/O, and the toy xcrypt
+// password hash that stands in for crypt(3). See DESIGN.md for the
+// substitution rationale.
+package rt
+
+import (
+	"strings"
+
+	"faultsec/internal/asm"
+	"faultsec/internal/cc"
+	"faultsec/internal/image"
+)
+
+// Startup is the assembly entry stub: call main, pass its return value to
+// exit(2).
+const Startup = `
+.text
+.global _start
+.func _start
+_start:
+	call main
+	mov ebx, eax
+	mov eax, 1
+	int 0x80
+.endfunc
+`
+
+// LibC is the MiniC standard library linked into every program.
+const LibC = `
+/* ---- string routines (branch-dense, like real libc C fallbacks) ---- */
+
+int strlen(char *s) {
+	int n = 0;
+	while (s[n]) { n = n + 1; }
+	return n;
+}
+
+int strcmp(char *a, char *b) {
+	int i = 0;
+	while (a[i] && a[i] == b[i]) { i = i + 1; }
+	return a[i] - b[i];
+}
+
+int strncmp(char *a, char *b, int n) {
+	int i = 0;
+	while (i < n) {
+		if (!a[i] || a[i] != b[i]) { return a[i] - b[i]; }
+		i = i + 1;
+	}
+	return 0;
+}
+
+char *strcpy(char *dst, char *src) {
+	int i = 0;
+	while (src[i]) { dst[i] = src[i]; i = i + 1; }
+	dst[i] = 0;
+	return dst;
+}
+
+char *strcat(char *dst, char *src) {
+	int n = strlen(dst);
+	int i = 0;
+	while (src[i]) { dst[n + i] = src[i]; i = i + 1; }
+	dst[n + i] = 0;
+	return dst;
+}
+
+int strchr_at(char *s, int c) {
+	/* index of first c in s, or -1 */
+	int i = 0;
+	while (s[i]) {
+		if (s[i] == c) { return i; }
+		i = i + 1;
+	}
+	return 0 - 1;
+}
+
+void *memset(char *p, int v, int n) {
+	int i = 0;
+	while (i < n) { p[i] = v; i = i + 1; }
+	return p;
+}
+
+void *memcpy(char *dst, char *src, int n) {
+	int i = 0;
+	while (i < n) { dst[i] = src[i]; i = i + 1; }
+	return dst;
+}
+
+int atoi(char *s) {
+	int v = 0;
+	int i = 0;
+	int neg = 0;
+	if (s[0] == '-') { neg = 1; i = 1; }
+	while (s[i] >= '0' && s[i] <= '9') {
+		v = v * 10 + (s[i] - '0');
+		i = i + 1;
+	}
+	if (neg) { return 0 - v; }
+	return v;
+}
+
+/* ---- buffered connection input (fd 0) ---- */
+
+char __rbuf[256];
+int __rpos;
+int __rlen;
+
+int read_char() {
+	if (__rpos >= __rlen) {
+		__rlen = sys_read(0, __rbuf, 256);
+		__rpos = 0;
+		if (__rlen <= 0) { return 0 - 1; }
+	}
+	int c = __rbuf[__rpos];
+	__rpos = __rpos + 1;
+	return c;
+}
+
+/*
+ * read_line reads one LF-terminated line into buf (at most max-1 bytes),
+ * strips CR and LF, NUL-terminates. Returns the line length, or -1 at EOF
+ * with nothing read.
+ */
+int read_line(char *buf, int max) {
+	int n = 0;
+	while (1) {
+		int c = read_char();
+		if (c < 0) {
+			if (n == 0) { return 0 - 1; }
+			break;
+		}
+		if (c == '\n') { break; }
+		if (c == '\r') { continue; }
+		if (n < max - 1) { buf[n] = c; n = n + 1; }
+	}
+	buf[n] = 0;
+	return n;
+}
+
+/* ---- connection output (fd 1) ---- */
+
+int write_str(char *s) {
+	return sys_write(1, s, strlen(s));
+}
+
+void write_line(char *s) {
+	write_str(s);
+	sys_write(1, "\r\n", 2);
+}
+
+void write_int(int v) {
+	char tmp[12];
+	int i = 11;
+	int neg = 0;
+	tmp[i] = 0;
+	if (v == 0) {
+		write_str("0");
+		return;
+	}
+	if (v < 0) { neg = 1; v = 0 - v; }
+	while (v > 0) {
+		i = i - 1;
+		tmp[i] = '0' + v % 10;
+		v = v / 10;
+	}
+	if (neg) { i = i - 1; tmp[i] = '-'; }
+	write_str(&tmp[i]);
+}
+
+/* ---- toy crypt(3) stand-in ----
+ * Like the real crypt(3) (25 iterations of modified DES), xcrypt is
+ * deliberately iterated: 128 mixing rounds over the input. The cost
+ * (roughly 15-20k instructions for a typical password) matters to the
+ * study: corrupted control flow that wrongly enters the password check
+ * executes the full hash before crashing at the compare, producing the
+ * paper's longest transient windows of vulnerability (>16,000
+ * instructions, Figure 4).
+ */
+
+int xcrypt(char *pw, int salt) {
+	int h = 5381 + salt;
+	int r;
+	int i;
+	for (r = 0; r < 128; r++) {
+		i = 0;
+		while (pw[i]) {
+			h = h * 33 + pw[i] + r;
+			h = h & 2147483647;
+			i = i + 1;
+		}
+		h = h ^ (h / 128);
+		h = h & 2147483647;
+	}
+	return h;
+}
+`
+
+// BuildImage compiles MiniC sources (application code plus LibC) together
+// with the Startup stub and links the result. Sources are concatenated as
+// a single translation unit.
+func BuildImage(minicSources ...string) (*image.Image, error) {
+	return BuildImageWithOptions(cc.Options{}, minicSources...)
+}
+
+// BuildImageWithOptions is BuildImage with explicit codegen options (used
+// by the codegen-style ablation).
+func BuildImageWithOptions(opts cc.Options, minicSources ...string) (*image.Image, error) {
+	var src strings.Builder
+	src.WriteString(LibC)
+	for _, s := range minicSources {
+		src.WriteString("\n")
+		src.WriteString(s)
+	}
+	asmText, err := cc.CompileWithOptions(src.String(), opts)
+	if err != nil {
+		return nil, err
+	}
+	obj, err := asm.Assemble(asmText + "\n" + Startup)
+	if err != nil {
+		return nil, err
+	}
+	return image.Link(obj)
+}
+
+// Xcrypt mirrors the MiniC xcrypt hash in Go, for building the password
+// databases baked into server images.
+func Xcrypt(pw string, salt int32) int32 {
+	h := int32(5381) + salt
+	for r := int32(0); r < 128; r++ {
+		for i := 0; i < len(pw); i++ {
+			h = h*33 + int32(pw[i]) + r
+			h &= 0x7FFFFFFF
+		}
+		h ^= h / 128
+		h &= 0x7FFFFFFF
+	}
+	return h
+}

@@ -1,0 +1,127 @@
+package sshd
+
+import (
+	"strings"
+
+	"faultsec/internal/target"
+)
+
+// clientState tracks the SSH client's position in its session script.
+type clientState int
+
+const (
+	stateVersion clientState = iota + 1
+	stateWelcome
+	stateAuth
+	stateExec
+	stateClose
+	stateFinished
+)
+
+// client is a deterministic SSH client. It tries RSA once (with a bogus
+// response, as an attacker without the private key would), then its list
+// of passwords in order. On AUTH_SUCCESS it runs "whoami" and closes.
+type client struct {
+	user, host string
+	passwords  []string
+	pwIdx      int
+	rsaTried   bool
+	state      clientState
+	granted    bool
+	finished   bool
+	execSent   bool
+}
+
+var _ target.Client = (*client)(nil)
+
+func newClient(user, host string, passwords []string) *client {
+	return &client{user: user, host: host, passwords: passwords, state: stateVersion}
+}
+
+// Granted reports whether the server awarded access (any AUTH_SUCCESS or
+// shell output).
+func (c *client) Granted() bool { return c.granted }
+
+// Done reports whether the session script has completed.
+func (c *client) Done() bool { return c.finished }
+
+// OnServerLine advances the state machine.
+//
+//nolint:gocyclo // protocol state machine
+func (c *client) OnServerLine(line string) []string {
+	switch {
+	case strings.HasPrefix(line, "DISCONNECT"):
+		c.finished = true
+		return nil
+	case strings.HasPrefix(line, "PROTOCOL_ERROR"):
+		// keep waiting; the server decides whether to drop the session
+		return nil
+	}
+
+	switch c.state {
+	case stateVersion:
+		if strings.HasPrefix(line, "SSH-") {
+			c.state = stateWelcome
+			return []string{"SSH-1.5-miniclient_1.0"}
+		}
+		return nil
+
+	case stateWelcome:
+		if strings.HasPrefix(line, "WELCOME") {
+			c.state = stateAuth
+			return []string{"LOGIN " + c.user + " " + c.host}
+		}
+		return nil
+
+	case stateAuth:
+		switch {
+		case strings.HasPrefix(line, "AUTH_SUCCESS"):
+			c.granted = true
+			c.state = stateExec
+			c.execSent = true
+			return []string{"EXEC whoami"}
+		case strings.HasPrefix(line, "AUTH_FAILED"):
+			if !c.rsaTried {
+				c.rsaTried = true
+				return []string{"AUTH RSA 65537:0000000000000000"}
+			}
+			if c.pwIdx < len(c.passwords) {
+				pw := c.passwords[c.pwIdx]
+				c.pwIdx++
+				return []string{"AUTH PASSWORD " + pw}
+			}
+			// Out of credentials: give up. The server observes EOF on its
+			// next read (or sends DISCONNECT first if our failures
+			// exhausted its budget).
+			c.finished = true
+			return nil
+		}
+		return nil
+
+	case stateExec:
+		switch {
+		case strings.HasPrefix(line, "EXIT_STATUS"):
+			c.state = stateClose
+			return []string{"CLOSE"}
+		case line == c.user:
+			// whoami output: proof of a shell
+			c.granted = true
+			return nil
+		}
+		return nil
+
+	case stateClose:
+		if line == "BYE" {
+			c.state = stateFinished
+			c.finished = true
+		}
+		return nil
+	}
+	return nil
+}
+
+// NewClientForTest builds an SSH client with arbitrary credentials, for
+// tests and examples beyond the paper's two scenarios.
+func NewClientForTest(user, host string, passwords []string) target.Client {
+	return newClient(user, host, passwords)
+}

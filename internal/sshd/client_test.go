@@ -1,0 +1,131 @@
+package sshd
+
+import (
+	"reflect"
+	"testing"
+)
+
+func feed(c *client, lines ...string) []string {
+	var sent []string
+	for _, l := range lines {
+		sent = append(sent, c.OnServerLine(l)...)
+	}
+	return sent
+}
+
+func TestClientFullAuthSequence(t *testing.T) {
+	c := newClient("alice", "host.example.org", []string{"pw1", "pw2"})
+	sent := feed(c,
+		"SSH-1.99-minisshd_1.2.30",
+		"WELCOME minisshd protocol ready",
+		"AUTH_FAILED rhosts",
+		"AUTH_FAILED rsa",
+		"AUTH_FAILED password",
+		"AUTH_FAILED password",
+		"DISCONNECT Too many authentication failures.",
+	)
+	want := []string{
+		"SSH-1.5-miniclient_1.0",
+		"LOGIN alice host.example.org",
+		"AUTH RSA 65537:0000000000000000",
+		"AUTH PASSWORD pw1",
+		"AUTH PASSWORD pw2",
+	}
+	if !reflect.DeepEqual(sent, want) {
+		t.Errorf("sent %q, want %q", sent, want)
+	}
+	if c.Granted() {
+		t.Error("denied client reports granted")
+	}
+	if !c.Done() {
+		t.Error("client not done after disconnect")
+	}
+}
+
+func TestClientSuccessRunsShellAndCloses(t *testing.T) {
+	c := newClient("alice", "h.example.org", []string{"right"})
+	sent := feed(c,
+		"SSH-1.99-minisshd",
+		"WELCOME ready",
+		"AUTH_FAILED rhosts",
+		"AUTH_FAILED rsa",
+		"AUTH_SUCCESS password",
+		"alice",
+		"EXIT_STATUS 0",
+		"BYE",
+	)
+	want := []string{
+		"SSH-1.5-miniclient_1.0",
+		"LOGIN alice h.example.org",
+		"AUTH RSA 65537:0000000000000000",
+		"AUTH PASSWORD right",
+		"EXEC whoami",
+		"CLOSE",
+	}
+	if !reflect.DeepEqual(sent, want) {
+		t.Errorf("sent %q, want %q", sent, want)
+	}
+	if !c.Granted() || !c.Done() {
+		t.Errorf("granted=%v done=%v", c.Granted(), c.Done())
+	}
+}
+
+func TestClientImmediateRhostsSuccess(t *testing.T) {
+	c := newClient("bob", "bastion.example.com", nil)
+	sent := feed(c,
+		"SSH-1.99-minisshd",
+		"WELCOME ready",
+		"AUTH_SUCCESS rhosts",
+	)
+	if sent[len(sent)-1] != "EXEC whoami" {
+		t.Errorf("sent %q", sent)
+	}
+	if !c.Granted() {
+		t.Error("rhosts success not recorded")
+	}
+}
+
+func TestClientGivesUpWithoutCredentials(t *testing.T) {
+	c := newClient("bob", "nowhere.example.org", nil)
+	feed(c,
+		"SSH-1.99-minisshd",
+		"WELCOME ready",
+		"AUTH_FAILED rhosts",
+		"AUTH_FAILED rsa",
+	)
+	if !c.Done() {
+		t.Error("client with no passwords should give up after RSA fails")
+	}
+	if c.Granted() {
+		t.Error("granted without success")
+	}
+}
+
+func TestClientWaitsThroughProtocolErrors(t *testing.T) {
+	c := newClient("alice", "h.example.org", []string{"pw"})
+	sent := feed(c,
+		"SSH-1.99-minisshd",
+		"PROTOCOL_ERROR something odd",
+		"WELCOME ready",
+	)
+	want := []string{"SSH-1.5-miniclient_1.0", "LOGIN alice h.example.org"}
+	if !reflect.DeepEqual(sent, want) {
+		t.Errorf("sent %q, want %q", sent, want)
+	}
+}
+
+func TestClientShellOutputMarksGrant(t *testing.T) {
+	// Even if AUTH_SUCCESS was missed (e.g. garbled), whoami output naming
+	// the user is proof of a shell.
+	c := newClient("alice", "h.example.org", []string{"pw"})
+	feed(c,
+		"SSH-1.99-minisshd",
+		"WELCOME ready",
+		"AUTH_SUCCESS password",
+	)
+	c.granted = false // pretend the success line was not seen as such
+	c.OnServerLine("alice")
+	if !c.Granted() {
+		t.Error("shell output did not mark grant")
+	}
+}

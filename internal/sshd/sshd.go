@@ -1,0 +1,405 @@
+// Package sshd provides the study's second target application: a miniature
+// sshd modeled on ssh-1.2.30. Its authentication section consists of
+// do_authentication(), auth_rhosts() and auth_password() — the same three
+// functions the paper injects into — plus an RSA challenge stub. Unlike
+// ftpd's single point of entry (password), sshd accepts a client through
+// any of several mechanisms; the paper attributes sshd's higher break-in
+// rate to exactly this multi-entry structure.
+//
+// The wire protocol is a line-oriented simplification of SSH-1.5: version
+// exchange, LOGIN, AUTH attempts, then an EXEC session on success.
+package sshd
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"faultsec/internal/rt"
+	"faultsec/internal/target"
+)
+
+// AuthFuncs names the injection target set, as in the paper (§5.3).
+var AuthFuncs = []string{"do_authentication", "auth_rhosts", "auth_password"}
+
+type account struct {
+	name     string
+	password string
+	salt     int32
+	uid      int
+	shell    string
+}
+
+var accounts = []account{
+	{"root", "sup3ruser", 21, 0, "/bin/sh"},
+	{"alice", "xyzzy42", 22, 1001, "/bin/sh"},
+	{"bob", "hunter2!", 23, 1002, "/bin/bash"},
+	{"eve", "l1sten3r", 24, 1003, "/usr/bin/screen"},
+}
+
+func hashString(pw string, salt int32) string {
+	return fmt.Sprintf("%08x", uint32(rt.Xcrypt(pw, salt)))
+}
+
+// Source returns the complete MiniC source of the SSH daemon.
+func Source() string {
+	var names, hashes, salts, uids, shells strings.Builder
+	for _, a := range accounts {
+		fmt.Fprintf(&names, "%q, ", a.name)
+		fmt.Fprintf(&hashes, "%q, ", hashString(a.password, a.salt))
+		fmt.Fprintf(&salts, "%d, ", a.salt)
+		fmt.Fprintf(&uids, "%d, ", a.uid)
+		fmt.Fprintf(&shells, "%q, ", a.shell)
+	}
+	db := fmt.Sprintf(`
+/* ---- compiled-in /etc/passwd analog ---- */
+char *pw_names[] = {%s0};
+char *pw_hashes[] = {%s0};
+int pw_salts[] = {%s0};
+int pw_uids[] = {%s0};
+char *pw_shells[] = {%s0};
+`, names.String(), hashes.String(), salts.String(), uids.String(), shells.String())
+	return db + serverBody
+}
+
+const serverBody = `
+/* /etc/hosts.equiv */
+char *equiv_hosts[] = {"trusted.example.com", "build.example.com", 0};
+/* ~/.rhosts entries: (user, host) pairs */
+char *rhosts_users[] = {"bob", 0};
+char *rhosts_hosts[] = {"bastion.example.com", 0};
+/* authorized RSA identities: (user, key fingerprint) pairs */
+char *rsa_users[] = {"alice", "bob", 0};
+char *rsa_keys[] = {"65537:ab54a98ceb1f0ad2", "65537:deadbeef01234567", 0};
+/* /etc/shells */
+char *ok_shells[] = {"/bin/sh", "/bin/bash", "/bin/csh", 0};
+
+/* sshd_config */
+int permit_root_login = 0;
+int permit_empty_passwords = 0;
+int rhosts_authentication = 1;
+
+/* session state */
+char session_user[64];
+int session_uid;
+
+/*
+ * auth_delay models sshd's pause between failed authentication attempts
+ * (a busy loop; the simulator has no timers). Corrupted-state crashes that
+ * occur after it contribute the long tail of the transient-window
+ * distribution.
+ */
+int delay_sink;
+void auth_delay() {
+	int i;
+	int v = 0;
+	for (i = 0; i < 1500; i++) {
+		v = v + i;
+		if (v > 1000000) { v = v - 1000000; }
+	}
+	delay_sink = v;
+}
+
+char __xcbuf[12];
+char *xcrypt_str(char *pw, int salt) {
+	int h = xcrypt(pw, salt);
+	int i = 7;
+	while (i >= 0) {
+		int d = h & 15;
+		if (d < 10) { __xcbuf[i] = '0' + d; }
+		else { __xcbuf[i] = 'a' + (d - 10); }
+		h = h >> 4;
+		i = i - 1;
+	}
+	__xcbuf[8] = 0;
+	return __xcbuf;
+}
+
+/*
+ * auth_rhosts — modeled on ssh-1.2.30 auth_rhosts(): trust the client if
+ * its host appears in /etc/hosts.equiv (never for root) or if the
+ * (user, host) pair appears in the user's ~/.rhosts.
+ */
+int auth_rhosts(char *user, char *host) {
+	int i;
+	if (!rhosts_authentication) { return 0; }
+	if (host[0] == 0) { return 0; }
+	/* unqualified host names cannot be verified */
+	if (strchr_at(host, '.') < 0) { return 0; }
+	i = 0;
+	while (equiv_hosts[i]) {
+		if (strcmp(host, equiv_hosts[i]) == 0) {
+			if (strcmp(user, "root") != 0) { return 1; }
+		}
+		i = i + 1;
+	}
+	i = 0;
+	while (rhosts_users[i]) {
+		if (strcmp(user, rhosts_users[i]) == 0) {
+			if (strcmp(host, rhosts_hosts[i]) == 0) { return 1; }
+		}
+		i = i + 1;
+	}
+	return 0;
+}
+
+/*
+ * auth_rsa — challenge-response stub: the response must match the stored
+ * key fingerprint. (A real server verifies a signature; the control
+ * structure — lookup, compare, accept/deny — is the same.) Not part of the
+ * injection target set, mirroring the paper.
+ */
+int auth_rsa(char *user, char *resp) {
+	int i = 0;
+	while (rsa_users[i]) {
+		if (strcmp(user, rsa_users[i]) == 0) {
+			if (strcmp(resp, rsa_keys[i]) == 0) { return 1; }
+			return 0;
+		}
+		i = i + 1;
+	}
+	return 0;
+}
+
+/*
+ * auth_password — modeled on ssh-1.2.30 auth_password(): passwd lookup,
+ * PermitEmptyPasswords, PermitRootLogin, /etc/shells check, crypt compare.
+ */
+int auth_password(char *user, char *pw) {
+	int i;
+	int idx = -1;
+	int ok;
+	char *xc;
+	i = 0;
+	while (pw_names[i]) {
+		if (strcmp(user, pw_names[i]) == 0) { idx = i; break; }
+		i = i + 1;
+	}
+	if (idx < 0) { return 0; }
+	if (pw[0] == 0) {
+		if (permit_empty_passwords && pw_hashes[idx][0] == 0) { return 1; }
+		return 0;
+	}
+	if (pw_uids[idx] == 0 && !permit_root_login) { return 0; }
+	ok = 0;
+	i = 0;
+	while (ok_shells[i]) {
+		if (strcmp(pw_shells[idx], ok_shells[i]) == 0) { ok = 1; break; }
+		i = i + 1;
+	}
+	if (!ok) { return 0; }
+	xc = xcrypt_str(pw, pw_salts[idx]);
+	if (strcmp(xc, pw_hashes[idx]) == 0) {
+		session_uid = pw_uids[idx];
+		return 1;
+	}
+	return 0;
+}
+
+/*
+ * do_authentication — modeled on ssh-1.2.30 do_authentication(): tries
+ * rhosts first (paper Figure 2), then serves AUTH requests until one
+ * mechanism accepts or the failure budget is exhausted. Multiple points of
+ * entry: rhosts, RSA, password.
+ */
+int do_authentication(char *user, char *host) {
+	int authenticated = 0;
+	int failures = 0;
+	char line[256];
+	char method[32];
+	char arg[200];
+	int n;
+	int i;
+	int j;
+
+	if (auth_rhosts(user, host)) {
+		/* Authentication accepted. */
+		authenticated = 1;
+		write_line("AUTH_SUCCESS rhosts");
+	}
+	if (!authenticated) {
+		write_line("AUTH_FAILED rhosts");
+	}
+	while (!authenticated) {
+		n = read_line(line, 256);
+		if (n < 0) { return 0; }
+		/* parse "AUTH <METHOD> <arg>" */
+		if (strncmp(line, "AUTH ", 5) != 0) {
+			write_line("PROTOCOL_ERROR expected AUTH");
+			failures = failures + 1;
+			if (failures >= 3) {
+				write_line("DISCONNECT Too many authentication failures.");
+				return 0;
+			}
+			continue;
+		}
+		i = 5;
+		j = 0;
+		while (line[i] && line[i] != ' ' && j < 31) {
+			method[j] = line[i];
+			i = i + 1;
+			j = j + 1;
+		}
+		method[j] = 0;
+		while (line[i] == ' ') { i = i + 1; }
+		j = 0;
+		while (line[i] && j < 199) {
+			arg[j] = line[i];
+			i = i + 1;
+			j = j + 1;
+		}
+		arg[j] = 0;
+		if (strcmp(method, "RSA") == 0) {
+			if (auth_rsa(user, arg)) {
+				authenticated = 1;
+				write_line("AUTH_SUCCESS rsa");
+				break;
+			}
+			write_line("AUTH_FAILED rsa");
+		} else {
+			if (strcmp(method, "PASSWORD") == 0) {
+				if (auth_password(user, arg)) {
+					authenticated = 1;
+					write_line("AUTH_SUCCESS password");
+					break;
+				}
+				auth_delay();
+				write_line("AUTH_FAILED password");
+			} else {
+				write_line("AUTH_FAILED unsupported");
+			}
+		}
+		failures = failures + 1;
+		if (failures >= 3) {
+			write_line("DISCONNECT Too many authentication failures.");
+			return 0;
+		}
+	}
+	return authenticated;
+}
+
+/* session: serve EXEC requests after successful authentication */
+void do_session(char *user) {
+	char line[256];
+	int n;
+	while (1) {
+		n = read_line(line, 256);
+		if (n < 0) { break; }
+		if (strncmp(line, "EXEC ", 5) == 0) {
+			if (strcmp(&line[5], "whoami") == 0) {
+				write_line(user);
+				write_line("EXIT_STATUS 0");
+				continue;
+			}
+			if (strcmp(&line[5], "id") == 0) {
+				write_str("uid=");
+				write_int(session_uid);
+				write_str("(");
+				write_str(user);
+				write_line(")");
+				write_line("EXIT_STATUS 0");
+				continue;
+			}
+			write_str(&line[5]);
+			write_line(": command not found");
+			write_line("EXIT_STATUS 127");
+			continue;
+		}
+		if (strcmp(line, "CLOSE") == 0) {
+			write_line("BYE");
+			return;
+		}
+		write_line("PROTOCOL_ERROR unknown request");
+	}
+}
+
+int main() {
+	char line[256];
+	char user[64];
+	char host[128];
+	int n;
+	int i;
+	int j;
+	write_line("SSH-1.99-minisshd_1.2.30");
+	n = read_line(line, 256);
+	if (n < 0) { return 0; }
+	if (strncmp(line, "SSH-", 4) != 0) {
+		write_line("PROTOCOL_ERROR bad version exchange");
+		return 1;
+	}
+	write_line("WELCOME minisshd protocol ready");
+	n = read_line(line, 256);
+	if (n < 0) { return 0; }
+	if (strncmp(line, "LOGIN ", 6) != 0) {
+		write_line("PROTOCOL_ERROR expected LOGIN");
+		return 1;
+	}
+	i = 6;
+	j = 0;
+	while (line[i] && line[i] != ' ' && j < 63) {
+		user[j] = line[i];
+		i = i + 1;
+		j = j + 1;
+	}
+	user[j] = 0;
+	while (line[i] == ' ') { i = i + 1; }
+	j = 0;
+	while (line[i] && j < 127) {
+		host[j] = line[i];
+		i = i + 1;
+		j = j + 1;
+	}
+	host[j] = 0;
+	if (user[0] == 0) {
+		write_line("PROTOCOL_ERROR empty user");
+		return 1;
+	}
+	strcpy(session_user, user);
+	if (!do_authentication(user, host)) {
+		return 0;
+	}
+	do_session(user);
+	return 0;
+}
+`
+
+var buildOnce = sync.OnceValues(func() (*target.App, error) {
+	img, err := rt.BuildImage(Source())
+	if err != nil {
+		return nil, fmt.Errorf("sshd: build: %w", err)
+	}
+	return &target.App{
+		Name:      "sshd",
+		Image:     img,
+		AuthFuncs: AuthFuncs,
+		Scenarios: Scenarios(),
+	}, nil
+})
+
+// Build compiles and links the SSH daemon and returns the application
+// bundle. The result is cached; callers share the immutable image.
+func Build() (*target.App, error) { return buildOnce() }
+
+// Scenarios returns the paper's two SSH client access patterns.
+func Scenarios() []target.Scenario {
+	return []target.Scenario{
+		{
+			Name:        "Client1",
+			Description: "existing user name, wrong password (attack pattern)",
+			ShouldGrant: false,
+			New: func() target.Client {
+				return newClient("alice", "attacker.example.net",
+					[]string{"wr0ngpass", "stillwrong"})
+			},
+		},
+		{
+			Name:        "Client2",
+			Description: "existing user name, correct password",
+			ShouldGrant: true,
+			New: func() target.Client {
+				return newClient("alice", "workstation.example.org",
+					[]string{"xyzzy42"})
+			},
+		},
+	}
+}

@@ -1,0 +1,326 @@
+package sshd_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"faultsec/internal/disasm"
+	"faultsec/internal/kernel"
+	"faultsec/internal/sshd"
+	"faultsec/internal/target"
+	"faultsec/internal/vm"
+)
+
+func runScenario(t *testing.T, app *target.App, sc target.Scenario) (target.Client, *kernel.Kernel, error) {
+	t.Helper()
+	client := sc.New()
+	k := kernel.New(client)
+	ld, err := app.Image.Load(k, nil)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return client, k, ld.Machine.Run()
+}
+
+func TestGoldenRuns(t *testing.T) {
+	app, err := sshd.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	t.Run("Client1", func(t *testing.T) {
+		sc, _ := app.Scenario("Client1")
+		client, k, runErr := runScenario(t, app, sc)
+		var exit *vm.ExitStatus
+		if !errors.As(runErr, &exit) {
+			t.Fatalf("run ended %v\n%s", runErr, k.Transcript.String())
+		}
+		if client.Granted() {
+			t.Errorf("attack client granted access:\n%s", k.Transcript.String())
+		}
+		out := string(k.Transcript.ServerBytes())
+		for _, want := range []string{
+			"AUTH_FAILED rhosts",
+			"AUTH_FAILED rsa",
+			"AUTH_FAILED password",
+			"DISCONNECT Too many authentication failures.",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("transcript missing %q:\n%s", want, k.Transcript.String())
+			}
+		}
+		if strings.Contains(out, "AUTH_SUCCESS") {
+			t.Errorf("unexpected success:\n%s", k.Transcript.String())
+		}
+	})
+	t.Run("Client2", func(t *testing.T) {
+		sc, _ := app.Scenario("Client2")
+		client, k, runErr := runScenario(t, app, sc)
+		var exit *vm.ExitStatus
+		if !errors.As(runErr, &exit) {
+			t.Fatalf("run ended %v\n%s", runErr, k.Transcript.String())
+		}
+		if !client.Granted() {
+			t.Errorf("legitimate client denied:\n%s", k.Transcript.String())
+		}
+		out := string(k.Transcript.ServerBytes())
+		for _, want := range []string{
+			"AUTH_FAILED rhosts", // rhosts fails, then RSA fails, then password works
+			"AUTH_FAILED rsa",
+			"AUTH_SUCCESS password",
+			"alice", // whoami output
+			"EXIT_STATUS 0",
+			"BYE",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("transcript missing %q:\n%s", want, k.Transcript.String())
+			}
+		}
+	})
+}
+
+func TestRhostsEntryPoint(t *testing.T) {
+	// bob connecting from bastion.example.com passes rhosts without any
+	// password: the multi-entry property the paper highlights.
+	app, err := sshd.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	sc := target.Scenario{
+		Name: "rhosts", ShouldGrant: true,
+		New: func() target.Client {
+			return sshd.NewClientForTest("bob", "bastion.example.com", nil)
+		},
+	}
+	client, k, runErr := runScenario(t, app, sc)
+	var exit *vm.ExitStatus
+	if !errors.As(runErr, &exit) {
+		t.Fatalf("run ended %v\n%s", runErr, k.Transcript.String())
+	}
+	if !client.Granted() {
+		t.Errorf("rhosts client denied:\n%s", k.Transcript.String())
+	}
+	if !strings.Contains(string(k.Transcript.ServerBytes()), "AUTH_SUCCESS rhosts") {
+		t.Errorf("missing rhosts success:\n%s", k.Transcript.String())
+	}
+}
+
+func TestHostsEquivEntryPoint(t *testing.T) {
+	app, err := sshd.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	// Any non-root account from a hosts.equiv machine gets in.
+	sc := target.Scenario{
+		Name: "equiv", ShouldGrant: true,
+		New: func() target.Client {
+			return sshd.NewClientForTest("eve", "trusted.example.com", nil)
+		},
+	}
+	client, k, runErr := runScenario(t, app, sc)
+	var exit *vm.ExitStatus
+	if !errors.As(runErr, &exit) {
+		t.Fatalf("run ended %v\n%s", runErr, k.Transcript.String())
+	}
+	if !client.Granted() {
+		t.Errorf("hosts.equiv client denied:\n%s", k.Transcript.String())
+	}
+	// But root must NOT get in via hosts.equiv.
+	scRoot := target.Scenario{
+		Name: "equiv-root", ShouldGrant: false,
+		New: func() target.Client {
+			return sshd.NewClientForTest("root", "trusted.example.com",
+				[]string{"wrong"})
+		},
+	}
+	clientRoot, kRoot, runErr := runScenario(t, app, scRoot)
+	if !errors.As(runErr, &exit) {
+		t.Fatalf("root run ended %v\n%s", runErr, kRoot.Transcript.String())
+	}
+	if clientRoot.Granted() {
+		t.Errorf("root granted via hosts.equiv:\n%s", kRoot.Transcript.String())
+	}
+}
+
+func TestRootPasswordRefused(t *testing.T) {
+	// PermitRootLogin=no: even the correct root password is refused.
+	app, err := sshd.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	sc := target.Scenario{
+		Name: "root-pw", ShouldGrant: false,
+		New: func() target.Client {
+			return sshd.NewClientForTest("root", "nowhere.example.org",
+				[]string{"sup3ruser"})
+		},
+	}
+	client, k, runErr := runScenario(t, app, sc)
+	var exit *vm.ExitStatus
+	if !errors.As(runErr, &exit) {
+		t.Fatalf("run ended %v\n%s", runErr, k.Transcript.String())
+	}
+	if client.Granted() {
+		t.Errorf("root granted via password:\n%s", k.Transcript.String())
+	}
+}
+
+func TestShellCheckRefusesOddShells(t *testing.T) {
+	// eve's shell (/usr/bin/screen) is not in /etc/shells: password auth
+	// must refuse even the correct password.
+	app, err := sshd.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	sc := target.Scenario{
+		Name: "badshell", ShouldGrant: false,
+		New: func() target.Client {
+			return sshd.NewClientForTest("eve", "nowhere.example.org",
+				[]string{"l1sten3r"})
+		},
+	}
+	client, k, runErr := runScenario(t, app, sc)
+	var exit *vm.ExitStatus
+	if !errors.As(runErr, &exit) {
+		t.Fatalf("run ended %v\n%s", runErr, k.Transcript.String())
+	}
+	if client.Granted() {
+		t.Errorf("user with invalid shell granted:\n%s", k.Transcript.String())
+	}
+}
+
+func TestAuthFunctionsHaveManyBranches(t *testing.T) {
+	app, err := sshd.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	total := 0
+	for _, fname := range app.AuthFuncs {
+		f, ok := app.Image.FuncByName(fname)
+		if !ok {
+			t.Fatalf("function %s missing from image", fname)
+		}
+		entries := disasm.Sweep(app.Image.Text, app.Image.TextBase,
+			f.Start-app.Image.TextBase, f.End-app.Image.TextBase)
+		branches := disasm.Branches(entries)
+		if len(branches) < 5 {
+			t.Errorf("%s has only %d branches", fname, len(branches))
+		}
+		total += len(branches)
+	}
+	if total < 30 {
+		t.Errorf("auth section has only %d branches", total)
+	}
+	t.Logf("sshd auth section: %d branch instructions", total)
+}
+
+// badVersionClient sends a malformed version string.
+type badVersionClient struct{ done bool }
+
+func (c *badVersionClient) OnServerLine(line string) []string {
+	if strings.HasPrefix(line, "SSH-") {
+		return []string{"HTTP/1.0 GET /"}
+	}
+	if strings.HasPrefix(line, "PROTOCOL_ERROR") {
+		c.done = true
+	}
+	return nil
+}
+func (c *badVersionClient) Done() bool    { return c.done }
+func (c *badVersionClient) Granted() bool { return false }
+
+func TestProtocolErrorOnBadVersion(t *testing.T) {
+	app, err := sshd.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := target.Scenario{
+		Name: "badversion", ShouldGrant: false,
+		New: func() target.Client { return &badVersionClient{} },
+	}
+	_, k, runErr := runScenario(t, app, sc)
+	var exit *vm.ExitStatus
+	if !errors.As(runErr, &exit) {
+		t.Fatalf("run ended %v\n%s", runErr, k.Transcript.String())
+	}
+	if exit.Code != 1 {
+		t.Errorf("exit = %d, want 1 (protocol error)", exit.Code)
+	}
+	if !strings.Contains(string(k.Transcript.ServerBytes()), "PROTOCOL_ERROR bad version exchange") {
+		t.Errorf("missing protocol error:\n%s", k.Transcript.String())
+	}
+}
+
+func TestUnqualifiedHostFailsRhosts(t *testing.T) {
+	// "localhost" has no dot: auth_rhosts must refuse to trust it even if
+	// it appeared in hosts.equiv-like lists.
+	app, err := sshd.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := target.Scenario{
+		Name: "unqualified", ShouldGrant: false,
+		New: func() target.Client {
+			return sshd.NewClientForTest("bob", "bastion", nil) // unqualified
+		},
+	}
+	client, k, runErr := runScenario(t, app, sc)
+	var exit *vm.ExitStatus
+	if !errors.As(runErr, &exit) {
+		t.Fatalf("run ended %v\n%s", runErr, k.Transcript.String())
+	}
+	if client.Granted() {
+		t.Errorf("unqualified host trusted:\n%s", k.Transcript.String())
+	}
+}
+
+func TestUnsupportedAuthMethod(t *testing.T) {
+	// A client offering an unknown method gets AUTH_FAILED unsupported and
+	// eventually DISCONNECT.
+	app, err := sshd.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := target.Scenario{
+		Name: "unsupported", ShouldGrant: false,
+		New: func() target.Client { return &unsupportedMethodClient{} },
+	}
+	_, k, runErr := runScenario(t, app, sc)
+	var exit *vm.ExitStatus
+	if !errors.As(runErr, &exit) {
+		t.Fatalf("run ended %v\n%s", runErr, k.Transcript.String())
+	}
+	out := string(k.Transcript.ServerBytes())
+	if !strings.Contains(out, "AUTH_FAILED unsupported") {
+		t.Errorf("missing unsupported failure:\n%s", k.Transcript.String())
+	}
+	if !strings.Contains(out, "DISCONNECT") {
+		t.Errorf("missing disconnect:\n%s", k.Transcript.String())
+	}
+}
+
+type unsupportedMethodClient struct {
+	tries int
+	done  bool
+}
+
+func (c *unsupportedMethodClient) OnServerLine(line string) []string {
+	switch {
+	case strings.HasPrefix(line, "SSH-"):
+		return []string{"SSH-1.5-miniclient"}
+	case strings.HasPrefix(line, "WELCOME"):
+		return []string{"LOGIN alice somewhere.example.org"}
+	case strings.HasPrefix(line, "AUTH_FAILED"):
+		c.tries++
+		if c.tries > 3 {
+			c.done = true
+			return nil
+		}
+		return []string{"AUTH KERBEROS ticket-blob"}
+	case strings.HasPrefix(line, "DISCONNECT"):
+		c.done = true
+	}
+	return nil
+}
+func (c *unsupportedMethodClient) Done() bool    { return c.done }
+func (c *unsupportedMethodClient) Granted() bool { return false }

@@ -1,0 +1,361 @@
+package vm_test
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"faultsec/internal/vm"
+	"faultsec/internal/x86"
+)
+
+func TestCmpsWithRepe(t *testing.T) {
+	// Compare two equal 8-byte blocks with repe cmpsb: ZF set at the end,
+	// ECX exhausted.
+	code := []byte{
+		0xBE, 0x00, 0x80, 0, 0, // mov esi, 0x8000
+		0xBF, 0x20, 0x80, 0, 0, // mov edi, 0x8020
+		0xB9, 8, 0, 0, 0, // mov ecx, 8
+		0xF3, 0xA6, // repe cmpsb
+	}
+	m := newMachine(t, code)
+	for i := 0; i < 8; i++ {
+		if f := m.Mem.Write8(0x8000+uint32(i), uint32('a'+i)); f != nil {
+			t.Fatal(f)
+		}
+		if f := m.Mem.Write8(0x8020+uint32(i), uint32('a'+i)); f != nil {
+			t.Fatal(f)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		step(t, m)
+	}
+	if !m.GetFlag(x86.FlagZF) {
+		t.Error("equal blocks: ZF clear")
+	}
+	if m.Regs[x86.ECX] != 0 {
+		t.Errorf("ecx = %d", m.Regs[x86.ECX])
+	}
+
+	// Differ at index 3: repe stops there.
+	m2 := newMachine(t, code)
+	for i := 0; i < 8; i++ {
+		_ = m2.Mem.Write8(0x8000+uint32(i), uint32('a'+i))
+		_ = m2.Mem.Write8(0x8020+uint32(i), uint32('a'+i))
+	}
+	_ = m2.Mem.Write8(0x8023, 'Z')
+	for i := 0; i < 4; i++ {
+		step(t, m2)
+	}
+	if m2.GetFlag(x86.FlagZF) {
+		t.Error("differing blocks: ZF set")
+	}
+	if m2.Regs[x86.ECX] != 4 { // stopped after consuming index 3
+		t.Errorf("ecx = %d, want 4", m2.Regs[x86.ECX])
+	}
+}
+
+func TestRepneScasFindsByte(t *testing.T) {
+	// Classic strlen idiom: repne scasb.
+	code := []byte{
+		0xBF, 0x00, 0x80, 0, 0, // mov edi, 0x8000
+		0x31, 0xC0, // xor eax, eax
+		0xB9, 0xFF, 0, 0, 0, // mov ecx, 255
+		0xF2, 0xAE, // repne scasb
+	}
+	m := newMachine(t, code)
+	msg := "hello"
+	for i := 0; i < len(msg); i++ {
+		_ = m.Mem.Write8(0x8000+uint32(i), uint32(msg[i]))
+	}
+	for i := 0; i < 4; i++ {
+		step(t, m)
+	}
+	// 255 - ecx - 1 = strlen
+	if got := 255 - m.Regs[x86.ECX] - 1; got != 5 {
+		t.Errorf("strlen via scasb = %d", got)
+	}
+}
+
+func TestLodsAndDirectionFlag(t *testing.T) {
+	code := []byte{
+		0xBE, 0x04, 0x80, 0, 0, // mov esi, 0x8004
+		0xFD, // std
+		0xAD, // lodsd (backwards)
+		0xFC, // cld
+	}
+	m := newMachine(t, code)
+	if f := m.Mem.Write32(0x8004, 0xCAFEBABE); f != nil {
+		t.Fatal(f)
+	}
+	for i := 0; i < 4; i++ {
+		step(t, m)
+	}
+	if m.Regs[x86.EAX] != 0xCAFEBABE {
+		t.Errorf("eax = %#x", m.Regs[x86.EAX])
+	}
+	if m.Regs[x86.ESI] != 0x8000 {
+		t.Errorf("esi = %#x, want 0x8000 (DF decrement)", m.Regs[x86.ESI])
+	}
+}
+
+func TestBtFamilyRegisterForm(t *testing.T) {
+	code := []byte{
+		0xB8, 0b1010, 0, 0, 0, // mov eax, 0b1010
+		0xB9, 1, 0, 0, 0, // mov ecx, 1
+		0x0F, 0xA3, 0xC8, // bt eax, ecx  -> CF = bit1 = 1
+		0x0F, 0xAB, 0xC8, // bts eax, ecx (no change, already set)
+		0xB9, 2, 0, 0, 0, // mov ecx, 2
+		0x0F, 0xB3, 0xC8, // btr eax, ecx (bit2 was 0; stays 0)
+		0x0F, 0xBB, 0xC8, // btc eax, ecx (toggle bit2 on)
+	}
+	m := newMachine(t, code)
+	step(t, m)
+	step(t, m)
+	step(t, m)
+	if !m.GetFlag(x86.FlagCF) {
+		t.Error("bt: CF clear for set bit")
+	}
+	step(t, m)
+	step(t, m)
+	step(t, m)
+	if m.GetFlag(x86.FlagCF) {
+		t.Error("btr: CF set for clear bit")
+	}
+	step(t, m)
+	if m.Regs[x86.EAX] != 0b1110 {
+		t.Errorf("eax = %#b", m.Regs[x86.EAX])
+	}
+}
+
+func TestBtMemoryFormBitString(t *testing.T) {
+	// bt [0x8000], ecx with ecx=37: tests bit 5 of the dword at 0x8004.
+	code := []byte{
+		0xB9, 37, 0, 0, 0, // mov ecx, 37
+		0x0F, 0xA3, 0x0D, 0x00, 0x80, 0x00, 0x00, // bt [0x8000], ecx
+	}
+	m := newMachine(t, code)
+	if f := m.Mem.Write32(0x8004, 1<<5); f != nil {
+		t.Fatal(f)
+	}
+	step(t, m)
+	step(t, m)
+	if !m.GetFlag(x86.FlagCF) {
+		t.Error("bt memory bit-string form failed")
+	}
+}
+
+func TestCmpxchg(t *testing.T) {
+	// Success case: eax == [mem], so [mem] <- ecx.
+	code := []byte{
+		0xB8, 5, 0, 0, 0, // mov eax, 5
+		0xB9, 9, 0, 0, 0, // mov ecx, 9
+		0x0F, 0xB1, 0x0D, 0x00, 0x80, 0x00, 0x00, // cmpxchg [0x8000], ecx
+	}
+	m := newMachine(t, code)
+	if f := m.Mem.Write32(0x8000, 5); f != nil {
+		t.Fatal(f)
+	}
+	for i := 0; i < 3; i++ {
+		step(t, m)
+	}
+	v, _ := m.Mem.Read32(0x8000)
+	if v != 9 || !m.GetFlag(x86.FlagZF) {
+		t.Errorf("cmpxchg success: mem=%d ZF=%v", v, m.GetFlag(x86.FlagZF))
+	}
+	// Failure case: eax != [mem], so eax <- [mem].
+	m2 := newMachine(t, code)
+	if f := m2.Mem.Write32(0x8000, 7); f != nil {
+		t.Fatal(f)
+	}
+	for i := 0; i < 3; i++ {
+		step(t, m2)
+	}
+	if m2.Regs[x86.EAX] != 7 || m2.GetFlag(x86.FlagZF) {
+		t.Errorf("cmpxchg failure: eax=%d ZF=%v", m2.Regs[x86.EAX], m2.GetFlag(x86.FlagZF))
+	}
+}
+
+func TestXadd(t *testing.T) {
+	code := []byte{
+		0xB8, 3, 0, 0, 0, // mov eax, 3
+		0xB9, 4, 0, 0, 0, // mov ecx, 4
+		0x0F, 0xC1, 0xC8, // xadd eax, ecx
+	}
+	m := runALU(t, code, 3)
+	if m.Regs[x86.EAX] != 7 || m.Regs[x86.ECX] != 3 {
+		t.Errorf("xadd: eax=%d ecx=%d, want 7/3", m.Regs[x86.EAX], m.Regs[x86.ECX])
+	}
+}
+
+func TestShldShrd(t *testing.T) {
+	// shld r/m, reg, imm: 0F A4 /r ib — eax is r/m, ecx provides the
+	// incoming bits.
+	code := []byte{
+		0xB8, 0x01, 0x00, 0x00, 0x00, // mov eax, 1
+		0xB9, 0x00, 0x00, 0x00, 0x80, // mov ecx, 0x80000000
+		0x0F, 0xA4, 0xC8, 1, // shld eax, ecx, 1
+	}
+	m := runALU(t, code, 3)
+	if m.Regs[x86.EAX] != 0x3 { // 1<<1 | top bit of ecx
+		t.Errorf("shld: eax = %#x, want 3", m.Regs[x86.EAX])
+	}
+	code = []byte{
+		0xB8, 0x00, 0x00, 0x00, 0x80, // mov eax, 0x80000000
+		0xB9, 0x01, 0x00, 0x00, 0x00, // mov ecx, 1
+		0x0F, 0xAC, 0xC8, 1, // shrd eax, ecx, 1
+	}
+	m = runALU(t, code, 3)
+	if m.Regs[x86.EAX] != 0xC0000000 {
+		t.Errorf("shrd: eax = %#x, want 0xC0000000", m.Regs[x86.EAX])
+	}
+}
+
+func TestPushfPopfRoundTrip(t *testing.T) {
+	code := []byte{
+		0xF9, // stc
+		0x9C, // pushf
+		0xF8, // clc
+		0x9D, // popf
+	}
+	m := runALU(t, code, 4)
+	if !m.GetFlag(x86.FlagCF) {
+		t.Error("popf did not restore CF")
+	}
+}
+
+func TestMoffsForms(t *testing.T) {
+	code := []byte{
+		0xB8, 0x44, 0x33, 0x22, 0x11, // mov eax, 0x11223344
+		0xA3, 0x00, 0x80, 0x00, 0x00, // mov [0x8000], eax
+		0x31, 0xC0, // xor eax, eax
+		0xA1, 0x00, 0x80, 0x00, 0x00, // mov eax, [0x8000]
+	}
+	m := runALU(t, code, 4)
+	if m.Regs[x86.EAX] != 0x11223344 {
+		t.Errorf("moffs round trip: %#x", m.Regs[x86.EAX])
+	}
+}
+
+func TestXlat(t *testing.T) {
+	code := []byte{
+		0xBB, 0x00, 0x80, 0, 0, // mov ebx, 0x8000
+		0xB0, 3, // mov al, 3
+		0xD7, // xlat
+	}
+	m := newMachine(t, code)
+	for i := 0; i < 8; i++ {
+		_ = m.Mem.Write8(0x8000+uint32(i), uint32(0x40+i))
+	}
+	for i := 0; i < 3; i++ {
+		step(t, m)
+	}
+	if m.Regs[x86.EAX]&0xFF != 0x43 {
+		t.Errorf("xlat: al = %#x", m.Regs[x86.EAX]&0xFF)
+	}
+}
+
+func TestJecxzAndLoop(t *testing.T) {
+	// mov ecx, 3 ; L: dec-free loop body ; loop L ; -> loops 3 times
+	code := []byte{
+		0xB9, 3, 0, 0, 0, // mov ecx, 3
+		0x40,       // L: inc eax
+		0xE2, 0xFD, // loop L
+		0xE3, 0x01, // jecxz +1 (taken: ecx==0)
+		0x48, // dec eax (skipped)
+		0x90, // nop
+	}
+	m := newMachine(t, code)
+	for m.EIP != 0x1000+11 {
+		step(t, m)
+		if m.Steps > 50 {
+			t.Fatal("runaway")
+		}
+	}
+	if m.Regs[x86.EAX] != 3 {
+		t.Errorf("loop count: eax = %d", m.Regs[x86.EAX])
+	}
+}
+
+// Property: shl/shr by k equals Go's shifts for counts 0..31.
+func TestShiftsMatchGo(t *testing.T) {
+	f := func(v uint32, count uint8) bool {
+		c := uint32(count) & 0x1F
+		// mov eax, v ; mov ecx, c ; shl eax, cl
+		shl := []byte{0xB8, 0, 0, 0, 0, 0xB9, 0, 0, 0, 0, 0xD3, 0xE0}
+		putLE(shl[1:], v)
+		putLE(shl[6:], c)
+		m := runALU(t, shl, 3)
+		want := v
+		if c != 0 {
+			want = v << c
+		}
+		if m.Regs[x86.EAX] != want {
+			return false
+		}
+		shr := []byte{0xB8, 0, 0, 0, 0, 0xB9, 0, 0, 0, 0, 0xD3, 0xE8}
+		putLE(shr[1:], v)
+		putLE(shr[6:], c)
+		m = runALU(t, shr, 3)
+		want = v
+		if c != 0 {
+			want = v >> c
+		}
+		if m.Regs[x86.EAX] != want {
+			return false
+		}
+		sar := []byte{0xB8, 0, 0, 0, 0, 0xB9, 0, 0, 0, 0, 0xD3, 0xF8}
+		putLE(sar[1:], v)
+		putLE(sar[6:], c)
+		m = runALU(t, sar, 3)
+		want = v
+		if c != 0 {
+			want = uint32(int32(v) >> c)
+		}
+		return m.Regs[x86.EAX] == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCFEWatchdogCatchesWildJump(t *testing.T) {
+	// jmp into the middle of an instruction: off the known boundaries.
+	code := []byte{
+		0xEB, 0x01, // jmp +1 -> lands inside the next instruction
+		0xB8, 0x90, 0x90, 0x90, 0x90, // mov eax, imm (byte 1 is a nop-like)
+		0xC3,
+	}
+	m := newMachine(t, code)
+	m.CFValid = map[uint32]struct{}{
+		0x1000: {}, 0x1002: {}, 0x1007: {},
+	}
+	err := m.Run()
+	var fault *vm.Fault
+	if !errors.As(err, &fault) || fault.Kind != vm.FaultCFE {
+		t.Errorf("run = %v, want CFE detection", err)
+	}
+	if fault.Addr != 0x1003 {
+		t.Errorf("CFE at %#x, want 0x1003", fault.Addr)
+	}
+}
+
+func TestCFEWatchdogAllowsValidPaths(t *testing.T) {
+	code := []byte{
+		0x31, 0xC0, // xor eax, eax
+		0x74, 0x01, // je +1
+		0x90,             // (skipped)
+		0xB8, 1, 0, 0, 0, // mov eax, 1 (exit)
+		0x31, 0xDB, // xor ebx, ebx
+		0xCD, 0x80, // int 0x80
+	}
+	m := newMachine(t, code)
+	m.CFValid = map[uint32]struct{}{
+		0x1000: {}, 0x1002: {}, 0x1004: {}, 0x1005: {}, 0x100A: {}, 0x100C: {},
+	}
+	err := m.Run()
+	var exit *vm.ExitStatus
+	if !errors.As(err, &exit) {
+		t.Errorf("watchdog broke a valid run: %v", err)
+	}
+}

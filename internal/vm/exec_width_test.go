@@ -1,0 +1,241 @@
+package vm_test
+
+import (
+	"errors"
+	"testing"
+
+	"faultsec/internal/vm"
+	"faultsec/internal/x86"
+)
+
+func TestMul8And16(t *testing.T) {
+	// mov al, 20 ; mov cl, 13 ; mul cl -> ax = 260
+	code := []byte{0xB0, 20, 0xB1, 13, 0xF6, 0xE1}
+	m := runALU(t, code, 3)
+	if m.Regs[x86.EAX]&0xFFFF != 260 {
+		t.Errorf("mul8: ax = %d", m.Regs[x86.EAX]&0xFFFF)
+	}
+	if !m.GetFlag(x86.FlagCF) { // high byte nonzero
+		t.Error("mul8: CF clear with nonzero AH")
+	}
+
+	// 16-bit: mov ax, 1000 ; mov cx, 70 ; mul cx -> dx:ax = 70000
+	code = []byte{
+		0x66, 0xB8, 0xE8, 0x03, // mov ax, 1000
+		0x66, 0xB9, 0x46, 0x00, // mov cx, 70
+		0x66, 0xF7, 0xE1, // mul cx
+	}
+	m = runALU(t, code, 3)
+	got := m.Regs[x86.EDX]&0xFFFF<<16 | m.Regs[x86.EAX]&0xFFFF
+	if got != 70000 {
+		t.Errorf("mul16: dx:ax = %d", got)
+	}
+}
+
+func TestIMul8Signed(t *testing.T) {
+	// mov al, -5 ; mov cl, 7 ; imul cl -> ax = -35
+	code := []byte{0xB0, 0xFB, 0xB1, 7, 0xF6, 0xE9}
+	m := runALU(t, code, 3)
+	if int16(m.Regs[x86.EAX]&0xFFFF) != -35 {
+		t.Errorf("imul8: ax = %d", int16(m.Regs[x86.EAX]&0xFFFF))
+	}
+}
+
+func TestDiv8And16(t *testing.T) {
+	// ax = 260, divide by cl=13 -> al=20 ah=0
+	code := []byte{
+		0x66, 0xB8, 0x04, 0x01, // mov ax, 260
+		0xB1, 13, // mov cl, 13
+		0xF6, 0xF1, // div cl
+	}
+	m := runALU(t, code, 3)
+	if m.Regs[x86.EAX]&0xFF != 20 || m.Regs[x86.EAX]>>8&0xFF != 0 {
+		t.Errorf("div8: al=%d ah=%d", m.Regs[x86.EAX]&0xFF, m.Regs[x86.EAX]>>8&0xFF)
+	}
+
+	// idiv8 with remainder: ax = -35, cl = 8 -> al = -4, ah = -3
+	code = []byte{
+		0x66, 0xB8, 0xDD, 0xFF, // mov ax, -35
+		0xB1, 8, // mov cl, 8
+		0xF6, 0xF9, // idiv cl
+	}
+	m = runALU(t, code, 3)
+	if int8(m.Regs[x86.EAX]&0xFF) != -4 || int8(m.Regs[x86.EAX]>>8&0xFF) != -3 {
+		t.Errorf("idiv8: al=%d ah=%d", int8(m.Regs[x86.EAX]&0xFF), int8(m.Regs[x86.EAX]>>8&0xFF))
+	}
+
+	// div16: dx:ax = 70000 / cx=70 -> ax=1000 dx=0
+	code = []byte{
+		0x66, 0xB8, 0x70, 0x11, // mov ax, 0x1170 (70000 & 0xFFFF)
+		0x66, 0xBA, 0x01, 0x00, // mov dx, 1 (70000 >> 16)
+		0x66, 0xB9, 0x46, 0x00, // mov cx, 70
+		0x66, 0xF7, 0xF1, // div cx
+	}
+	m = runALU(t, code, 4)
+	if m.Regs[x86.EAX]&0xFFFF != 1000 || m.Regs[x86.EDX]&0xFFFF != 0 {
+		t.Errorf("div16: ax=%d dx=%d", m.Regs[x86.EAX]&0xFFFF, m.Regs[x86.EDX]&0xFFFF)
+	}
+}
+
+func TestDivOverflowFaults(t *testing.T) {
+	// quotient > 0xFF for 8-bit divide: ax=0x1000 / 1 -> #DE
+	code := []byte{
+		0x66, 0xB8, 0x00, 0x10, // mov ax, 0x1000
+		0xB1, 1, // mov cl, 1
+		0xF6, 0xF1, // div cl
+	}
+	m := newMachine(t, code)
+	var err error
+	for i := 0; i < 3 && err == nil; i++ {
+		err = m.Step()
+	}
+	var fault *vm.Fault
+	if !errors.As(err, &fault) || fault.Kind != vm.FaultDivide {
+		t.Errorf("div overflow = %v, want #DE", err)
+	}
+}
+
+func TestRclRcrThroughCarry(t *testing.T) {
+	// stc ; mov eax, 0 ; rcl eax, 1 -> eax = 1, CF = 0
+	code := []byte{0xF9, 0xB8, 0, 0, 0, 0, 0xD1, 0xD0}
+	m := runALU(t, code, 3)
+	if m.Regs[x86.EAX] != 1 || m.GetFlag(x86.FlagCF) {
+		t.Errorf("rcl: eax=%d CF=%v", m.Regs[x86.EAX], m.GetFlag(x86.FlagCF))
+	}
+	// stc ; mov eax, 0 ; rcr eax, 1 -> eax = 0x80000000, CF = 0
+	code = []byte{0xF9, 0xB8, 0, 0, 0, 0, 0xD1, 0xD8}
+	m = runALU(t, code, 3)
+	if m.Regs[x86.EAX] != 0x80000000 || m.GetFlag(x86.FlagCF) {
+		t.Errorf("rcr: eax=%#x CF=%v", m.Regs[x86.EAX], m.GetFlag(x86.FlagCF))
+	}
+}
+
+func TestEnter(t *testing.T) {
+	// enter 16, 0 equals push ebp; mov ebp, esp; sub esp, 16
+	code := []byte{0xC8, 0x10, 0x00, 0x00}
+	m := newMachine(t, code)
+	esp0 := m.Regs[x86.ESP]
+	step(t, m)
+	if m.Regs[x86.ESP] != esp0-4-16 {
+		t.Errorf("enter: esp moved %d", esp0-m.Regs[x86.ESP])
+	}
+	if m.Regs[x86.EBP] != esp0-4 {
+		t.Errorf("enter: ebp = %#x", m.Regs[x86.EBP])
+	}
+}
+
+func TestAdcSbbChains(t *testing.T) {
+	// 64-bit add via adc: 0xFFFFFFFF + 1 with carry chain.
+	code := []byte{
+		0xB8, 0xFF, 0xFF, 0xFF, 0xFF, // mov eax, 0xFFFFFFFF (low)
+		0xBB, 0x00, 0x00, 0x00, 0x00, // mov ebx, 0 (high)
+		0x83, 0xC0, 0x01, // add eax, 1 -> CF
+		0x83, 0xD3, 0x00, // adc ebx, 0 -> ebx = 1
+	}
+	m := runALU(t, code, 4)
+	if m.Regs[x86.EAX] != 0 || m.Regs[x86.EBX] != 1 {
+		t.Errorf("adc chain: eax=%#x ebx=%d", m.Regs[x86.EAX], m.Regs[x86.EBX])
+	}
+	// sbb: 0 - 1 at low word borrows from high.
+	code = []byte{
+		0x31, 0xC0, // xor eax, eax
+		0xBB, 0x05, 0x00, 0x00, 0x00, // mov ebx, 5
+		0x83, 0xE8, 0x01, // sub eax, 1 -> CF
+		0x83, 0xDB, 0x00, // sbb ebx, 0 -> ebx = 4
+	}
+	m = runALU(t, code, 4)
+	if m.Regs[x86.EAX] != 0xFFFFFFFF || m.Regs[x86.EBX] != 4 {
+		t.Errorf("sbb chain: eax=%#x ebx=%d", m.Regs[x86.EAX], m.Regs[x86.EBX])
+	}
+}
+
+func TestMiscOps(t *testing.T) {
+	// salc with CF set -> al = 0xFF
+	code := []byte{0xF9, 0xD6}
+	m := runALU(t, code, 2)
+	if m.Regs[x86.EAX]&0xFF != 0xFF {
+		t.Errorf("salc: al = %#x", m.Regs[x86.EAX]&0xFF)
+	}
+	// cpuid zeroes the four registers deterministically
+	code = []byte{
+		0xB8, 1, 2, 3, 4,
+		0xBB, 5, 6, 7, 8,
+		0x0F, 0xA2,
+	}
+	m = runALU(t, code, 3)
+	if m.Regs[x86.EAX] != 0 || m.Regs[x86.EBX] != 0 || m.Regs[x86.ECX] != 0 || m.Regs[x86.EDX] != 0 {
+		t.Error("cpuid left registers nonzero")
+	}
+	// rdtsc is monotone and deterministic
+	code = []byte{0x0F, 0x31, 0x90, 0x0F, 0x31}
+	m = newMachine(t, code)
+	step(t, m)
+	first := m.Regs[x86.EAX]
+	step(t, m)
+	step(t, m)
+	if m.Regs[x86.EAX] <= first {
+		t.Error("rdtsc not monotone")
+	}
+	// sahf moves AH into the low flags
+	code = []byte{
+		0xB8, 0x00, 0xFF, 0x00, 0x00, // mov eax, 0xFF00 (AH=0xFF)
+		0x9E, // sahf
+	}
+	m = runALU(t, code, 2)
+	if !m.GetFlag(x86.FlagCF) || !m.GetFlag(x86.FlagZF) || !m.GetFlag(x86.FlagSF) {
+		t.Error("sahf did not set flags from AH")
+	}
+	// cbw/cwd 16-bit forms
+	code = []byte{
+		0xB0, 0x80, // mov al, 0x80
+		0x66, 0x98, // cbw: ax = 0xFF80
+		0x66, 0x99, // cwd: dx = 0xFFFF
+	}
+	m = runALU(t, code, 3)
+	if m.Regs[x86.EAX]&0xFFFF != 0xFF80 {
+		t.Errorf("cbw: ax = %#x", m.Regs[x86.EAX]&0xFFFF)
+	}
+	if m.Regs[x86.EDX]&0xFFFF != 0xFFFF {
+		t.Errorf("cwd: dx = %#x", m.Regs[x86.EDX]&0xFFFF)
+	}
+	// into with OF clear is a no-op; bound always faults here
+	code = []byte{0xCE, 0x90}
+	m = runALU(t, code, 2)
+	if m.EIP != 0x1002 {
+		t.Errorf("into fell through wrong: eip=%#x", m.EIP)
+	}
+}
+
+func TestSegmentRegisterStandins(t *testing.T) {
+	// push es (0x06) pushes a selector; pop es (0x07) discards.
+	code := []byte{0x06, 0x07, 0x90}
+	m := runALU(t, code, 2)
+	if m.EIP != 0x1002 {
+		t.Errorf("seg push/pop: eip=%#x", m.EIP)
+	}
+	// mov r/m16, sreg stores the fake selector.
+	code = []byte{0x8C, 0xD8} // mov ax, ds
+	m = runALU(t, code, 1)
+	if m.Regs[x86.EAX]&0xFFFF != 0x2B {
+		t.Errorf("mov from sreg: ax = %#x", m.Regs[x86.EAX]&0xFFFF)
+	}
+	// mov sreg, r/m16 faults (#GP)
+	code = []byte{0x8E, 0xD8}
+	m2 := newMachine(t, code)
+	err := m2.Run()
+	var fault *vm.Fault
+	if !errors.As(err, &fault) || fault.Kind != vm.FaultPrivileged {
+		t.Errorf("mov to sreg = %v, want #GP", err)
+	}
+}
+
+func TestStackFaultOnOverflow(t *testing.T) {
+	// Push in a loop until the stack region is exhausted.
+	code := []byte{0x50, 0xEB, 0xFD} // L: push eax ; jmp L
+	m := newMachine(t, code)
+	err := m.Run()
+	var fault *vm.Fault
+	if !errors.As(err, &fault) || fault.Kind != vm.FaultMemory {
+		t.Errorf("stack overflow = %v, want memory fault", err)
+	}
+}

@@ -1,0 +1,117 @@
+package vm
+
+import "faultsec/internal/x86"
+
+// parityEven[b] is true when byte b has an even number of set bits (PF=1).
+var parityEven = computeParityTable()
+
+func computeParityTable() [256]bool {
+	var t [256]bool
+	for i := range t {
+		ones := 0
+		for b := i; b != 0; b >>= 1 {
+			ones += b & 1
+		}
+		t[i] = ones%2 == 0
+	}
+	return t
+}
+
+func widthMask(w uint8) uint32 {
+	switch w {
+	case 1:
+		return 0xFF
+	case 2:
+		return 0xFFFF
+	default:
+		return 0xFFFFFFFF
+	}
+}
+
+func signBit(w uint8) uint32 {
+	switch w {
+	case 1:
+		return 0x80
+	case 2:
+		return 0x8000
+	default:
+		return 0x80000000
+	}
+}
+
+func (m *Machine) setFlag(f uint32, on bool) {
+	if on {
+		m.Flags |= f
+	} else {
+		m.Flags &^= f
+	}
+}
+
+// GetFlag reports whether flag f is set.
+func (m *Machine) GetFlag(f uint32) bool { return m.Flags&f != 0 }
+
+// setSZP sets the sign, zero and parity flags from a result of width w.
+func (m *Machine) setSZP(v uint32, w uint8) {
+	v &= widthMask(w)
+	m.setFlag(x86.FlagZF, v == 0)
+	m.setFlag(x86.FlagSF, v&signBit(w) != 0)
+	m.setFlag(x86.FlagPF, parityEven[byte(v)])
+}
+
+// addFlags computes a+b+carry at width w, sets CF/OF/AF/SF/ZF/PF, and
+// returns the masked result.
+func (m *Machine) addFlags(a, b, carry uint32, w uint8) uint32 {
+	mask := widthMask(w)
+	a &= mask
+	b &= mask
+	r64 := uint64(a) + uint64(b) + uint64(carry)
+	r := uint32(r64) & mask
+	m.setFlag(x86.FlagCF, r64 > uint64(mask))
+	sb := signBit(w)
+	m.setFlag(x86.FlagOF, (a^r)&(b^r)&sb != 0)
+	m.setFlag(x86.FlagAF, (a^b^r)&0x10 != 0)
+	m.setSZP(r, w)
+	return r
+}
+
+// subFlags computes a-b-borrow at width w, sets CF/OF/AF/SF/ZF/PF, and
+// returns the masked result.
+func (m *Machine) subFlags(a, b, borrow uint32, w uint8) uint32 {
+	mask := widthMask(w)
+	a &= mask
+	b &= mask
+	r64 := uint64(a) - uint64(b) - uint64(borrow)
+	r := uint32(r64) & mask
+	m.setFlag(x86.FlagCF, uint64(a) < uint64(b)+uint64(borrow))
+	sb := signBit(w)
+	m.setFlag(x86.FlagOF, (a^b)&(a^r)&sb != 0)
+	m.setFlag(x86.FlagAF, (a^b^r)&0x10 != 0)
+	m.setSZP(r, w)
+	return r
+}
+
+// logicFlags clears CF/OF, sets SF/ZF/PF from v, and returns the masked
+// result (the AND/OR/XOR/TEST flag rule).
+func (m *Machine) logicFlags(v uint32, w uint8) uint32 {
+	v &= widthMask(w)
+	m.setFlag(x86.FlagCF, false)
+	m.setFlag(x86.FlagOF, false)
+	m.setSZP(v, w)
+	return v
+}
+
+// incFlags computes v+1 preserving CF (INC semantics).
+func (m *Machine) incFlags(v uint32, w uint8) uint32 {
+	cf := m.GetFlag(x86.FlagCF)
+	r := m.addFlags(v, 1, 0, w)
+	m.setFlag(x86.FlagCF, cf)
+	return r
+}
+
+// decFlags computes v-1 preserving CF (DEC semantics).
+func (m *Machine) decFlags(v uint32, w uint8) uint32 {
+	cf := m.GetFlag(x86.FlagCF)
+	r := m.subFlags(v, 1, 0, w)
+	m.setFlag(x86.FlagCF, cf)
+	return r
+}

@@ -1,0 +1,206 @@
+package vm
+
+import (
+	"faultsec/internal/x86"
+)
+
+// SyscallHandler receives software interrupts (int 0x80). It may read and
+// modify machine state. Returning a non-nil error ends the run: an
+// *ExitStatus for a clean exit, any other error for kernel-detected
+// conditions (for example the harness's hang detection).
+type SyscallHandler interface {
+	Syscall(m *Machine) error
+}
+
+// DefaultFuel is the default retired-instruction budget per run. Fault-free
+// sessions in this study retire well under 100k instructions; the budget
+// only trips on corrupted runs stuck in non-terminating loops.
+const DefaultFuel = 2_000_000
+
+// Machine is one user-mode x86 hardware thread plus its address space.
+type Machine struct {
+	Regs  [x86.NumRegs]uint32
+	EIP   uint32
+	Flags uint32
+	Mem   *Memory
+	Sys   SyscallHandler
+
+	// Steps counts retired instructions (user mode only, like the paper's
+	// latency measurements which exclude kernel-mode execution).
+	Steps uint64
+	// Fuel is the maximum number of instructions to retire; 0 means
+	// DefaultFuel.
+	Fuel uint64
+	// TSC is a deterministic timestamp counter for rdtsc.
+	TSC uint64
+
+	// CFValid, when non-nil, enables the control-flow watchdog: before
+	// each fetch, EIP must be a member of this set (the instruction-start
+	// addresses of the loaded program) or execution stops with FaultCFE.
+	// This models software signature checkers (BSSC/ECCA/PECOS) from the
+	// paper's related work: they catch wild jumps and instruction-stream
+	// desynchronization, but by construction they cannot catch a valid
+	// branch taken in the wrong direction.
+	CFValid map[uint32]struct{}
+
+	breakpoints map[uint32]struct{}
+}
+
+// New returns a machine with the given address space and syscall handler.
+func New(mem *Memory, sys SyscallHandler) *Machine {
+	return &Machine{Mem: mem, Sys: sys, Fuel: DefaultFuel}
+}
+
+// SetBreakpoint arms a breakpoint: Run returns a *BreakpointHit when EIP
+// reaches addr, before executing the instruction there.
+func (m *Machine) SetBreakpoint(addr uint32) {
+	if m.breakpoints == nil {
+		m.breakpoints = make(map[uint32]struct{})
+	}
+	m.breakpoints[addr] = struct{}{}
+}
+
+// ClearBreakpoint disarms the breakpoint at addr.
+func (m *Machine) ClearBreakpoint(addr uint32) {
+	delete(m.breakpoints, addr)
+}
+
+// Reg returns register r (32-bit).
+func (m *Machine) Reg(r uint8) uint32 { return m.Regs[r] }
+
+// SetReg sets register r (32-bit).
+func (m *Machine) SetReg(r uint8, v uint32) { m.Regs[r] = v }
+
+// regRead reads register r at width w. Width-1 registers follow x86 8-bit
+// register numbering: 0..3 are AL/CL/DL/BL, 4..7 are AH/CH/DH/BH.
+func (m *Machine) regRead(r uint8, w uint8) uint32 {
+	switch w {
+	case 1:
+		if r < 4 {
+			return m.Regs[r] & 0xFF
+		}
+		return (m.Regs[r-4] >> 8) & 0xFF
+	case 2:
+		return m.Regs[r] & 0xFFFF
+	default:
+		return m.Regs[r]
+	}
+}
+
+// regWrite writes register r at width w (partial-register update for w<4).
+func (m *Machine) regWrite(r uint8, w uint8, v uint32) {
+	switch w {
+	case 1:
+		if r < 4 {
+			m.Regs[r] = m.Regs[r]&^uint32(0xFF) | v&0xFF
+		} else {
+			m.Regs[r-4] = m.Regs[r-4]&^uint32(0xFF00) | (v&0xFF)<<8
+		}
+	case 2:
+		m.Regs[r] = m.Regs[r]&^uint32(0xFFFF) | v&0xFFFF
+	default:
+		m.Regs[r] = v
+	}
+}
+
+// effAddr computes the effective address of a memory operand.
+func (m *Machine) effAddr(rm *x86.RM) uint32 {
+	addr := uint32(rm.Disp)
+	if rm.Base != x86.NoReg {
+		addr += m.Regs[rm.Base]
+	}
+	if rm.Index != x86.NoReg {
+		addr += m.Regs[rm.Index] * uint32(rm.Scale)
+	}
+	return addr
+}
+
+// rmRead reads the r/m operand at width w.
+func (m *Machine) rmRead(rm *x86.RM, w uint8) (uint32, *Fault) {
+	if rm.IsReg {
+		return m.regRead(rm.Reg, w), nil
+	}
+	return m.Mem.ReadW(m.effAddr(rm), w)
+}
+
+// rmWrite writes the r/m operand at width w.
+func (m *Machine) rmWrite(rm *x86.RM, w uint8, v uint32) *Fault {
+	if rm.IsReg {
+		m.regWrite(rm.Reg, w, v)
+		return nil
+	}
+	return m.Mem.WriteW(m.effAddr(rm), v, w)
+}
+
+// push pushes a 32-bit value.
+func (m *Machine) push(v uint32) *Fault {
+	m.Regs[x86.ESP] -= 4
+	return m.Mem.Write32(m.Regs[x86.ESP], v)
+}
+
+// pop pops a 32-bit value.
+func (m *Machine) pop() (uint32, *Fault) {
+	v, f := m.Mem.Read32(m.Regs[x86.ESP])
+	if f != nil {
+		return 0, f
+	}
+	m.Regs[x86.ESP] += 4
+	return v, nil
+}
+
+// fuel returns the effective fuel budget.
+func (m *Machine) fuel() uint64 {
+	if m.Fuel == 0 {
+		return DefaultFuel
+	}
+	return m.Fuel
+}
+
+// Step decodes and executes one instruction. It returns nil on normal
+// retirement; a *Fault, *ExitStatus, *OutOfFuel, or a kernel error ends the
+// run.
+func (m *Machine) Step() error {
+	if m.Steps >= m.fuel() {
+		return &OutOfFuel{Steps: m.Steps}
+	}
+	pc := m.EIP
+	if m.CFValid != nil {
+		if _, ok := m.CFValid[pc]; !ok {
+			return &Fault{Kind: FaultCFE, Addr: pc, PC: pc}
+		}
+	}
+	code, f := m.Mem.Fetch(pc, x86.MaxInstLen)
+	if f != nil {
+		f.PC = pc
+		return f
+	}
+	in, err := x86.Decode(code)
+	if err != nil {
+		de, ok := err.(*x86.DecodeError)
+		if ok && de.Truncated {
+			// Ran off the end of the executable region mid-instruction.
+			return &Fault{Kind: FaultFetch, Addr: pc + uint32(de.Offset), PC: pc}
+		}
+		return &Fault{Kind: FaultUndefined, Addr: pc, PC: pc}
+	}
+	m.Steps++
+	m.TSC += 3 // deterministic pseudo cycle count
+	return m.exec(&in, pc)
+}
+
+// Run executes until the program exits, faults, runs out of fuel, hits an
+// armed breakpoint, or the kernel aborts the run. The returned error is
+// never nil and is one of *ExitStatus, *Fault, *OutOfFuel, *BreakpointHit,
+// or a kernel-defined error.
+func (m *Machine) Run() error {
+	for {
+		if len(m.breakpoints) != 0 {
+			if _, hit := m.breakpoints[m.EIP]; hit {
+				return &BreakpointHit{Addr: m.EIP}
+			}
+		}
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+}

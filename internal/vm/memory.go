@@ -1,0 +1,270 @@
+// Package vm implements a deterministic 32-bit x86-subset interpreter used
+// as the study's hardware substrate. It models user-mode execution under a
+// Linux-like personality: protected memory regions, precise faults
+// (translated to the usual POSIX signals), a breakpoint facility for the
+// NFTAPE-style injector, and a retired-instruction counter used to measure
+// the paper's transient windows of vulnerability (Figure 4).
+package vm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Perm is a bit set of region permissions.
+type Perm uint8
+
+// Region permissions.
+const (
+	PermRead Perm = 1 << iota
+	PermWrite
+	PermExec
+)
+
+// String renders the permission set in ls -l style ("r-x").
+func (p Perm) String() string {
+	b := []byte("---")
+	if p&PermRead != 0 {
+		b[0] = 'r'
+	}
+	if p&PermWrite != 0 {
+		b[1] = 'w'
+	}
+	if p&PermExec != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// Region is a contiguous mapped range of the 32-bit address space.
+type Region struct {
+	Name string
+	Base uint32
+	Perm Perm
+	Data []byte
+}
+
+// End returns the first address past the region.
+func (r *Region) End() uint32 { return r.Base + uint32(len(r.Data)) }
+
+// Contains reports whether addr falls inside the region.
+func (r *Region) Contains(addr uint32) bool {
+	return addr >= r.Base && addr < r.End()
+}
+
+// Memory is a sparse 32-bit address space made of non-overlapping regions.
+type Memory struct {
+	regions []*Region // sorted by Base
+}
+
+// NewMemory returns an empty address space.
+func NewMemory() *Memory { return &Memory{} }
+
+// Map adds a region. It returns an error if the region overlaps an existing
+// mapping or wraps around the address space.
+func (m *Memory) Map(r *Region) error {
+	if len(r.Data) == 0 {
+		return fmt.Errorf("vm: map %q: empty region", r.Name)
+	}
+	if r.Base+uint32(len(r.Data)) < r.Base {
+		return fmt.Errorf("vm: map %q: region wraps address space", r.Name)
+	}
+	for _, ex := range m.regions {
+		if r.Base < ex.End() && ex.Base < r.End() {
+			return fmt.Errorf("vm: map %q: overlaps region %q", r.Name, ex.Name)
+		}
+	}
+	m.regions = append(m.regions, r)
+	sort.Slice(m.regions, func(i, j int) bool {
+		return m.regions[i].Base < m.regions[j].Base
+	})
+	return nil
+}
+
+// Regions returns the mapped regions in address order. The caller must not
+// mutate the returned slice.
+func (m *Memory) Regions() []*Region { return m.regions }
+
+// Find returns the region containing addr, or nil.
+func (m *Memory) Find(addr uint32) *Region {
+	// Linear scan: region count is tiny (text/rodata/data/bss/stack).
+	for _, r := range m.regions {
+		if r.Contains(addr) {
+			return r
+		}
+	}
+	return nil
+}
+
+// FindByName returns the region with the given name, or nil.
+func (m *Memory) FindByName(name string) *Region {
+	for _, r := range m.regions {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// access validates an n-byte access at addr with permission p and returns
+// the backing slice.
+func (m *Memory) access(addr uint32, n int, p Perm) ([]byte, *Fault) {
+	r := m.Find(addr)
+	if r == nil || r.Perm&p != p {
+		return nil, &Fault{Kind: faultKindForPerm(p), Addr: addr}
+	}
+	off := addr - r.Base
+	if int(off)+n > len(r.Data) {
+		// Access straddles the end of the region: fault at first bad byte.
+		return nil, &Fault{Kind: faultKindForPerm(p), Addr: r.End()}
+	}
+	return r.Data[off : off+uint32(n)], nil
+}
+
+func faultKindForPerm(p Perm) FaultKind {
+	if p&PermExec != 0 {
+		return FaultFetch
+	}
+	return FaultMemory
+}
+
+// Read returns n bytes starting at addr, checking read permission.
+func (m *Memory) Read(addr uint32, n int) ([]byte, *Fault) {
+	return m.access(addr, n, PermRead)
+}
+
+// Read8 reads one byte.
+func (m *Memory) Read8(addr uint32) (uint32, *Fault) {
+	b, f := m.access(addr, 1, PermRead)
+	if f != nil {
+		return 0, f
+	}
+	return uint32(b[0]), nil
+}
+
+// Read16 reads a little-endian 16-bit value.
+func (m *Memory) Read16(addr uint32) (uint32, *Fault) {
+	b, f := m.access(addr, 2, PermRead)
+	if f != nil {
+		return 0, f
+	}
+	return uint32(b[0]) | uint32(b[1])<<8, nil
+}
+
+// Read32 reads a little-endian 32-bit value.
+func (m *Memory) Read32(addr uint32) (uint32, *Fault) {
+	b, f := m.access(addr, 4, PermRead)
+	if f != nil {
+		return 0, f
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil
+}
+
+// ReadW reads a w-byte little-endian value (w in {1,2,4}).
+func (m *Memory) ReadW(addr uint32, w uint8) (uint32, *Fault) {
+	switch w {
+	case 1:
+		return m.Read8(addr)
+	case 2:
+		return m.Read16(addr)
+	default:
+		return m.Read32(addr)
+	}
+}
+
+// Write8 writes one byte, checking write permission.
+func (m *Memory) Write8(addr uint32, v uint32) *Fault {
+	b, f := m.access(addr, 1, PermWrite)
+	if f != nil {
+		return f
+	}
+	b[0] = byte(v)
+	return nil
+}
+
+// Write16 writes a little-endian 16-bit value.
+func (m *Memory) Write16(addr uint32, v uint32) *Fault {
+	b, f := m.access(addr, 2, PermWrite)
+	if f != nil {
+		return f
+	}
+	b[0], b[1] = byte(v), byte(v>>8)
+	return nil
+}
+
+// Write32 writes a little-endian 32-bit value.
+func (m *Memory) Write32(addr uint32, v uint32) *Fault {
+	b, f := m.access(addr, 4, PermWrite)
+	if f != nil {
+		return f
+	}
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	return nil
+}
+
+// WriteW writes a w-byte little-endian value (w in {1,2,4}).
+func (m *Memory) WriteW(addr uint32, v uint32, w uint8) *Fault {
+	switch w {
+	case 1:
+		return m.Write8(addr, v)
+	case 2:
+		return m.Write16(addr, v)
+	default:
+		return m.Write32(addr, v)
+	}
+}
+
+// Fetch returns up to n instruction bytes at addr, checking execute
+// permission. Fewer bytes are returned when the region ends before n; the
+// decoder reports truncation, which becomes a fetch fault.
+func (m *Memory) Fetch(addr uint32, n int) ([]byte, *Fault) {
+	r := m.Find(addr)
+	if r == nil || r.Perm&PermExec == 0 {
+		return nil, &Fault{Kind: FaultFetch, Addr: addr}
+	}
+	off := addr - r.Base
+	end := off + uint32(n)
+	if end > uint32(len(r.Data)) {
+		end = uint32(len(r.Data))
+	}
+	return r.Data[off:end], nil
+}
+
+// Poke writes bytes at addr ignoring permissions. It is the injector's
+// (debugger's) memory access: ptrace POKETEXT can modify read-only text.
+func (m *Memory) Poke(addr uint32, data []byte) error {
+	r := m.Find(addr)
+	if r == nil || int(addr-r.Base)+len(data) > len(r.Data) {
+		return fmt.Errorf("vm: poke at %#x: not mapped", addr)
+	}
+	copy(r.Data[addr-r.Base:], data)
+	return nil
+}
+
+// Peek reads bytes at addr ignoring permissions (debugger read).
+func (m *Memory) Peek(addr uint32, n int) ([]byte, error) {
+	r := m.Find(addr)
+	if r == nil || int(addr-r.Base)+n > len(r.Data) {
+		return nil, fmt.Errorf("vm: peek at %#x: not mapped", addr)
+	}
+	out := make([]byte, n)
+	copy(out, r.Data[addr-r.Base:])
+	return out, nil
+}
+
+// CString reads a NUL-terminated string at addr with a length cap,
+// checking read permission. Used by the kernel for diagnostics.
+func (m *Memory) CString(addr uint32, maxLen int) (string, *Fault) {
+	out := make([]byte, 0, 32)
+	for i := 0; i < maxLen; i++ {
+		c, f := m.Read8(addr + uint32(i))
+		if f != nil {
+			return "", f
+		}
+		if c == 0 {
+			break
+		}
+		out = append(out, byte(c))
+	}
+	return string(out), nil
+}

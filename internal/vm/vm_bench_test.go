@@ -1,0 +1,96 @@
+package vm_test
+
+import (
+	"testing"
+
+	"faultsec/internal/vm"
+	"faultsec/internal/x86"
+)
+
+// benchMachine builds a machine running a tight arithmetic loop.
+func benchMachine(b *testing.B) *vm.Machine {
+	b.Helper()
+	// loop: add eax, 1 ; cmp eax, 0x7fffffff ; jne loop
+	code := []byte{
+		0x83, 0xC0, 0x01,
+		0x3D, 0xFF, 0xFF, 0xFF, 0x7F,
+		0x75, 0xF6,
+	}
+	mem := vm.NewMemory()
+	text := make([]byte, 64)
+	copy(text, code)
+	if err := mem.Map(&vm.Region{Name: "text", Base: 0x1000, Perm: vm.PermRead | vm.PermExec, Data: text}); err != nil {
+		b.Fatal(err)
+	}
+	if err := mem.Map(&vm.Region{Name: "stack", Base: 0x8000, Perm: vm.PermRead | vm.PermWrite, Data: make([]byte, 4096)}); err != nil {
+		b.Fatal(err)
+	}
+	m := vm.New(mem, exitSysB{})
+	m.EIP = 0x1000
+	m.Regs[x86.ESP] = 0x9000 - 16
+	m.Fuel = 1 << 62
+	return m
+}
+
+type exitSysB struct{}
+
+func (exitSysB) Syscall(m *vm.Machine) error { return &vm.ExitStatus{} }
+
+// BenchmarkStepALULoop measures raw interpreter throughput on the ALU +
+// branch mix that dominates authentication code.
+func BenchmarkStepALULoop(b *testing.B) {
+	m := benchMachine(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(m.Steps), "retired")
+}
+
+// BenchmarkStepMemoryLoop measures throughput with memory operands.
+func BenchmarkStepMemoryLoop(b *testing.B) {
+	// loop: mov eax, [0x8000] ; add eax, 1 ; mov [0x8000], eax ; jmp loop
+	code := []byte{
+		0xA1, 0x00, 0x80, 0x00, 0x00,
+		0x83, 0xC0, 0x01,
+		0xA3, 0x00, 0x80, 0x00, 0x00,
+		0xEB, 0xF1,
+	}
+	mem := vm.NewMemory()
+	text := make([]byte, 64)
+	copy(text, code)
+	if err := mem.Map(&vm.Region{Name: "text", Base: 0x1000, Perm: vm.PermRead | vm.PermExec, Data: text}); err != nil {
+		b.Fatal(err)
+	}
+	if err := mem.Map(&vm.Region{Name: "data", Base: 0x8000, Perm: vm.PermRead | vm.PermWrite, Data: make([]byte, 4096)}); err != nil {
+		b.Fatal(err)
+	}
+	m := vm.New(mem, exitSysB{})
+	m.EIP = 0x1000
+	m.Fuel = 1 << 62
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBreakpointScan measures the per-step cost the injector's armed
+// breakpoint adds (the ablation DESIGN.md calls out: breakpoint scan vs
+// plain run).
+func BenchmarkBreakpointScan(b *testing.B) {
+	m := benchMachine(b)
+	m.SetBreakpoint(0xFFFF0000) // never hit
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(m.Mem.Regions()) == 0 {
+			b.Fatal("no regions")
+		}
+		if err := m.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,600 @@
+package vm_test
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"faultsec/internal/vm"
+	"faultsec/internal/x86"
+)
+
+// exitSys is a trivial syscall handler: int 0x80 with EAX=1 exits.
+type exitSys struct{}
+
+func (exitSys) Syscall(m *vm.Machine) error {
+	if m.Regs[x86.EAX] == 1 {
+		return &vm.ExitStatus{Code: int(int32(m.Regs[x86.EBX]))}
+	}
+	m.Regs[x86.EAX] = ^uint32(37) // -ENOSYS
+	return nil
+}
+
+// newMachine maps code at 0x1000 (r-x), data at 0x8000 (rw), and a stack.
+func newMachine(t *testing.T, code []byte) *vm.Machine {
+	t.Helper()
+	mem := vm.NewMemory()
+	text := make([]byte, 4096)
+	copy(text, code)
+	if err := mem.Map(&vm.Region{Name: "text", Base: 0x1000, Perm: vm.PermRead | vm.PermExec, Data: text}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Map(&vm.Region{Name: "data", Base: 0x8000, Perm: vm.PermRead | vm.PermWrite, Data: make([]byte, 4096)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Map(&vm.Region{Name: "stack", Base: 0x20000, Perm: vm.PermRead | vm.PermWrite, Data: make([]byte, 8192)}); err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New(mem, exitSys{})
+	m.EIP = 0x1000
+	m.Regs[x86.ESP] = 0x20000 + 8192 - 16
+	return m
+}
+
+// step executes one instruction and fails the test on error.
+func step(t *testing.T, m *vm.Machine) {
+	t.Helper()
+	if err := m.Step(); err != nil {
+		t.Fatalf("step at %#x: %v", m.EIP, err)
+	}
+}
+
+func TestMemoryProtection(t *testing.T) {
+	mem := vm.NewMemory()
+	if err := mem.Map(&vm.Region{Name: "ro", Base: 0x1000, Perm: vm.PermRead, Data: make([]byte, 16)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, f := mem.Read8(0x1000); f != nil {
+		t.Errorf("read of readable region faulted: %v", f)
+	}
+	if f := mem.Write8(0x1000, 1); f == nil {
+		t.Error("write to read-only region succeeded")
+	}
+	if _, f := mem.Fetch(0x1000, 4); f == nil {
+		t.Error("fetch from non-executable region succeeded")
+	}
+	if _, f := mem.Read8(0x999); f == nil {
+		t.Error("read of unmapped address succeeded")
+	}
+	// Straddling the end of a region faults.
+	if _, f := mem.Read32(0x100E); f == nil {
+		t.Error("read straddling region end succeeded")
+	}
+}
+
+func TestMemoryMapOverlap(t *testing.T) {
+	mem := vm.NewMemory()
+	if err := mem.Map(&vm.Region{Name: "a", Base: 0x1000, Perm: vm.PermRead, Data: make([]byte, 0x100)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Map(&vm.Region{Name: "b", Base: 0x1080, Perm: vm.PermRead, Data: make([]byte, 0x100)}); err == nil {
+		t.Error("overlapping map succeeded")
+	}
+	if err := mem.Map(&vm.Region{Name: "c", Base: 0x1100, Perm: vm.PermRead, Data: make([]byte, 0x100)}); err != nil {
+		t.Errorf("adjacent map failed: %v", err)
+	}
+	if err := mem.Map(&vm.Region{Name: "empty", Base: 0x3000, Perm: vm.PermRead, Data: nil}); err == nil {
+		t.Error("empty map succeeded")
+	}
+}
+
+func TestPokePeekIgnorePermissions(t *testing.T) {
+	mem := vm.NewMemory()
+	if err := mem.Map(&vm.Region{Name: "text", Base: 0x1000, Perm: vm.PermRead | vm.PermExec, Data: make([]byte, 16)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Poke(0x1004, []byte{0xAA, 0xBB}); err != nil {
+		t.Fatalf("poke: %v", err)
+	}
+	got, err := mem.Peek(0x1004, 2)
+	if err != nil || got[0] != 0xAA || got[1] != 0xBB {
+		t.Errorf("peek = % x, %v", got, err)
+	}
+	if err := mem.Poke(0x2000, []byte{1}); err == nil {
+		t.Error("poke to unmapped succeeded")
+	}
+}
+
+// runALU executes a tiny code sequence and returns the machine.
+func runALU(t *testing.T, code []byte, n int) *vm.Machine {
+	t.Helper()
+	m := newMachine(t, code)
+	for i := 0; i < n; i++ {
+		step(t, m)
+	}
+	return m
+}
+
+func TestAddSubFlags(t *testing.T) {
+	tests := []struct {
+		name   string
+		a, b   uint32
+		sub    bool
+		wantCF bool
+		wantOF bool
+		wantZF bool
+		wantSF bool
+	}{
+		{"add_simple", 1, 2, false, false, false, false, false},
+		{"add_carry", 0xFFFFFFFF, 1, false, true, false, true, false},
+		{"add_overflow", 0x7FFFFFFF, 1, false, false, true, false, true},
+		{"add_zero", 0, 0, false, false, false, true, false},
+		{"sub_borrow", 1, 2, true, true, false, false, true},
+		{"sub_zero", 5, 5, true, false, false, true, false},
+		{"sub_overflow", 0x80000000, 1, true, false, true, false, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			op := byte(0x01) // add rm, reg
+			if tt.sub {
+				op = 0x29
+			}
+			// mov eax, a ; mov ecx, b ; op eax, ecx
+			code := []byte{0xB8, 0, 0, 0, 0, 0xB9, 0, 0, 0, 0, op, 0xC8}
+			putLE(code[1:], tt.a)
+			putLE(code[6:], tt.b)
+			m := runALU(t, code, 3)
+			if got := m.GetFlag(x86.FlagCF); got != tt.wantCF {
+				t.Errorf("CF = %v, want %v", got, tt.wantCF)
+			}
+			if got := m.GetFlag(x86.FlagOF); got != tt.wantOF {
+				t.Errorf("OF = %v, want %v", got, tt.wantOF)
+			}
+			if got := m.GetFlag(x86.FlagZF); got != tt.wantZF {
+				t.Errorf("ZF = %v, want %v", got, tt.wantZF)
+			}
+			if got := m.GetFlag(x86.FlagSF); got != tt.wantSF {
+				t.Errorf("SF = %v, want %v", got, tt.wantSF)
+			}
+		})
+	}
+}
+
+func putLE(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+// Property: add then sub of random values restores EAX and cmp agrees with
+// Go's comparison through the jcc conditions.
+func TestCmpMatchesGoComparison(t *testing.T) {
+	f := func(a, b int32) bool {
+		// mov eax, a ; mov ecx, b ; cmp eax, ecx
+		code := []byte{0xB8, 0, 0, 0, 0, 0xB9, 0, 0, 0, 0, 0x39, 0xC8}
+		putLE(code[1:], uint32(a))
+		putLE(code[6:], uint32(b))
+		m := runALU(t, code, 3)
+		checks := []struct {
+			cond uint8
+			want bool
+		}{
+			{x86.CondE, a == b},
+			{x86.CondNE, a != b},
+			{x86.CondL, a < b},
+			{x86.CondLE, a <= b},
+			{x86.CondG, a > b},
+			{x86.CondGE, a >= b},
+			{x86.CondB, uint32(a) < uint32(b)},
+			{x86.CondAE, uint32(a) >= uint32(b)},
+			{x86.CondA, uint32(a) > uint32(b)},
+			{x86.CondBE, uint32(a) <= uint32(b)},
+		}
+		for _, c := range checks {
+			if x86.EvalCond(c.cond, m.Flags) != c.want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MUL/IMUL/DIV agree with Go's 64-bit arithmetic.
+func TestMulDivMatchGo(t *testing.T) {
+	mul := func(a, b uint32) bool {
+		// mov eax, a ; mov ecx, b ; mul ecx
+		code := []byte{0xB8, 0, 0, 0, 0, 0xB9, 0, 0, 0, 0, 0xF7, 0xE1}
+		putLE(code[1:], a)
+		putLE(code[6:], b)
+		m := runALU(t, code, 3)
+		p := uint64(a) * uint64(b)
+		return m.Regs[x86.EAX] == uint32(p) && m.Regs[x86.EDX] == uint32(p>>32)
+	}
+	if err := quick.Check(mul, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error("mul:", err)
+	}
+	idiv := func(a int32, b int32) bool {
+		if b == 0 || (a == -1<<31 && b == -1) {
+			return true // faults tested separately
+		}
+		// mov eax, a ; cdq ; mov ecx, b ; idiv ecx
+		code := []byte{0xB8, 0, 0, 0, 0, 0x99, 0xB9, 0, 0, 0, 0, 0xF7, 0xF9}
+		putLE(code[1:], uint32(a))
+		putLE(code[7:], uint32(b))
+		m := runALU(t, code, 4)
+		return int32(m.Regs[x86.EAX]) == a/b && int32(m.Regs[x86.EDX]) == a%b
+	}
+	if err := quick.Check(idiv, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error("idiv:", err)
+	}
+}
+
+func TestDivideFaults(t *testing.T) {
+	// mov eax, 1 ; cdq ; xor ecx, ecx ; idiv ecx
+	code := []byte{0xB8, 1, 0, 0, 0, 0x99, 0x31, 0xC9, 0xF7, 0xF9}
+	m := newMachine(t, code)
+	var err error
+	for i := 0; i < 4; i++ {
+		if err = m.Step(); err != nil {
+			break
+		}
+	}
+	var fault *vm.Fault
+	if !errors.As(err, &fault) || fault.Kind != vm.FaultDivide {
+		t.Errorf("err = %v, want divide fault", err)
+	}
+	if fault.Kind.Signal() != "SIGFPE" {
+		t.Errorf("signal = %s", fault.Kind.Signal())
+	}
+}
+
+func TestPushPopRoundTrip(t *testing.T) {
+	// mov eax, 0xdeadbeef ; push eax ; pop ecx
+	code := []byte{0xB8, 0xEF, 0xBE, 0xAD, 0xDE, 0x50, 0x59}
+	m := runALU(t, code, 3)
+	if m.Regs[x86.ECX] != 0xDEADBEEF {
+		t.Errorf("ecx = %#x", m.Regs[x86.ECX])
+	}
+}
+
+func TestPushAPopA(t *testing.T) {
+	// Set distinct registers, pusha, clobber, popa, verify.
+	code := []byte{
+		0xB8, 1, 0, 0, 0, // mov eax,1
+		0xB9, 2, 0, 0, 0, // mov ecx,2
+		0xBA, 3, 0, 0, 0, // mov edx,3
+		0xBB, 4, 0, 0, 0, // mov ebx,4
+		0x60,             // pusha
+		0xB8, 9, 0, 0, 0, // mov eax,9
+		0xB9, 9, 0, 0, 0, // mov ecx,9
+		0x61, // popa
+	}
+	m := runALU(t, code, 8)
+	if m.Regs[x86.EAX] != 1 || m.Regs[x86.ECX] != 2 || m.Regs[x86.EDX] != 3 || m.Regs[x86.EBX] != 4 {
+		t.Errorf("regs after popa: %v", m.Regs)
+	}
+}
+
+func TestPartialRegisterWrites(t *testing.T) {
+	// mov eax, 0x11223344 ; mov ah, 0xAA ; mov al, 0xBB
+	code := []byte{0xB8, 0x44, 0x33, 0x22, 0x11, 0xB4, 0xAA, 0xB0, 0xBB}
+	m := runALU(t, code, 3)
+	if m.Regs[x86.EAX] != 0x1122AABB {
+		t.Errorf("eax = %#x, want 0x1122aabb", m.Regs[x86.EAX])
+	}
+}
+
+func TestStringOpsRepMovs(t *testing.T) {
+	// Source bytes at 0x8000, dest at 0x8100.
+	// mov esi, 0x8000 ; mov edi, 0x8100 ; mov ecx, 8 ; rep movsb
+	code := []byte{
+		0xBE, 0x00, 0x80, 0, 0,
+		0xBF, 0x00, 0x81, 0, 0,
+		0xB9, 8, 0, 0, 0,
+		0xF3, 0xA4,
+	}
+	m := newMachine(t, code)
+	for i := 0; i < 8; i++ {
+		if f := m.Mem.Write8(0x8000+uint32(i), uint32('a'+i)); f != nil {
+			t.Fatal(f)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		step(t, m)
+	}
+	for i := 0; i < 8; i++ {
+		v, f := m.Mem.Read8(0x8100 + uint32(i))
+		if f != nil || v != uint32('a'+i) {
+			t.Errorf("dest[%d] = %c (%v)", i, v, f)
+		}
+	}
+	if m.Regs[x86.ECX] != 0 {
+		t.Errorf("ecx = %d after rep", m.Regs[x86.ECX])
+	}
+}
+
+func TestStosAndScas(t *testing.T) {
+	// mov edi, 0x8000 ; mov eax, 'x' ; mov ecx, 16 ; rep stosb
+	code := []byte{
+		0xBF, 0x00, 0x80, 0, 0,
+		0xB8, 'x', 0, 0, 0,
+		0xB9, 16, 0, 0, 0,
+		0xF3, 0xAA,
+	}
+	m := newMachine(t, code)
+	for i := 0; i < 4; i++ {
+		step(t, m)
+	}
+	for i := 0; i < 16; i++ {
+		v, _ := m.Mem.Read8(0x8000 + uint32(i))
+		if v != 'x' {
+			t.Fatalf("stosb failed at %d", i)
+		}
+	}
+}
+
+func TestJccTakenAndNot(t *testing.T) {
+	// xor eax, eax ; je +2 (taken) ; mov al, 1 (skipped) ; nop...
+	code := []byte{0x31, 0xC0, 0x74, 0x02, 0xB0, 0x01, 0x90}
+	m := runALU(t, code, 2) // xor ; je (taken, skips the mov)
+	if m.EIP != 0x1000+6 {
+		t.Errorf("eip = %#x, want 0x1006", m.EIP)
+	}
+	step(t, m) // the nop at the branch target
+	if m.Regs[x86.EAX] != 0 {
+		t.Errorf("branch not taken: eax = %#x", m.Regs[x86.EAX])
+	}
+	// jne with ZF set: falls through.
+	code2 := []byte{0x31, 0xC0, 0x75, 0x02, 0xB0, 0x01}
+	m2 := runALU(t, code2, 3)
+	if m2.Regs[x86.EAX]&0xFF != 1 {
+		t.Errorf("fall-through missed: eax = %#x", m2.Regs[x86.EAX])
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	// call +3 ; hlt(never) ... target: mov eax, 7 ; ret  -> back to hlt? No:
+	// layout: 0: call rel32(+6) ; 5: mov ebx, 1; exit path...
+	code := []byte{
+		0xE8, 0x07, 0x00, 0x00, 0x00, // call +7 -> 0x100C
+		0xBB, 0x2A, 0, 0, 0, // mov ebx, 42
+		0xCD, 0x80, // int 0x80 (but eax holds 7 -> ENOSYS; then continues)
+		0xB8, 0x07, 0, 0, 0, // 0x100C: mov eax, 7
+		0xC3, // ret -> 0x1005
+	}
+	m := newMachine(t, code)
+	step(t, m) // call
+	if m.EIP != 0x100C {
+		t.Fatalf("call target = %#x", m.EIP)
+	}
+	step(t, m) // mov eax,7
+	step(t, m) // ret
+	if m.EIP != 0x1005 {
+		t.Fatalf("ret target = %#x", m.EIP)
+	}
+	if m.Regs[x86.EAX] != 7 {
+		t.Errorf("eax = %d", m.Regs[x86.EAX])
+	}
+}
+
+func TestExitSyscall(t *testing.T) {
+	// mov eax, 1 ; mov ebx, 9 ; int 0x80
+	code := []byte{0xB8, 1, 0, 0, 0, 0xBB, 9, 0, 0, 0, 0xCD, 0x80}
+	m := newMachine(t, code)
+	err := m.Run()
+	var exit *vm.ExitStatus
+	if !errors.As(err, &exit) || exit.Code != 9 {
+		t.Errorf("run = %v, want exit 9", err)
+	}
+}
+
+func TestBreakpoint(t *testing.T) {
+	code := []byte{0x90, 0x90, 0x90, 0xB8, 1, 0, 0, 0, 0x31, 0xDB, 0xCD, 0x80}
+	m := newMachine(t, code)
+	m.SetBreakpoint(0x1002)
+	err := m.Run()
+	var bp *vm.BreakpointHit
+	if !errors.As(err, &bp) || bp.Addr != 0x1002 {
+		t.Fatalf("run = %v, want breakpoint at 0x1002", err)
+	}
+	if m.Steps != 2 {
+		t.Errorf("steps at breakpoint = %d, want 2", m.Steps)
+	}
+	m.ClearBreakpoint(0x1002)
+	err = m.Run()
+	var exit *vm.ExitStatus
+	if !errors.As(err, &exit) {
+		t.Errorf("after clear: %v", err)
+	}
+}
+
+func TestFuelExhaustion(t *testing.T) {
+	// jmp -2: infinite loop
+	code := []byte{0xEB, 0xFE}
+	m := newMachine(t, code)
+	m.Fuel = 1000
+	err := m.Run()
+	var fuel *vm.OutOfFuel
+	if !errors.As(err, &fuel) {
+		t.Fatalf("run = %v, want out of fuel", err)
+	}
+	if fuel.Steps != 1000 {
+		t.Errorf("steps = %d", fuel.Steps)
+	}
+}
+
+func TestIllegalInstructionFaults(t *testing.T) {
+	code := []byte{0x0F, 0x0B} // ud2
+	m := newMachine(t, code)
+	err := m.Run()
+	var fault *vm.Fault
+	if !errors.As(err, &fault) || fault.Kind != vm.FaultUndefined {
+		t.Errorf("run = %v, want #UD", err)
+	}
+	if fault.Kind.Signal() != "SIGILL" {
+		t.Errorf("signal = %s", fault.Kind.Signal())
+	}
+}
+
+func TestWildJumpFaults(t *testing.T) {
+	// jmp to unmapped memory
+	code := []byte{0xB8, 0x00, 0x00, 0xF0, 0x00, 0xFF, 0xE0} // mov eax, 0xF00000 ; jmp eax
+	m := newMachine(t, code)
+	err := m.Run()
+	var fault *vm.Fault
+	if !errors.As(err, &fault) || fault.Kind != vm.FaultFetch {
+		t.Errorf("run = %v, want fetch fault", err)
+	}
+}
+
+func TestPrivilegedFaults(t *testing.T) {
+	for _, op := range []byte{0xF4, 0xFA, 0xFB, 0xE4, 0xEC} { // hlt, cli, sti, in, in
+		code := []byte{op, 0x00}
+		m := newMachine(t, code)
+		err := m.Run()
+		var fault *vm.Fault
+		if !errors.As(err, &fault) {
+			t.Errorf("opcode %#02x: %v, want fault", op, err)
+		}
+	}
+}
+
+func TestShiftSemantics(t *testing.T) {
+	tests := []struct {
+		name  string
+		code  []byte
+		steps int
+		want  uint32
+	}{
+		// mov eax, v ; shl eax, n
+		{"shl", []byte{0xB8, 1, 0, 0, 0, 0xC1, 0xE0, 4}, 2, 16},
+		{"shr", []byte{0xB8, 0, 1, 0, 0, 0xC1, 0xE8, 4}, 2, 16},
+		{"sar_neg", []byte{0xB8, 0xF0, 0xFF, 0xFF, 0xFF, 0xC1, 0xF8, 2}, 2, 0xFFFFFFFC},
+		{"rol", []byte{0xB8, 0x01, 0, 0, 0x80, 0xC1, 0xC0, 1}, 2, 0x00000003},
+		{"ror", []byte{0xB8, 0x03, 0, 0, 0, 0xC1, 0xC8, 1}, 2, 0x80000001},
+		{"shl_by_1_short_form", []byte{0xB8, 3, 0, 0, 0, 0xD1, 0xE0}, 2, 6},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m := runALU(t, tt.code, tt.steps)
+			if m.Regs[x86.EAX] != tt.want {
+				t.Errorf("eax = %#x, want %#x", m.Regs[x86.EAX], tt.want)
+			}
+		})
+	}
+}
+
+func TestMovzxMovsx(t *testing.T) {
+	// mov eax, 0xFFFFFF80 ; mov [0x8000], al ; movzx ecx, byte [0x8000] ;
+	// movsx edx, byte [0x8000]
+	code := []byte{
+		0xB8, 0x80, 0xFF, 0xFF, 0xFF,
+		0xA2, 0x00, 0x80, 0x00, 0x00,
+		0x0F, 0xB6, 0x0D, 0x00, 0x80, 0x00, 0x00,
+		0x0F, 0xBE, 0x15, 0x00, 0x80, 0x00, 0x00,
+	}
+	m := runALU(t, code, 4)
+	if m.Regs[x86.ECX] != 0x80 {
+		t.Errorf("movzx: ecx = %#x", m.Regs[x86.ECX])
+	}
+	if m.Regs[x86.EDX] != 0xFFFFFF80 {
+		t.Errorf("movsx: edx = %#x", m.Regs[x86.EDX])
+	}
+}
+
+func TestLeaveEnter(t *testing.T) {
+	// mov ebp, esp ; push 42 (frame junk) ; enter-equivalent then leave
+	code := []byte{
+		0x55,       // push ebp
+		0x89, 0xE5, // mov ebp, esp
+		0x83, 0xEC, 0x10, // sub esp, 16
+		0xC9, // leave
+	}
+	m := newMachine(t, code)
+	origESP := m.Regs[x86.ESP]
+	origEBP := m.Regs[x86.EBP]
+	for i := 0; i < 4; i++ {
+		step(t, m)
+	}
+	if m.Regs[x86.ESP] != origESP || m.Regs[x86.EBP] != origEBP {
+		t.Errorf("leave did not restore frame: esp=%#x ebp=%#x", m.Regs[x86.ESP], m.Regs[x86.EBP])
+	}
+}
+
+func TestXchgAndBswap(t *testing.T) {
+	code := []byte{
+		0xB8, 0x78, 0x56, 0x34, 0x12, // mov eax, 0x12345678
+		0xB9, 0x01, 0, 0, 0, // mov ecx, 1
+		0x91,       // xchg eax, ecx
+		0x0F, 0xC9, // bswap ecx
+	}
+	m := runALU(t, code, 4)
+	if m.Regs[x86.EAX] != 1 {
+		t.Errorf("xchg: eax = %#x", m.Regs[x86.EAX])
+	}
+	if m.Regs[x86.ECX] != 0x78563412 {
+		t.Errorf("bswap: ecx = %#x", m.Regs[x86.ECX])
+	}
+}
+
+func TestSetccAndCmov(t *testing.T) {
+	code := []byte{
+		0x31, 0xC0, // xor eax, eax (ZF=1)
+		0x0F, 0x94, 0xC1, // sete cl
+		0xBA, 0x07, 0, 0, 0, // mov edx, 7
+		0x0F, 0x44, 0xC2, // cmove eax, edx
+	}
+	m := runALU(t, code, 4)
+	if m.Regs[x86.ECX]&0xFF != 1 {
+		t.Errorf("sete: cl = %d", m.Regs[x86.ECX]&0xFF)
+	}
+	if m.Regs[x86.EAX] != 7 {
+		t.Errorf("cmove: eax = %d", m.Regs[x86.EAX])
+	}
+}
+
+func TestIncDecPreserveCarry(t *testing.T) {
+	// stc ; inc eax — CF must survive
+	code := []byte{0xF9, 0x40}
+	m := runALU(t, code, 2)
+	if !m.GetFlag(x86.FlagCF) {
+		t.Error("inc clobbered CF")
+	}
+	// clc ; dec eax
+	code = []byte{0xF8, 0x48}
+	m = runALU(t, code, 2)
+	if m.GetFlag(x86.FlagCF) {
+		t.Error("dec set CF")
+	}
+}
+
+func TestFlagOpsAndLahf(t *testing.T) {
+	code := []byte{
+		0xF9, // stc
+		0x9F, // lahf
+	}
+	m := runALU(t, code, 2)
+	if m.Regs[x86.EAX]>>8&1 != 1 {
+		t.Errorf("lahf: ah = %#x, CF bit missing", m.Regs[x86.EAX]>>8&0xFF)
+	}
+	code = []byte{0xF5} // cmc
+	m = runALU(t, code, 1)
+	if !m.GetFlag(x86.FlagCF) {
+		t.Error("cmc from CF=0 should set CF")
+	}
+}
+
+func TestWriteToTextFaults(t *testing.T) {
+	// mov [0x1000], eax — text is not writable
+	code := []byte{0xA3, 0x00, 0x10, 0x00, 0x00}
+	m := newMachine(t, code)
+	err := m.Run()
+	var fault *vm.Fault
+	if !errors.As(err, &fault) || fault.Kind != vm.FaultMemory {
+		t.Errorf("run = %v, want memory fault", err)
+	}
+	if fault.Addr != 0x1000 {
+		t.Errorf("fault addr = %#x", fault.Addr)
+	}
+}

@@ -1,0 +1,1062 @@
+package x86
+
+// Additional operations reachable only through corrupted encodings (a bit
+// flip can turn a branch into any neighbouring opcode, and the outcome
+// distribution of the study depends on those neighbours behaving as they
+// would on real silicon).
+const (
+	OpCMov Op = iota + 1000
+	OpRdtsc
+	OpCpuid
+	OpBt
+	OpBts
+	OpBtr
+	OpBtc
+	OpShld
+	OpShrd
+	OpXadd
+	OpCmpxchg
+	OpBswap
+	OpMovFromSeg // mov r/m16, sreg: stores a fake selector
+	OpMovToSeg   // mov sreg, r/m16: faults (#GP) like loading garbage
+	OpInto       // int 4 if OF
+	OpEnter
+)
+
+// Extra operand forms used by a few instructions.
+const (
+	FormMoffsLoad  Form = iota + 100 // mov acc, [disp32]
+	FormMoffsStore                   // mov [disp32], acc
+)
+
+// grp1Ops maps the reg field of opcode group 1 (0x80/0x81/0x83) to ALU ops.
+var grp1Ops = [8]Op{OpAdd, OpOr, OpAdc, OpSbb, OpAnd, OpSub, OpXor, OpCmp}
+
+// grp2Ops maps the reg field of opcode group 2 (shifts/rotates) to ops.
+// Note /6 is the undocumented SHL alias and /7 is SAR.
+var grp2Ops = [8]Op{OpRol, OpRor, OpRcl, OpRcr, OpShl, OpShr, OpShl, OpSar}
+
+// aluOps maps (opcode >> 3) for the 0x00..0x3F block to ALU ops.
+var aluOps = [8]Op{OpAdd, OpOr, OpAdc, OpSbb, OpAnd, OpSub, OpXor, OpCmp}
+
+// decoder carries the mutable cursor state while decoding one instruction.
+type decoder struct {
+	code []byte
+	i    int
+}
+
+func (d *decoder) byte() (byte, bool) {
+	if d.i >= len(d.code) {
+		return 0, false
+	}
+	b := d.code[d.i]
+	d.i++
+	return b, true
+}
+
+func (d *decoder) imm(n int) (int32, bool) {
+	if d.i+n > len(d.code) {
+		d.i = len(d.code)
+		return 0, false
+	}
+	var v int32
+	switch n {
+	case 1:
+		v = int32(int8(d.code[d.i]))
+	case 2:
+		v = int32(int16(uint16(d.code[d.i]) | uint16(d.code[d.i+1])<<8))
+	case 4:
+		v = int32(uint32(d.code[d.i]) | uint32(d.code[d.i+1])<<8 |
+			uint32(d.code[d.i+2])<<16 | uint32(d.code[d.i+3])<<24)
+	}
+	d.i += n
+	return v, true
+}
+
+// modrm decodes a ModRM byte (and SIB/displacement) in 32-bit addressing
+// mode, returning the reg field and the r/m operand.
+func (d *decoder) modrm() (reg uint8, rm RM, ok bool) {
+	m, ok := d.byte()
+	if !ok {
+		return 0, rm, false
+	}
+	mod := m >> 6
+	reg = (m >> 3) & 7
+	rmf := m & 7
+	if mod == 3 {
+		return reg, RM{IsReg: true, Reg: rmf, Base: NoReg, Index: NoReg, Scale: 1}, true
+	}
+	rm = RM{Base: NoReg, Index: NoReg, Scale: 1}
+	if rmf == 4 { // SIB
+		sib, sok := d.byte()
+		if !sok {
+			return 0, rm, false
+		}
+		rm.Scale = 1 << (sib >> 6)
+		idx := (sib >> 3) & 7
+		if idx != 4 { // ESP cannot be an index
+			rm.Index = int8(idx)
+		}
+		base := sib & 7
+		if base == 5 && mod == 0 {
+			// disp32 with no base
+			disp, dok := d.imm(4)
+			if !dok {
+				return 0, rm, false
+			}
+			rm.Disp = disp
+			return reg, rm, true
+		}
+		rm.Base = int8(base)
+	} else if mod == 0 && rmf == 5 {
+		disp, dok := d.imm(4)
+		if !dok {
+			return 0, rm, false
+		}
+		rm.Disp = disp
+		return reg, rm, true
+	} else {
+		rm.Base = int8(rmf)
+	}
+	switch mod {
+	case 1:
+		disp, dok := d.imm(1)
+		if !dok {
+			return 0, rm, false
+		}
+		rm.Disp = disp
+	case 2:
+		disp, dok := d.imm(4)
+		if !dok {
+			return 0, rm, false
+		}
+		rm.Disp = disp
+	}
+	return reg, rm, true
+}
+
+// Decode decodes the instruction at the start of code (32-bit mode). The
+// slice should extend up to MaxInstLen bytes past the instruction start
+// when available; a short slice yields a truncated-instruction error, which
+// the VM reports as a fetch fault.
+func Decode(code []byte) (Inst, error) {
+	d := decoder{code: code}
+	var in Inst
+	w := uint8(4)
+
+prefixes:
+	for {
+		if d.i >= MaxInstLen {
+			return undef(d.i, "instruction exceeds 15 bytes")
+		}
+		b, ok := d.byte()
+		if !ok {
+			return truncated(d.i)
+		}
+		switch b {
+		case 0x26, 0x2E, 0x36, 0x3E, 0x64, 0x65:
+			// segment override: flat memory model, ignored
+		case 0x66:
+			w = 2
+		case 0x67:
+			// address-size override: ignored (flat 32-bit addressing);
+			// documented deviation, only reachable via corrupted code
+		case 0xF0:
+			// lock: ignored (single-processor interpreter)
+		case 0xF2, 0xF3:
+			in.Rep = b
+		default:
+			d.i--
+			break prefixes
+		}
+	}
+
+	op, _ := d.byte()
+	in.W = w
+
+	// helpers
+	fail := func() (Inst, error) { return truncated(d.i) }
+	done := func() (Inst, error) {
+		if d.i > MaxInstLen {
+			return undef(d.i, "instruction exceeds 15 bytes")
+		}
+		in.Len = uint8(d.i)
+		return in, nil
+	}
+	wBytes := func() int {
+		if in.W == 2 {
+			return 2
+		}
+		return 4
+	}
+
+	switch {
+	case op < 0x40 && op&7 < 6 && op != 0x0F &&
+		op&0xC7 != 0x06 && op&0xC7 != 0x07: // ALU block 0x00..0x3D
+		in.Op = aluOps[op>>3]
+		switch op & 7 {
+		case 0, 1: // r/m, reg
+			in.Form = FormRMReg
+			if op&7 == 0 {
+				in.W = 1
+			}
+			var ok bool
+			in.Reg, in.RM, ok = d.modrm()
+			if !ok {
+				return fail()
+			}
+		case 2, 3: // reg, r/m
+			in.Form = FormRegRM
+			if op&7 == 2 {
+				in.W = 1
+			}
+			var ok bool
+			in.Reg, in.RM, ok = d.modrm()
+			if !ok {
+				return fail()
+			}
+		case 4: // al, imm8
+			in.Form = FormAccImm
+			in.W = 1
+			v, ok := d.imm(1)
+			if !ok {
+				return fail()
+			}
+			in.Imm = v
+		case 5: // eax, immW
+			in.Form = FormAccImm
+			v, ok := d.imm(wBytes())
+			if !ok {
+				return fail()
+			}
+			in.Imm = v
+		}
+		return done()
+	}
+
+	switch op {
+	case 0x06, 0x0E, 0x16, 0x1E: // push seg
+		in.Op, in.Form, in.Imm = OpPush, FormImm, 0x2B
+		return done()
+	case 0x07, 0x17, 0x1F: // pop seg: pop and discard
+		in.Op, in.Form = OpPop, FormNone
+		return done()
+	case 0x27, 0x2F, 0x37, 0x3F, 0x9B: // daa/das/aaa/aas/fwait: harmless
+		in.Op, in.Form = OpNop, FormNone
+		return done()
+	case 0x0F:
+		return decode0F(&d, &in, wBytes)
+	}
+
+	switch {
+	case op >= 0x40 && op <= 0x47:
+		in.Op, in.Form, in.Reg = OpInc, FormReg, op&7
+		return done()
+	case op >= 0x48 && op <= 0x4F:
+		in.Op, in.Form, in.Reg = OpDec, FormReg, op&7
+		return done()
+	case op >= 0x50 && op <= 0x57:
+		in.Op, in.Form, in.Reg = OpPush, FormReg, op&7
+		return done()
+	case op >= 0x58 && op <= 0x5F:
+		in.Op, in.Form, in.Reg = OpPop, FormReg, op&7
+		return done()
+	case op >= 0x70 && op <= 0x7F: // jcc rel8
+		in.Op, in.Form, in.Cond = OpJcc, FormRel, op&0xF
+		v, ok := d.imm(1)
+		if !ok {
+			return fail()
+		}
+		in.Rel = v
+		return done()
+	case op >= 0x91 && op <= 0x97: // xchg eax, r32
+		in.Op, in.Form, in.Reg = OpXchg, FormReg, op&7
+		return done()
+	case op >= 0xB0 && op <= 0xB7: // mov r8, imm8
+		in.Op, in.Form, in.Reg, in.W = OpMov, FormRegImm, op&7, 1
+		v, ok := d.imm(1)
+		if !ok {
+			return fail()
+		}
+		in.Imm = v
+		return done()
+	case op >= 0xB8 && op <= 0xBF: // mov r32, immW
+		in.Op, in.Form, in.Reg = OpMov, FormRegImm, op&7
+		v, ok := d.imm(wBytes())
+		if !ok {
+			return fail()
+		}
+		in.Imm = v
+		return done()
+	case op >= 0xD8 && op <= 0xDF: // x87 escape: decode ModRM, treat as nop
+		in.Op, in.Form = OpNop, FormRM
+		var ok bool
+		in.Reg, in.RM, ok = d.modrm()
+		if !ok {
+			return fail()
+		}
+		return done()
+	}
+
+	switch op {
+	case 0x60:
+		in.Op = OpPushA
+		return done()
+	case 0x61:
+		in.Op = OpPopA
+		return done()
+	case 0x62: // bound r32, m
+		in.Op, in.Form = OpBound, FormRegRM
+		var ok bool
+		in.Reg, in.RM, ok = d.modrm()
+		if !ok {
+			return fail()
+		}
+		return done()
+	case 0x63: // arpl r/m16, r16: legal in user mode, treated as no-op
+		in.Op, in.Form, in.W = OpNop, FormRMReg, 2
+		var ok bool
+		in.Reg, in.RM, ok = d.modrm()
+		if !ok {
+			return fail()
+		}
+		return done()
+	case 0x68: // push immW
+		in.Op, in.Form = OpPush, FormImm
+		v, ok := d.imm(wBytes())
+		if !ok {
+			return fail()
+		}
+		in.Imm = v
+		return done()
+	case 0x6A: // push imm8 (sign-extended)
+		in.Op, in.Form = OpPush, FormImm
+		v, ok := d.imm(1)
+		if !ok {
+			return fail()
+		}
+		in.Imm = v
+		return done()
+	case 0x69, 0x6B: // imul reg, r/m, imm
+		in.Op, in.Form = OpIMul, FormRegRMImm
+		var ok bool
+		in.Reg, in.RM, ok = d.modrm()
+		if !ok {
+			return fail()
+		}
+		n := wBytes()
+		if op == 0x6B {
+			n = 1
+		}
+		v, ok := d.imm(n)
+		if !ok {
+			return fail()
+		}
+		in.Imm = v
+		return done()
+	case 0x6C, 0x6D, 0x6E, 0x6F: // ins/outs: I/O privileged
+		in.Op = OpPrivileged
+		return done()
+	case 0x80, 0x82: // grp1 r/m8, imm8
+		in.W = 1
+		var ok bool
+		in.Reg, in.RM, ok = d.modrm()
+		if !ok {
+			return fail()
+		}
+		in.Op, in.Form = grp1Ops[in.Reg], FormRMImm
+		v, ok := d.imm(1)
+		if !ok {
+			return fail()
+		}
+		in.Imm = v
+		return done()
+	case 0x81: // grp1 r/mW, immW
+		var ok bool
+		in.Reg, in.RM, ok = d.modrm()
+		if !ok {
+			return fail()
+		}
+		in.Op, in.Form = grp1Ops[in.Reg], FormRMImm
+		v, ok := d.imm(wBytes())
+		if !ok {
+			return fail()
+		}
+		in.Imm = v
+		return done()
+	case 0x83: // grp1 r/mW, imm8 (sign-extended)
+		var ok bool
+		in.Reg, in.RM, ok = d.modrm()
+		if !ok {
+			return fail()
+		}
+		in.Op, in.Form = grp1Ops[in.Reg], FormRMImm
+		v, ok := d.imm(1)
+		if !ok {
+			return fail()
+		}
+		in.Imm = v
+		return done()
+	case 0x84, 0x85: // test r/m, reg
+		in.Op, in.Form = OpTest, FormRMReg
+		if op == 0x84 {
+			in.W = 1
+		}
+		var ok bool
+		in.Reg, in.RM, ok = d.modrm()
+		if !ok {
+			return fail()
+		}
+		return done()
+	case 0x86, 0x87: // xchg r/m, reg
+		in.Op, in.Form = OpXchg, FormRMReg
+		if op == 0x86 {
+			in.W = 1
+		}
+		var ok bool
+		in.Reg, in.RM, ok = d.modrm()
+		if !ok {
+			return fail()
+		}
+		return done()
+	case 0x88, 0x89: // mov r/m, reg
+		in.Op, in.Form = OpMov, FormRMReg
+		if op == 0x88 {
+			in.W = 1
+		}
+		var ok bool
+		in.Reg, in.RM, ok = d.modrm()
+		if !ok {
+			return fail()
+		}
+		return done()
+	case 0x8A, 0x8B: // mov reg, r/m
+		in.Op, in.Form = OpMov, FormRegRM
+		if op == 0x8A {
+			in.W = 1
+		}
+		var ok bool
+		in.Reg, in.RM, ok = d.modrm()
+		if !ok {
+			return fail()
+		}
+		return done()
+	case 0x8C: // mov r/m16, sreg
+		in.Op, in.Form, in.W = OpMovFromSeg, FormRM, 2
+		var ok bool
+		in.Reg, in.RM, ok = d.modrm()
+		if !ok {
+			return fail()
+		}
+		return done()
+	case 0x8D: // lea r32, m
+		var ok bool
+		in.Reg, in.RM, ok = d.modrm()
+		if !ok {
+			return fail()
+		}
+		if in.RM.IsReg {
+			return undef(d.i, "lea with register operand")
+		}
+		in.Op, in.Form = OpLea, FormRegRM
+		return done()
+	case 0x8E: // mov sreg, r/m16
+		in.Op, in.Form, in.W = OpMovToSeg, FormRM, 2
+		var ok bool
+		in.Reg, in.RM, ok = d.modrm()
+		if !ok {
+			return fail()
+		}
+		return done()
+	case 0x8F: // pop r/m32 (grp1A /0)
+		var ok bool
+		in.Reg, in.RM, ok = d.modrm()
+		if !ok {
+			return fail()
+		}
+		if in.Reg != 0 {
+			return undef(d.i, "grp1A reg field != 0")
+		}
+		in.Op, in.Form = OpPop, FormRM
+		return done()
+	case 0x90:
+		in.Op = OpNop
+		return done()
+	case 0x98:
+		in.Op = OpCbw
+		return done()
+	case 0x99:
+		in.Op = OpCwd
+		return done()
+	case 0x9A: // call far ptr16:32
+		if _, ok := d.imm(4); !ok {
+			return fail()
+		}
+		if _, ok := d.imm(2); !ok {
+			return fail()
+		}
+		in.Op = OpPrivileged
+		return done()
+	case 0x9C:
+		in.Op = OpPushF
+		return done()
+	case 0x9D:
+		in.Op = OpPopF
+		return done()
+	case 0x9E:
+		in.Op = OpSahf
+		return done()
+	case 0x9F:
+		in.Op = OpLahf
+		return done()
+	case 0xA0, 0xA1: // mov acc, moffs
+		in.Op, in.Form = OpMov, FormMoffsLoad
+		if op == 0xA0 {
+			in.W = 1
+		}
+		v, ok := d.imm(4)
+		if !ok {
+			return fail()
+		}
+		in.Imm = v
+		return done()
+	case 0xA2, 0xA3: // mov moffs, acc
+		in.Op, in.Form = OpMov, FormMoffsStore
+		if op == 0xA2 {
+			in.W = 1
+		}
+		v, ok := d.imm(4)
+		if !ok {
+			return fail()
+		}
+		in.Imm = v
+		return done()
+	case 0xA4, 0xA5:
+		in.Op = OpMovs
+		if op == 0xA4 {
+			in.W = 1
+		}
+		return done()
+	case 0xA6, 0xA7:
+		in.Op = OpCmps
+		if op == 0xA6 {
+			in.W = 1
+		}
+		return done()
+	case 0xA8: // test al, imm8
+		in.Op, in.Form, in.W = OpTest, FormAccImm, 1
+		v, ok := d.imm(1)
+		if !ok {
+			return fail()
+		}
+		in.Imm = v
+		return done()
+	case 0xA9: // test eax, immW
+		in.Op, in.Form = OpTest, FormAccImm
+		v, ok := d.imm(wBytes())
+		if !ok {
+			return fail()
+		}
+		in.Imm = v
+		return done()
+	case 0xAA, 0xAB:
+		in.Op = OpStos
+		if op == 0xAA {
+			in.W = 1
+		}
+		return done()
+	case 0xAC, 0xAD:
+		in.Op = OpLods
+		if op == 0xAC {
+			in.W = 1
+		}
+		return done()
+	case 0xAE, 0xAF:
+		in.Op = OpScas
+		if op == 0xAE {
+			in.W = 1
+		}
+		return done()
+	case 0xC0, 0xC1: // grp2 r/m, imm8
+		if op == 0xC0 {
+			in.W = 1
+		}
+		var ok bool
+		in.Reg, in.RM, ok = d.modrm()
+		if !ok {
+			return fail()
+		}
+		in.Op, in.Form = grp2Ops[in.Reg], FormRMImm
+		v, ok := d.imm(1)
+		if !ok {
+			return fail()
+		}
+		in.Imm = v & 0x1F
+		return done()
+	case 0xC2: // ret imm16
+		in.Op, in.Form = OpRet, FormImm
+		v, ok := d.imm(2)
+		if !ok {
+			return fail()
+		}
+		in.Imm = v & 0xFFFF
+		return done()
+	case 0xC3:
+		in.Op, in.Form = OpRet, FormNone
+		return done()
+	case 0xC6, 0xC7: // mov r/m, imm (grp11 /0)
+		if op == 0xC6 {
+			in.W = 1
+		}
+		var ok bool
+		in.Reg, in.RM, ok = d.modrm()
+		if !ok {
+			return fail()
+		}
+		if in.Reg != 0 {
+			return undef(d.i, "grp11 reg field != 0")
+		}
+		in.Op, in.Form = OpMov, FormRMImm
+		n := wBytes()
+		if op == 0xC6 {
+			n = 1
+		}
+		v, ok := d.imm(n)
+		if !ok {
+			return fail()
+		}
+		in.Imm = v
+		return done()
+	case 0xC8: // enter imm16, imm8
+		frame, ok := d.imm(2)
+		if !ok {
+			return fail()
+		}
+		level, ok := d.imm(1)
+		if !ok {
+			return fail()
+		}
+		in.Op, in.Form = OpEnter, FormImm
+		in.Imm = frame & 0xFFFF
+		in.Rel = level & 0x1F
+		return done()
+	case 0xC9:
+		in.Op = OpLeave
+		return done()
+	case 0xCA: // retf imm16
+		if _, ok := d.imm(2); !ok {
+			return fail()
+		}
+		in.Op = OpPrivileged
+		return done()
+	case 0xCB, 0xCF: // retf, iret
+		in.Op = OpPrivileged
+		return done()
+	case 0xCC:
+		in.Op = OpInt3
+		return done()
+	case 0xCD: // int imm8
+		in.Op, in.Form = OpIntN, FormImm
+		v, ok := d.imm(1)
+		if !ok {
+			return fail()
+		}
+		in.Imm = v & 0xFF
+		return done()
+	case 0xCE:
+		in.Op = OpInto
+		return done()
+	case 0xD0, 0xD1: // grp2 r/m, 1
+		if op == 0xD0 {
+			in.W = 1
+		}
+		var ok bool
+		in.Reg, in.RM, ok = d.modrm()
+		if !ok {
+			return fail()
+		}
+		in.Op, in.Form = grp2Ops[in.Reg], FormRMImm
+		in.Imm = 1
+		return done()
+	case 0xD2, 0xD3: // grp2 r/m, cl
+		if op == 0xD2 {
+			in.W = 1
+		}
+		var ok bool
+		in.Reg, in.RM, ok = d.modrm()
+		if !ok {
+			return fail()
+		}
+		in.Op, in.Form = grp2Ops[in.Reg], FormRM // count comes from CL
+		return done()
+	case 0xD4, 0xD5: // aam/aad imm8: treated as no-ops
+		if _, ok := d.imm(1); !ok {
+			return fail()
+		}
+		in.Op = OpNop
+		return done()
+	case 0xD6:
+		in.Op = OpSalc
+		return done()
+	case 0xD7:
+		in.Op = OpXlat
+		return done()
+	case 0xE0, 0xE1, 0xE2, 0xE3: // loopne/loope/loop/jecxz rel8
+		switch op {
+		case 0xE0:
+			in.Op = OpLoopNE
+		case 0xE1:
+			in.Op = OpLoopE
+		case 0xE2:
+			in.Op = OpLoop
+		case 0xE3:
+			in.Op = OpJCXZ
+		}
+		in.Form = FormRel
+		v, ok := d.imm(1)
+		if !ok {
+			return fail()
+		}
+		in.Rel = v
+		return done()
+	case 0xE4, 0xE5, 0xE6, 0xE7: // in/out imm8
+		if _, ok := d.imm(1); !ok {
+			return fail()
+		}
+		in.Op = OpPrivileged
+		return done()
+	case 0xE8: // call rel32
+		in.Op, in.Form = OpCall, FormRel
+		v, ok := d.imm(4)
+		if !ok {
+			return fail()
+		}
+		in.Rel = v
+		return done()
+	case 0xE9: // jmp rel32
+		in.Op, in.Form = OpJmp, FormRel
+		v, ok := d.imm(4)
+		if !ok {
+			return fail()
+		}
+		in.Rel = v
+		return done()
+	case 0xEA: // jmp far ptr16:32
+		if _, ok := d.imm(4); !ok {
+			return fail()
+		}
+		if _, ok := d.imm(2); !ok {
+			return fail()
+		}
+		in.Op = OpPrivileged
+		return done()
+	case 0xEB: // jmp rel8
+		in.Op, in.Form = OpJmp, FormRel
+		v, ok := d.imm(1)
+		if !ok {
+			return fail()
+		}
+		in.Rel = v
+		return done()
+	case 0xEC, 0xED, 0xEE, 0xEF, 0xF1, 0xF4, 0xFA, 0xFB:
+		// in/out dx, icebp, hlt, cli, sti
+		in.Op = OpPrivileged
+		return done()
+	case 0xF5:
+		in.Op = OpCmc
+		return done()
+	case 0xF6, 0xF7: // grp3
+		if op == 0xF6 {
+			in.W = 1
+		}
+		var ok bool
+		in.Reg, in.RM, ok = d.modrm()
+		if !ok {
+			return fail()
+		}
+		switch in.Reg {
+		case 0, 1: // test r/m, imm
+			in.Op, in.Form = OpTest, FormRMImm
+			n := wBytes()
+			if op == 0xF6 {
+				n = 1
+			}
+			v, vok := d.imm(n)
+			if !vok {
+				return fail()
+			}
+			in.Imm = v
+		case 2:
+			in.Op, in.Form = OpNot, FormRM
+		case 3:
+			in.Op, in.Form = OpNeg, FormRM
+		case 4:
+			in.Op, in.Form = OpMul, FormRM
+		case 5:
+			in.Op, in.Form = OpIMul, FormRM
+		case 6:
+			in.Op, in.Form = OpDiv, FormRM
+		case 7:
+			in.Op, in.Form = OpIDiv, FormRM
+		}
+		return done()
+	case 0xF8:
+		in.Op = OpClc
+		return done()
+	case 0xF9:
+		in.Op = OpStc
+		return done()
+	case 0xFC:
+		in.Op = OpCld
+		return done()
+	case 0xFD:
+		in.Op = OpStd
+		return done()
+	case 0xFE: // grp4
+		in.W = 1
+		var ok bool
+		in.Reg, in.RM, ok = d.modrm()
+		if !ok {
+			return fail()
+		}
+		switch in.Reg {
+		case 0:
+			in.Op, in.Form = OpInc, FormRM
+		case 1:
+			in.Op, in.Form = OpDec, FormRM
+		default:
+			return undef(d.i, "grp4 bad reg field")
+		}
+		return done()
+	case 0xFF: // grp5
+		var ok bool
+		in.Reg, in.RM, ok = d.modrm()
+		if !ok {
+			return fail()
+		}
+		switch in.Reg {
+		case 0:
+			in.Op, in.Form = OpInc, FormRM
+		case 1:
+			in.Op, in.Form = OpDec, FormRM
+		case 2:
+			in.Op, in.Form = OpCall, FormRM
+		case 4:
+			in.Op, in.Form = OpJmp, FormRM
+		case 6:
+			in.Op, in.Form = OpPush, FormRM
+		default: // far call/jmp through memory, reserved
+			return undef(d.i, "grp5 far or reserved form")
+		}
+		return done()
+	}
+
+	return undef(d.i, "undefined opcode")
+}
+
+// decode0F decodes the two-byte (0x0F-escaped) opcode map.
+func decode0F(d *decoder, in *Inst, wBytes func() int) (Inst, error) {
+	fail := func() (Inst, error) { return truncated(d.i) }
+	done := func() (Inst, error) {
+		if d.i > MaxInstLen {
+			return undef(d.i, "instruction exceeds 15 bytes")
+		}
+		in.Len = uint8(d.i)
+		return *in, nil
+	}
+	op, ok := d.byte()
+	if !ok {
+		return fail()
+	}
+
+	switch {
+	case op >= 0x80 && op <= 0x8F: // jcc rel32
+		in.Op, in.Form, in.Cond = OpJcc, FormRel, op&0xF
+		v, vok := d.imm(wBytes())
+		if !vok {
+			return fail()
+		}
+		in.Rel = v
+		return done()
+	case op >= 0x90 && op <= 0x9F: // setcc r/m8
+		in.Op, in.Form, in.Cond, in.W = OpSetcc, FormRM, op&0xF, 1
+		var mok bool
+		in.Reg, in.RM, mok = d.modrm()
+		if !mok {
+			return fail()
+		}
+		return done()
+	case op >= 0x40 && op <= 0x4F: // cmovcc reg, r/m
+		in.Op, in.Form, in.Cond = OpCMov, FormRegRM, op&0xF
+		var mok bool
+		in.Reg, in.RM, mok = d.modrm()
+		if !mok {
+			return fail()
+		}
+		return done()
+	case op >= 0xC8 && op <= 0xCF: // bswap r32
+		in.Op, in.Form, in.Reg = OpBswap, FormReg, op&7
+		return done()
+	}
+
+	switch op {
+	case 0x00, 0x01, 0x20, 0x21, 0x22, 0x23: // system/table/cr/dr ops
+		var mok bool
+		in.Reg, in.RM, mok = d.modrm()
+		if !mok {
+			return fail()
+		}
+		in.Op = OpPrivileged
+		return done()
+	case 0x06, 0x08, 0x09, 0x30, 0x32, 0x33: // clts/invd/wbinvd/wrmsr/rdmsr/rdpmc
+		in.Op = OpPrivileged
+		return done()
+	case 0x0B: // ud2
+		return undef(d.i, "ud2")
+	case 0x1F: // multi-byte nop
+		in.Op, in.Form = OpNop, FormRM
+		var mok bool
+		in.Reg, in.RM, mok = d.modrm()
+		if !mok {
+			return fail()
+		}
+		return done()
+	case 0x31:
+		in.Op = OpRdtsc
+		return done()
+	case 0xA0, 0xA8: // push fs/gs
+		in.Op, in.Form, in.Imm = OpPush, FormImm, 0x2B
+		return done()
+	case 0xA1, 0xA9: // pop fs/gs
+		in.Op, in.Form = OpPop, FormNone
+		return done()
+	case 0xA2:
+		in.Op = OpCpuid
+		return done()
+	case 0xA3, 0xAB, 0xB3, 0xBB: // bt/bts/btr/btc r/m, reg
+		switch op {
+		case 0xA3:
+			in.Op = OpBt
+		case 0xAB:
+			in.Op = OpBts
+		case 0xB3:
+			in.Op = OpBtr
+		case 0xBB:
+			in.Op = OpBtc
+		}
+		in.Form = FormRMReg
+		var mok bool
+		in.Reg, in.RM, mok = d.modrm()
+		if !mok {
+			return fail()
+		}
+		return done()
+	case 0xA4, 0xAC: // shld/shrd r/m, reg, imm8
+		if op == 0xA4 {
+			in.Op = OpShld
+		} else {
+			in.Op = OpShrd
+		}
+		in.Form = FormRMImm
+		var mok bool
+		in.Reg, in.RM, mok = d.modrm()
+		if !mok {
+			return fail()
+		}
+		v, vok := d.imm(1)
+		if !vok {
+			return fail()
+		}
+		in.Imm = v & 0x1F
+		return done()
+	case 0xA5, 0xAD: // shld/shrd r/m, reg, cl
+		if op == 0xA5 {
+			in.Op = OpShld
+		} else {
+			in.Op = OpShrd
+		}
+		in.Form = FormRMReg // count from CL
+		var mok bool
+		in.Reg, in.RM, mok = d.modrm()
+		if !mok {
+			return fail()
+		}
+		in.Imm = -1 // marker: count in CL
+		return done()
+	case 0xAF: // imul reg, r/m
+		in.Op, in.Form = OpIMul, FormRegRM
+		var mok bool
+		in.Reg, in.RM, mok = d.modrm()
+		if !mok {
+			return fail()
+		}
+		return done()
+	case 0xB0, 0xB1: // cmpxchg r/m, reg
+		in.Op, in.Form = OpCmpxchg, FormRMReg
+		if op == 0xB0 {
+			in.W = 1
+		}
+		var mok bool
+		in.Reg, in.RM, mok = d.modrm()
+		if !mok {
+			return fail()
+		}
+		return done()
+	case 0xB6, 0xB7, 0xBE, 0xBF: // movzx/movsx reg, r/m8|16
+		if op == 0xB6 || op == 0xB7 {
+			in.Op = OpMovZX
+		} else {
+			in.Op = OpMovSX
+		}
+		in.Form = FormRegRM
+		if op == 0xB6 || op == 0xBE {
+			in.W = 1 // source width; destination is always 32-bit
+		} else {
+			in.W = 2
+		}
+		var mok bool
+		in.Reg, in.RM, mok = d.modrm()
+		if !mok {
+			return fail()
+		}
+		return done()
+	case 0xBA: // grp8: bt/bts/btr/btc r/m, imm8
+		var mok bool
+		in.Reg, in.RM, mok = d.modrm()
+		if !mok {
+			return fail()
+		}
+		switch in.Reg {
+		case 4:
+			in.Op = OpBt
+		case 5:
+			in.Op = OpBts
+		case 6:
+			in.Op = OpBtr
+		case 7:
+			in.Op = OpBtc
+		default:
+			return undef(d.i, "grp8 reserved form")
+		}
+		in.Form = FormRMImm
+		v, vok := d.imm(1)
+		if !vok {
+			return fail()
+		}
+		in.Imm = v & 0x1F
+		return done()
+	case 0xC0, 0xC1: // xadd r/m, reg
+		in.Op, in.Form = OpXadd, FormRMReg
+		if op == 0xC0 {
+			in.W = 1
+		}
+		var mok bool
+		in.Reg, in.RM, mok = d.modrm()
+		if !mok {
+			return fail()
+		}
+		return done()
+	}
+
+	return undef(d.i, "undefined two-byte opcode")
+}

@@ -1,0 +1,45 @@
+package x86_test
+
+import (
+	"testing"
+
+	"faultsec/internal/x86"
+)
+
+// BenchmarkDecode measures single-instruction decode latency across a
+// representative instruction mix (allocation-free is the goal: decode runs
+// on every retired instruction).
+func BenchmarkDecode(b *testing.B) {
+	insts := [][]byte{
+		{0x50},
+		{0x74, 0x06},
+		{0x85, 0xC0},
+		{0x8B, 0x45, 0x08},
+		{0xE8, 0x00, 0x10, 0x00, 0x00},
+		{0x0F, 0x84, 0x10, 0x00, 0x00, 0x00},
+		{0x83, 0xC4, 0x08},
+		{0xB8, 0x78, 0x56, 0x34, 0x12},
+		{0x8B, 0x04, 0x8D, 0x00, 0x00, 0x00, 0x00},
+		{0xC3},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := x86.Decode(insts[i%len(insts)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeWorstCase measures decode of the longest supported form
+// (prefix + two-byte opcode + SIB + disp32).
+func BenchmarkDecodeWorstCase(b *testing.B) {
+	inst := []byte{0x66, 0x0F, 0xB7, 0x84, 0x8D, 0x00, 0x01, 0x00, 0x00}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := x86.Decode(inst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

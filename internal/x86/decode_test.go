@@ -1,0 +1,423 @@
+package x86_test
+
+import (
+	"testing"
+
+	"faultsec/internal/x86"
+)
+
+// TestDecodeKnownEncodings pins the decoder against hand-assembled byte
+// sequences (values cross-checked with the Intel SDM).
+func TestDecodeKnownEncodings(t *testing.T) {
+	tests := []struct {
+		name  string
+		bytes []byte
+		op    x86.Op
+		form  x86.Form
+		w     uint8
+		len   uint8
+		check func(t *testing.T, in x86.Inst)
+	}{
+		{
+			name: "push_eax", bytes: []byte{0x50},
+			op: x86.OpPush, form: x86.FormReg, w: 4, len: 1,
+			check: func(t *testing.T, in x86.Inst) {
+				if in.Reg != x86.EAX {
+					t.Errorf("reg = %d, want EAX", in.Reg)
+				}
+			},
+		},
+		{
+			name: "push_ecx", bytes: []byte{0x51},
+			op: x86.OpPush, form: x86.FormReg, w: 4, len: 1,
+			check: func(t *testing.T, in x86.Inst) {
+				if in.Reg != x86.ECX {
+					t.Errorf("reg = %d, want ECX", in.Reg)
+				}
+			},
+		},
+		{
+			name: "je_rel8", bytes: []byte{0x74, 0x06},
+			op: x86.OpJcc, form: x86.FormRel, w: 4, len: 2,
+			check: func(t *testing.T, in x86.Inst) {
+				if in.Cond != x86.CondE || in.Rel != 6 {
+					t.Errorf("cond=%d rel=%d, want E/6", in.Cond, in.Rel)
+				}
+			},
+		},
+		{
+			name: "jne_rel8_negative", bytes: []byte{0x75, 0xFE},
+			op: x86.OpJcc, form: x86.FormRel, w: 4, len: 2,
+			check: func(t *testing.T, in x86.Inst) {
+				if in.Cond != x86.CondNE || in.Rel != -2 {
+					t.Errorf("cond=%d rel=%d, want NE/-2", in.Cond, in.Rel)
+				}
+			},
+		},
+		{
+			name: "jge_rel32", bytes: []byte{0x0F, 0x8D, 0x10, 0x00, 0x00, 0x00},
+			op: x86.OpJcc, form: x86.FormRel, w: 4, len: 6,
+			check: func(t *testing.T, in x86.Inst) {
+				if in.Cond != x86.CondGE || in.Rel != 16 {
+					t.Errorf("cond=%d rel=%d, want GE/16", in.Cond, in.Rel)
+				}
+			},
+		},
+		{
+			name: "test_eax_eax", bytes: []byte{0x85, 0xC0},
+			op: x86.OpTest, form: x86.FormRMReg, w: 4, len: 2,
+			check: func(t *testing.T, in x86.Inst) {
+				if !in.RM.IsReg || in.RM.Reg != x86.EAX || in.Reg != x86.EAX {
+					t.Errorf("operands not eax,eax: %+v", in)
+				}
+			},
+		},
+		{
+			name: "xor_ebx_ebx", bytes: []byte{0x31, 0xDB},
+			op: x86.OpXor, form: x86.FormRMReg, w: 4, len: 2,
+			check: func(t *testing.T, in x86.Inst) {
+				if !in.RM.IsReg || in.RM.Reg != x86.EBX || in.Reg != x86.EBX {
+					t.Errorf("operands not ebx,ebx: %+v", in)
+				}
+			},
+		},
+		{
+			name: "call_rel32", bytes: []byte{0xE8, 0x00, 0x10, 0x00, 0x00},
+			op: x86.OpCall, form: x86.FormRel, w: 4, len: 5,
+			check: func(t *testing.T, in x86.Inst) {
+				if in.Rel != 0x1000 {
+					t.Errorf("rel = %#x, want 0x1000", in.Rel)
+				}
+			},
+		},
+		{
+			name: "add_esp_imm8", bytes: []byte{0x83, 0xC4, 0x08},
+			op: x86.OpAdd, form: x86.FormRMImm, w: 4, len: 3,
+			check: func(t *testing.T, in x86.Inst) {
+				if !in.RM.IsReg || in.RM.Reg != x86.ESP || in.Imm != 8 {
+					t.Errorf("not add esp,8: %+v", in)
+				}
+			},
+		},
+		{
+			name: "mov_eax_imm32", bytes: []byte{0xB8, 0x78, 0x56, 0x34, 0x12},
+			op: x86.OpMov, form: x86.FormRegImm, w: 4, len: 5,
+			check: func(t *testing.T, in x86.Inst) {
+				if in.Imm != 0x12345678 {
+					t.Errorf("imm = %#x", in.Imm)
+				}
+			},
+		},
+		{
+			name: "mov_mem_disp8", bytes: []byte{0x8B, 0x45, 0x08},
+			op: x86.OpMov, form: x86.FormRegRM, w: 4, len: 3,
+			check: func(t *testing.T, in x86.Inst) {
+				// mov eax, [ebp+8]
+				if in.Reg != x86.EAX || in.RM.IsReg || in.RM.Base != int8(x86.EBP) || in.RM.Disp != 8 {
+					t.Errorf("not mov eax,[ebp+8]: %+v", in)
+				}
+			},
+		},
+		{
+			name: "mov_sib_scaled", bytes: []byte{0x8B, 0x04, 0x8D, 0x00, 0x00, 0x00, 0x00},
+			op: x86.OpMov, form: x86.FormRegRM, w: 4, len: 7,
+			check: func(t *testing.T, in x86.Inst) {
+				// mov eax, [ecx*4 + 0]
+				if in.RM.Index != int8(x86.ECX) || in.RM.Scale != 4 || in.RM.Base != x86.NoReg {
+					t.Errorf("not [ecx*4]: %+v", in.RM)
+				}
+			},
+		},
+		{
+			name: "lea", bytes: []byte{0x8D, 0x44, 0x24, 0x10},
+			op: x86.OpLea, form: x86.FormRegRM, w: 4, len: 4,
+			check: func(t *testing.T, in x86.Inst) {
+				// lea eax, [esp+0x10]
+				if in.RM.Base != int8(x86.ESP) || in.RM.Disp != 0x10 {
+					t.Errorf("not [esp+0x10]: %+v", in.RM)
+				}
+			},
+		},
+		{
+			name: "ret", bytes: []byte{0xC3},
+			op: x86.OpRet, form: x86.FormNone, w: 4, len: 1,
+		},
+		{
+			name: "ret_imm16", bytes: []byte{0xC2, 0x0C, 0x00},
+			op: x86.OpRet, form: x86.FormImm, w: 4, len: 3,
+			check: func(t *testing.T, in x86.Inst) {
+				if in.Imm != 12 {
+					t.Errorf("imm = %d, want 12", in.Imm)
+				}
+			},
+		},
+		{
+			name: "int_0x80", bytes: []byte{0xCD, 0x80},
+			op: x86.OpIntN, form: x86.FormImm, w: 4, len: 2,
+			check: func(t *testing.T, in x86.Inst) {
+				if in.Imm != 0x80 {
+					t.Errorf("imm = %#x", in.Imm)
+				}
+			},
+		},
+		{
+			name: "leave", bytes: []byte{0xC9},
+			op: x86.OpLeave, form: x86.FormNone, w: 4, len: 1,
+		},
+		{
+			name: "movzx_byte", bytes: []byte{0x0F, 0xB6, 0x00},
+			op: x86.OpMovZX, form: x86.FormRegRM, w: 1, len: 3,
+		},
+		{
+			name: "idiv_ecx", bytes: []byte{0xF7, 0xF9},
+			op: x86.OpIDiv, form: x86.FormRM, w: 4, len: 2,
+		},
+		{
+			name: "imul_3op_imm8", bytes: []byte{0x6B, 0xC9, 0x04},
+			op: x86.OpIMul, form: x86.FormRegRMImm, w: 4, len: 3,
+			check: func(t *testing.T, in x86.Inst) {
+				// imul ecx, ecx, 4
+				if in.Reg != x86.ECX || in.Imm != 4 {
+					t.Errorf("not imul ecx,ecx,4: %+v", in)
+				}
+			},
+		},
+		{
+			name: "shl_eax_cl", bytes: []byte{0xD3, 0xE0},
+			op: x86.OpShl, form: x86.FormRM, w: 4, len: 2,
+		},
+		{
+			name: "sar_eax_imm", bytes: []byte{0xC1, 0xF8, 0x04},
+			op: x86.OpSar, form: x86.FormRMImm, w: 4, len: 3,
+		},
+		{
+			name: "operand_size_prefix", bytes: []byte{0x66, 0xB8, 0x34, 0x12},
+			op: x86.OpMov, form: x86.FormRegImm, w: 2, len: 4,
+			check: func(t *testing.T, in x86.Inst) {
+				if in.Imm != 0x1234 {
+					t.Errorf("imm = %#x", in.Imm)
+				}
+			},
+		},
+		{
+			name: "rep_movsb", bytes: []byte{0xF3, 0xA4},
+			op: x86.OpMovs, form: x86.FormNone, w: 1, len: 2,
+			check: func(t *testing.T, in x86.Inst) {
+				if in.Rep != 0xF3 {
+					t.Errorf("rep = %#x", in.Rep)
+				}
+			},
+		},
+		{
+			name: "pusha", bytes: []byte{0x60},
+			op: x86.OpPushA, form: x86.FormNone, w: 4, len: 1,
+		},
+		{
+			name: "popa", bytes: []byte{0x61},
+			op: x86.OpPopA, form: x86.FormNone, w: 4, len: 1,
+		},
+		{
+			name: "cmove", bytes: []byte{0x0F, 0x44, 0xC1},
+			op: x86.OpCMov, form: x86.FormRegRM, w: 4, len: 3,
+			check: func(t *testing.T, in x86.Inst) {
+				if in.Cond != x86.CondE {
+					t.Errorf("cond = %d", in.Cond)
+				}
+			},
+		},
+		{
+			name: "sete", bytes: []byte{0x0F, 0x94, 0xC0},
+			op: x86.OpSetcc, form: x86.FormRM, w: 1, len: 3,
+		},
+		{
+			name: "grp5_call_reg", bytes: []byte{0xFF, 0xD0},
+			op: x86.OpCall, form: x86.FormRM, w: 4, len: 2,
+		},
+		{
+			name: "grp5_jmp_reg", bytes: []byte{0xFF, 0xE0},
+			op: x86.OpJmp, form: x86.FormRM, w: 4, len: 2,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			in, err := x86.Decode(tt.bytes)
+			if err != nil {
+				t.Fatalf("decode % x: %v", tt.bytes, err)
+			}
+			if in.Op != tt.op {
+				t.Errorf("op = %v, want %v", in.Op, tt.op)
+			}
+			if in.Form != tt.form {
+				t.Errorf("form = %v, want %v", in.Form, tt.form)
+			}
+			if in.W != tt.w {
+				t.Errorf("w = %d, want %d", in.W, tt.w)
+			}
+			if in.Len != tt.len {
+				t.Errorf("len = %d, want %d", in.Len, tt.len)
+			}
+			if tt.check != nil {
+				tt.check(t, in)
+			}
+		})
+	}
+}
+
+func TestDecodeUndefined(t *testing.T) {
+	undefined := [][]byte{
+		{0x0F, 0x0B},       // ud2
+		{0x0F, 0xFF, 0xC0}, // reserved two-byte opcode
+		{0xFE, 0xD0},       // grp4 reserved reg field
+		{0xFF, 0xF8},       // grp5 reserved reg field
+		{0xC6, 0x48, 0x01}, // grp11 reg field != 0
+		{0x8D, 0xC0},       // lea with register operand
+	}
+	for _, b := range undefined {
+		if _, err := x86.Decode(b); err == nil {
+			t.Errorf("decode % x succeeded, want #UD", b)
+		}
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	truncated := [][]byte{
+		{0xB8},             // mov eax, imm32 cut short
+		{0x0F},             // bare two-byte escape
+		{0x81, 0xC0, 0x01}, // add eax, imm32 cut short
+		{0x8B, 0x04},       // SIB byte missing
+		{},                 // empty
+	}
+	for _, b := range truncated {
+		_, err := x86.Decode(b)
+		de, ok := err.(*x86.DecodeError)
+		if !ok || !de.Truncated {
+			t.Errorf("decode % x: err=%v, want truncated", b, err)
+		}
+	}
+}
+
+// TestDecodeEveryByteTerminates fuzzes the full one-byte opcode space with
+// trailing zeros: decoding must never panic and always either decode or
+// report a reasoned error.
+func TestDecodeEveryByteTerminates(t *testing.T) {
+	buf := make([]byte, x86.MaxInstLen)
+	for b := 0; b < 256; b++ {
+		buf[0] = byte(b)
+		for i := 1; i < len(buf); i++ {
+			buf[i] = 0
+		}
+		in, err := x86.Decode(buf)
+		if err == nil && (in.Len == 0 || int(in.Len) > x86.MaxInstLen) {
+			t.Errorf("opcode %#02x: bad length %d", b, in.Len)
+		}
+	}
+	// And the two-byte map.
+	buf[0] = 0x0F
+	for b := 0; b < 256; b++ {
+		buf[1] = byte(b)
+		for i := 2; i < len(buf); i++ {
+			buf[i] = 0
+		}
+		in, err := x86.Decode(buf)
+		if err == nil && (in.Len < 2 || int(in.Len) > x86.MaxInstLen) {
+			t.Errorf("opcode 0F %#02x: bad length %d", b, in.Len)
+		}
+	}
+}
+
+func TestEvalCond(t *testing.T) {
+	tests := []struct {
+		cond  uint8
+		flags uint32
+		want  bool
+	}{
+		{x86.CondE, x86.FlagZF, true},
+		{x86.CondE, 0, false},
+		{x86.CondNE, x86.FlagZF, false},
+		{x86.CondNE, 0, true},
+		{x86.CondB, x86.FlagCF, true},
+		{x86.CondAE, x86.FlagCF, false},
+		{x86.CondBE, x86.FlagZF, true},
+		{x86.CondBE, x86.FlagCF, true},
+		{x86.CondA, 0, true},
+		{x86.CondA, x86.FlagZF, false},
+		{x86.CondS, x86.FlagSF, true},
+		{x86.CondL, x86.FlagSF, true},                // SF != OF
+		{x86.CondL, x86.FlagSF | x86.FlagOF, false},  // SF == OF
+		{x86.CondGE, x86.FlagSF | x86.FlagOF, true},  // SF == OF
+		{x86.CondG, 0, true},                         // !ZF, SF==OF
+		{x86.CondG, x86.FlagZF, false},               //
+		{x86.CondLE, x86.FlagZF, true},               //
+		{x86.CondLE, x86.FlagOF, true},               // SF != OF
+		{x86.CondP, x86.FlagPF, true},                //
+		{x86.CondNP, x86.FlagPF, false},              //
+		{x86.CondO, x86.FlagOF, true},                //
+		{x86.CondNO, x86.FlagOF, false},              //
+		{x86.CondNS, x86.FlagSF, false},              //
+		{x86.CondG, x86.FlagSF | x86.FlagOF, true},   //
+		{x86.CondLE, x86.FlagSF | x86.FlagOF, false}, //
+	}
+	for _, tt := range tests {
+		if got := x86.EvalCond(tt.cond, tt.flags); got != tt.want {
+			t.Errorf("EvalCond(%s, %#x) = %v, want %v",
+				x86.CondName(tt.cond), tt.flags, got, tt.want)
+		}
+	}
+}
+
+// TestEvalCondNegationPairs: each odd condition is the negation of the
+// preceding even one — this is the encoding property the paper exploits.
+func TestEvalCondNegationPairs(t *testing.T) {
+	flagSets := []uint32{
+		0, x86.FlagZF, x86.FlagCF, x86.FlagSF, x86.FlagOF, x86.FlagPF,
+		x86.FlagZF | x86.FlagCF, x86.FlagSF | x86.FlagOF,
+		x86.FlagZF | x86.FlagSF | x86.FlagOF | x86.FlagCF | x86.FlagPF,
+	}
+	for cc := uint8(0); cc < 16; cc += 2 {
+		for _, f := range flagSets {
+			if x86.EvalCond(cc, f) == x86.EvalCond(cc+1, f) {
+				t.Errorf("cond %s and %s agree under flags %#x",
+					x86.CondName(cc), x86.CondName(cc+1), f)
+			}
+		}
+	}
+}
+
+func TestCondNumberAliases(t *testing.T) {
+	tests := []struct {
+		name string
+		want uint8
+	}{
+		{"e", x86.CondE}, {"z", x86.CondE}, {"ne", x86.CondNE}, {"nz", x86.CondNE},
+		{"c", x86.CondB}, {"nc", x86.CondAE}, {"l", x86.CondL}, {"nge", x86.CondL},
+		{"g", x86.CondG}, {"nle", x86.CondG}, {"a", x86.CondA}, {"nbe", x86.CondA},
+		{"pe", x86.CondP}, {"po", x86.CondNP},
+	}
+	for _, tt := range tests {
+		got, ok := x86.CondNumber(tt.name)
+		if !ok || got != tt.want {
+			t.Errorf("CondNumber(%q) = %d,%v want %d", tt.name, got, ok, tt.want)
+		}
+	}
+	if _, ok := x86.CondNumber("xyzzy"); ok {
+		t.Error("CondNumber accepted a bogus name")
+	}
+}
+
+func TestRegNames(t *testing.T) {
+	if x86.RegName(x86.EAX, 4) != "eax" || x86.RegName(x86.EDI, 4) != "edi" {
+		t.Error("bad 32-bit names")
+	}
+	if x86.RegName(0, 1) != "al" || x86.RegName(4, 1) != "ah" || x86.RegName(7, 1) != "bh" {
+		t.Error("bad 8-bit names")
+	}
+	if x86.RegName(3, 2) != "bx" {
+		t.Error("bad 16-bit names")
+	}
+	if r, ok := x86.RegNumber("esi"); !ok || r != x86.ESI {
+		t.Error("RegNumber(esi) failed")
+	}
+	if _, ok := x86.RegNumber("xmm0"); ok {
+		t.Error("RegNumber accepted xmm0")
+	}
+}

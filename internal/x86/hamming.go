@@ -1,0 +1,70 @@
+package x86
+
+import "math/bits"
+
+// HammingDistance returns the number of bit positions in which a and b
+// differ.
+func HammingDistance(a, b byte) int {
+	return bits.OnesCount8(a ^ b)
+}
+
+// MinPairwiseHamming returns the minimum Hamming distance between any two
+// distinct bytes in set. It returns 8 (the maximum possible for bytes) for
+// sets with fewer than two elements.
+func MinPairwiseHamming(set []byte) int {
+	minDist := 8
+	for i := 0; i < len(set); i++ {
+		for j := i + 1; j < len(set); j++ {
+			if d := HammingDistance(set[i], set[j]); d < minDist {
+				minDist = d
+			}
+		}
+	}
+	return minDist
+}
+
+// SingleBitNeighbors returns the eight bytes reachable from b by flipping
+// exactly one bit, in bit order (bit 0 first).
+func SingleBitNeighbors(b byte) [8]byte {
+	var out [8]byte
+	for i := 0; i < 8; i++ {
+		out[i] = b ^ (1 << i)
+	}
+	return out
+}
+
+// Jcc8Opcodes returns the sixteen 2-byte conditional branch opcodes
+// (0x70..0x7F) in condition order.
+func Jcc8Opcodes() []byte {
+	out := make([]byte, 16)
+	for i := range out {
+		out[i] = Jcc8Base + byte(i)
+	}
+	return out
+}
+
+// Jcc32SecondOpcodes returns the sixteen second opcode bytes of 6-byte
+// conditional branches (0x80..0x8F) in condition order.
+func Jcc32SecondOpcodes() []byte {
+	out := make([]byte, 16)
+	for i := range out {
+		out[i] = Jcc32Base + byte(i)
+	}
+	return out
+}
+
+// DangerousPair reports whether flipping a single bit can turn opcode a
+// into opcode b where both are conditional branches with *opposite*
+// conditions (e.g. je/jne) — the exact mechanism behind the paper's
+// security break-ins.
+func DangerousPair(a, b byte) bool {
+	if HammingDistance(a, b) != 1 {
+		return false
+	}
+	both8 := IsJcc8Opcode(a) && IsJcc8Opcode(b)
+	both32 := IsJcc32SecondOpcode(a) && IsJcc32SecondOpcode(b)
+	if !both8 && !both32 {
+		return false
+	}
+	return (a^b)&0x0F == 0x01 && a>>1 == b>>1
+}

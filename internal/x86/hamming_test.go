@@ -1,0 +1,127 @@
+package x86_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"faultsec/internal/x86"
+)
+
+func TestHammingDistance(t *testing.T) {
+	tests := []struct {
+		a, b byte
+		want int
+	}{
+		{0x74, 0x75, 1}, // je vs jne — the paper's central example
+		{0x50, 0x51, 1}, // push eax vs push ecx — Figure 1's first case
+		{0x00, 0xFF, 8},
+		{0xAA, 0xAA, 0},
+		{0x0F, 0xF0, 8},
+		{0x74, 0x76, 1},
+		{0x74, 0x77, 2},
+	}
+	for _, tt := range tests {
+		if got := x86.HammingDistance(tt.a, tt.b); got != tt.want {
+			t.Errorf("HammingDistance(%#02x, %#02x) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+// Property: Hamming distance is a metric on bytes.
+func TestHammingDistanceIsMetric(t *testing.T) {
+	symmetric := func(a, b byte) bool {
+		return x86.HammingDistance(a, b) == x86.HammingDistance(b, a)
+	}
+	if err := quick.Check(symmetric, nil); err != nil {
+		t.Error("symmetry:", err)
+	}
+	identity := func(a byte) bool { return x86.HammingDistance(a, a) == 0 }
+	if err := quick.Check(identity, nil); err != nil {
+		t.Error("identity:", err)
+	}
+	triangle := func(a, b, c byte) bool {
+		return x86.HammingDistance(a, c) <= x86.HammingDistance(a, b)+x86.HammingDistance(b, c)
+	}
+	if err := quick.Check(triangle, nil); err != nil {
+		t.Error("triangle inequality:", err)
+	}
+}
+
+func TestSingleBitNeighbors(t *testing.T) {
+	nb := x86.SingleBitNeighbors(0x74)
+	want := [8]byte{0x75, 0x76, 0x70, 0x7C, 0x64, 0x54, 0x34, 0xF4}
+	if nb != want {
+		t.Errorf("neighbors of 0x74 = %x, want %x", nb, want)
+	}
+	// Property: each neighbor is at distance exactly one.
+	f := func(b byte) bool {
+		for _, n := range x86.SingleBitNeighbors(b) {
+			if x86.HammingDistance(b, n) != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinPairwiseHamming(t *testing.T) {
+	if d := x86.MinPairwiseHamming([]byte{0x00, 0x03, 0x0C}); d != 2 {
+		t.Errorf("min distance = %d, want 2", d)
+	}
+	if d := x86.MinPairwiseHamming([]byte{0x42}); d != 8 {
+		t.Errorf("singleton min distance = %d, want 8", d)
+	}
+	if d := x86.MinPairwiseHamming(nil); d != 8 {
+		t.Errorf("empty min distance = %d, want 8", d)
+	}
+}
+
+func TestJccOpcodeSets(t *testing.T) {
+	j8 := x86.Jcc8Opcodes()
+	if len(j8) != 16 || j8[0] != 0x70 || j8[15] != 0x7F {
+		t.Errorf("Jcc8Opcodes = % x", j8)
+	}
+	j32 := x86.Jcc32SecondOpcodes()
+	if len(j32) != 16 || j32[0] != 0x80 || j32[15] != 0x8F {
+		t.Errorf("Jcc32SecondOpcodes = % x", j32)
+	}
+	for _, b := range j8 {
+		if !x86.IsJcc8Opcode(b) {
+			t.Errorf("IsJcc8Opcode(%#02x) = false", b)
+		}
+	}
+	if x86.IsJcc8Opcode(0x6F) || x86.IsJcc8Opcode(0x80) {
+		t.Error("IsJcc8Opcode accepts out-of-range bytes")
+	}
+	if !x86.IsJcc32SecondOpcode(0x84) || x86.IsJcc32SecondOpcode(0x90) {
+		t.Error("IsJcc32SecondOpcode boundary broken")
+	}
+}
+
+func TestDangerousPair(t *testing.T) {
+	// Every condition/negation pair in both blocks is dangerous.
+	for cc := 0; cc < 16; cc += 2 {
+		a, b := byte(0x70+cc), byte(0x70+cc+1)
+		if !x86.DangerousPair(a, b) || !x86.DangerousPair(b, a) {
+			t.Errorf("(%#02x, %#02x) should be dangerous", a, b)
+		}
+		a6, b6 := byte(0x80+cc), byte(0x80+cc+1)
+		if !x86.DangerousPair(a6, b6) {
+			t.Errorf("(0F %#02x, 0F %#02x) should be dangerous", a6, b6)
+		}
+	}
+	// Same-direction neighbors (jb 0x72 vs je 0x74 etc.) are not
+	// "dangerous pairs" in the negation sense.
+	if x86.DangerousPair(0x72, 0x76) {
+		t.Error("jb/jna differ by one bit but are not a negation pair... distance check failed")
+	}
+	if x86.DangerousPair(0x70, 0x74) {
+		t.Error("jo/je are not a negation pair")
+	}
+	if x86.DangerousPair(0x50, 0x51) {
+		t.Error("push eax/push ecx are not branches")
+	}
+}

@@ -1,0 +1,156 @@
+package x86
+
+// Op identifies an operation. Start at one so the zero value is invalid
+// (OpInvalid), per Go style.
+type Op int
+
+// Operations implemented by the interpreter. Real x86 opcodes that the
+// study's programs never need but that a bit flip can produce are decoded
+// either to one of these (if cheap to support) or to OpPrivileged /
+// a decode error: both fault, exactly as SIGILL/SIGSEGV would on Linux.
+const (
+	OpInvalid Op = iota
+	OpAdd
+	OpOr
+	OpAdc
+	OpSbb
+	OpAnd
+	OpSub
+	OpXor
+	OpCmp
+	OpTest
+	OpMov
+	OpMovZX
+	OpMovSX
+	OpLea
+	OpXchg
+	OpPush
+	OpPop
+	OpPushA
+	OpPopA
+	OpPushF
+	OpPopF
+	OpInc
+	OpDec
+	OpNot
+	OpNeg
+	OpMul
+	OpIMul // one-, two- and three-operand forms
+	OpDiv
+	OpIDiv
+	OpRol
+	OpRor
+	OpRcl
+	OpRcr
+	OpShl
+	OpShr
+	OpSar
+	OpJcc
+	OpSetcc
+	OpJmp
+	OpJCXZ
+	OpLoop
+	OpLoopE
+	OpLoopNE
+	OpCall
+	OpRet  // optionally with immediate stack adjustment
+	OpIntN // int imm8
+	OpInt3
+	OpLeave
+	OpNop
+	OpCbw // cwde with W=4, cbw with W=2
+	OpCwd // cdq with W=4, cwd with W=2
+	OpClc
+	OpStc
+	OpCmc
+	OpCld
+	OpStd
+	OpSahf
+	OpLahf
+	OpXlat
+	OpMovs
+	OpCmps
+	OpStos
+	OpLods
+	OpScas
+	OpBound
+	OpArpl
+	OpHlt
+	OpPrivileged // in/out/cli/sti and friends: #GP in user mode
+	OpSalc
+)
+
+// Form describes the operand shape of a decoded instruction.
+type Form int
+
+// Operand forms.
+const (
+	FormNone     Form = iota // no operands (or operands implied by Op)
+	FormRMReg                // op r/m, reg
+	FormRegRM                // op reg, r/m
+	FormRMImm                // op r/m, imm
+	FormRM                   // op r/m
+	FormReg                  // op reg (register encoded in opcode)
+	FormRegImm               // op reg, imm (register encoded in opcode)
+	FormAccImm               // op al/ax/eax, imm
+	FormImm                  // op imm
+	FormRel                  // op rel8/rel32 (branch displacement)
+	FormRegRMImm             // op reg, r/m, imm (three-operand imul)
+)
+
+// RM is a decoded ModRM operand: either a register or a memory reference
+// base + index*scale + disp.
+type RM struct {
+	IsReg bool
+	Reg   uint8 // register number when IsReg
+	Base  int8  // base register, -1 if absent
+	Index int8  // index register, -1 if absent
+	Scale uint8 // 1, 2, 4 or 8
+	Disp  int32
+}
+
+// NoReg marks an absent base or index register in RM.
+const NoReg = int8(-1)
+
+// Inst is one decoded instruction.
+type Inst struct {
+	Op   Op
+	Form Form
+	W    uint8 // operand width in bytes: 1, 2 or 4
+	Cond uint8 // condition code for Jcc/SETcc/LoopE-style ops
+	Reg  uint8 // reg-field or opcode-embedded register operand
+	RM   RM
+	Imm  int32 // immediate operand (sign-extended as encoded)
+	Rel  int32 // branch displacement (sign-extended)
+	Len  uint8 // total encoded length in bytes
+	Rep  uint8 // 0, 0xF2 (repne) or 0xF3 (rep/repe)
+}
+
+// MaxInstLen is the architectural maximum x86 instruction length.
+const MaxInstLen = 15
+
+// DecodeError describes why instruction decoding failed. Decoding failures
+// correspond to #UD (illegal instruction) on hardware.
+type DecodeError struct {
+	// Offset is the byte offset within the instruction where decoding
+	// stopped.
+	Offset int
+	// Reason is a short human-readable explanation.
+	Reason string
+	// Truncated reports that the byte buffer ended mid-instruction. The VM
+	// translates this into a fetch fault at the page boundary.
+	Truncated bool
+}
+
+// Error implements the error interface.
+func (e *DecodeError) Error() string {
+	return "x86 decode: " + e.Reason
+}
+
+func undef(off int, reason string) (Inst, error) {
+	return Inst{}, &DecodeError{Offset: off, Reason: reason}
+}
+
+func truncated(off int) (Inst, error) {
+	return Inst{}, &DecodeError{Offset: off, Reason: "truncated instruction", Truncated: true}
+}

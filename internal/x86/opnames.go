@@ -1,0 +1,111 @@
+package x86
+
+import "strconv"
+
+// opNames maps basic operations to their mnemonics. Conditional ops (Jcc,
+// SETcc, CMOVcc) append the condition suffix in Mnemonic.
+var opNames = map[Op]string{
+	OpAdd:        "add",
+	OpOr:         "or",
+	OpAdc:        "adc",
+	OpSbb:        "sbb",
+	OpAnd:        "and",
+	OpSub:        "sub",
+	OpXor:        "xor",
+	OpCmp:        "cmp",
+	OpTest:       "test",
+	OpMov:        "mov",
+	OpMovZX:      "movzx",
+	OpMovSX:      "movsx",
+	OpLea:        "lea",
+	OpXchg:       "xchg",
+	OpPush:       "push",
+	OpPop:        "pop",
+	OpPushA:      "pusha",
+	OpPopA:       "popa",
+	OpPushF:      "pushf",
+	OpPopF:       "popf",
+	OpInc:        "inc",
+	OpDec:        "dec",
+	OpNot:        "not",
+	OpNeg:        "neg",
+	OpMul:        "mul",
+	OpIMul:       "imul",
+	OpDiv:        "div",
+	OpIDiv:       "idiv",
+	OpRol:        "rol",
+	OpRor:        "ror",
+	OpRcl:        "rcl",
+	OpRcr:        "rcr",
+	OpShl:        "shl",
+	OpShr:        "shr",
+	OpSar:        "sar",
+	OpJcc:        "j",
+	OpSetcc:      "set",
+	OpJmp:        "jmp",
+	OpJCXZ:       "jecxz",
+	OpLoop:       "loop",
+	OpLoopE:      "loope",
+	OpLoopNE:     "loopne",
+	OpCall:       "call",
+	OpRet:        "ret",
+	OpIntN:       "int",
+	OpInt3:       "int3",
+	OpLeave:      "leave",
+	OpNop:        "nop",
+	OpCbw:        "cwde",
+	OpCwd:        "cdq",
+	OpClc:        "clc",
+	OpStc:        "stc",
+	OpCmc:        "cmc",
+	OpCld:        "cld",
+	OpStd:        "std",
+	OpSahf:       "sahf",
+	OpLahf:       "lahf",
+	OpXlat:       "xlat",
+	OpMovs:       "movs",
+	OpCmps:       "cmps",
+	OpStos:       "stos",
+	OpLods:       "lods",
+	OpScas:       "scas",
+	OpBound:      "bound",
+	OpArpl:       "arpl",
+	OpHlt:        "hlt",
+	OpPrivileged: "(privileged)",
+	OpSalc:       "salc",
+	OpCMov:       "cmov",
+	OpRdtsc:      "rdtsc",
+	OpCpuid:      "cpuid",
+	OpBt:         "bt",
+	OpBts:        "bts",
+	OpBtr:        "btr",
+	OpBtc:        "btc",
+	OpShld:       "shld",
+	OpShrd:       "shrd",
+	OpXadd:       "xadd",
+	OpCmpxchg:    "cmpxchg",
+	OpBswap:      "bswap",
+	OpMovFromSeg: "mov(sreg)",
+	OpMovToSeg:   "mov(sreg)",
+	OpInto:       "into",
+	OpEnter:      "enter",
+	OpInvalid:    "(invalid)",
+}
+
+// String returns the base mnemonic of the operation.
+func (o Op) String() string {
+	if n, ok := opNames[o]; ok {
+		return n
+	}
+	return "op(" + strconv.Itoa(int(o)) + ")"
+}
+
+// Mnemonic returns the full mnemonic of a decoded instruction, including
+// condition suffixes for Jcc/SETcc/CMOVcc.
+func Mnemonic(in Inst) string {
+	switch in.Op {
+	case OpJcc, OpSetcc, OpCMov:
+		return in.Op.String() + CondName(in.Cond)
+	}
+	return in.Op.String()
+}

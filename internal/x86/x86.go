@@ -1,0 +1,201 @@
+// Package x86 implements an IA-32 instruction subset with the real Intel
+// byte encodings (Intel Architecture Software Developer's Manual, vol. 2).
+//
+// Using the genuine encodings is essential for this study: the paper's
+// central observation is that conditional branch opcodes are continuously
+// encoded (0x70..0x7F for the 2-byte forms, 0x0F 0x80..0x8F for the 6-byte
+// forms), so many security-critical opcode pairs are a single bit apart
+// (je=0x74 vs jne=0x75, push %eax=0x50 vs push %ecx=0x51). Every bit-flip
+// experiment in this repository mutates these real byte values.
+package x86
+
+// General-purpose register indices. The numeric values equal the register
+// numbers used in x86 instruction encodings (reg and r/m fields).
+const (
+	EAX = 0
+	ECX = 1
+	EDX = 2
+	EBX = 3
+	ESP = 4
+	EBP = 5
+	ESI = 6
+	EDI = 7
+)
+
+// NumRegs is the number of general-purpose registers.
+const NumRegs = 8
+
+// regNames32 maps register numbers to their 32-bit names.
+var regNames32 = [NumRegs]string{"eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi"}
+
+// regNames8 maps register numbers to 8-bit register names (low byte set and
+// the AH..BH set, exactly as encoded on x86).
+var regNames8 = [NumRegs]string{"al", "cl", "dl", "bl", "ah", "ch", "dh", "bh"}
+
+// regNames16 maps register numbers to 16-bit register names.
+var regNames16 = [NumRegs]string{"ax", "cx", "dx", "bx", "sp", "bp", "si", "di"}
+
+// RegName returns the name of register r at operand width w (1, 2 or 4
+// bytes). It returns "?" for out-of-range inputs.
+func RegName(r uint8, w uint8) string {
+	if r >= NumRegs {
+		return "?"
+	}
+	switch w {
+	case 1:
+		return regNames8[r]
+	case 2:
+		return regNames16[r]
+	case 4:
+		return regNames32[r]
+	}
+	return "?"
+}
+
+// RegNumber returns the register number for a 32-bit register name, or
+// (0, false) if the name is not a 32-bit register.
+func RegNumber(name string) (uint8, bool) {
+	for i, n := range regNames32 {
+		if n == name {
+			return uint8(i), true
+		}
+	}
+	return 0, false
+}
+
+// EFLAGS bits (same bit positions as the hardware EFLAGS register).
+const (
+	FlagCF uint32 = 1 << 0  // carry
+	FlagPF uint32 = 1 << 2  // parity (of low byte)
+	FlagAF uint32 = 1 << 4  // auxiliary carry
+	FlagZF uint32 = 1 << 6  // zero
+	FlagSF uint32 = 1 << 7  // sign
+	FlagDF uint32 = 1 << 10 // direction
+	FlagOF uint32 = 1 << 11 // overflow
+)
+
+// Condition codes, in encoding order: the low four bits of a Jcc/SETcc
+// opcode select one of these conditions.
+const (
+	CondO  = 0  // overflow
+	CondNO = 1  // not overflow
+	CondB  = 2  // below (CF)
+	CondAE = 3  // above or equal (!CF)
+	CondE  = 4  // equal (ZF)
+	CondNE = 5  // not equal (!ZF)
+	CondBE = 6  // below or equal (CF|ZF)
+	CondA  = 7  // above (!CF & !ZF)
+	CondS  = 8  // sign (SF)
+	CondNS = 9  // not sign (!SF)
+	CondP  = 10 // parity (PF)
+	CondNP = 11 // not parity (!PF)
+	CondL  = 12 // less (SF != OF)
+	CondGE = 13 // greater or equal (SF == OF)
+	CondLE = 14 // less or equal (ZF | SF != OF)
+	CondG  = 15 // greater (!ZF & SF == OF)
+)
+
+// condNames maps condition codes to the canonical mnemonic suffixes.
+var condNames = [16]string{
+	"o", "no", "b", "ae", "e", "ne", "be", "a",
+	"s", "ns", "p", "np", "l", "ge", "le", "g",
+}
+
+// CondName returns the mnemonic suffix for condition cc (e.g. "e" for 4).
+func CondName(cc uint8) string {
+	return condNames[cc&0xF]
+}
+
+// CondNumber returns the condition code for a mnemonic suffix. Aliases used
+// by the assembler ("z", "nz", "c", "nc", "na", "nae", "nb", "nbe", "ng",
+// "nge", "nl", "nle", "pe", "po") are accepted.
+func CondNumber(name string) (uint8, bool) {
+	switch name {
+	case "z":
+		return CondE, true
+	case "nz":
+		return CondNE, true
+	case "c":
+		return CondB, true
+	case "nc":
+		return CondAE, true
+	case "na":
+		return CondBE, true
+	case "nae":
+		return CondB, true
+	case "nb":
+		return CondAE, true
+	case "nbe":
+		return CondA, true
+	case "ng":
+		return CondLE, true
+	case "nge":
+		return CondL, true
+	case "nl":
+		return CondGE, true
+	case "nle":
+		return CondG, true
+	case "pe":
+		return CondP, true
+	case "po":
+		return CondNP, true
+	}
+	for i, n := range condNames {
+		if n == name {
+			return uint8(i), true
+		}
+	}
+	return 0, false
+}
+
+// EvalCond reports whether condition cc holds for the given EFLAGS value.
+func EvalCond(cc uint8, flags uint32) bool {
+	cf := flags&FlagCF != 0
+	zf := flags&FlagZF != 0
+	sf := flags&FlagSF != 0
+	of := flags&FlagOF != 0
+	pf := flags&FlagPF != 0
+	var r bool
+	switch cc >> 1 {
+	case 0: // O
+		r = of
+	case 1: // B
+		r = cf
+	case 2: // E
+		r = zf
+	case 3: // BE
+		r = cf || zf
+	case 4: // S
+		r = sf
+	case 5: // P
+		r = pf
+	case 6: // L
+		r = sf != of
+	case 7: // LE
+		r = zf || sf != of
+	}
+	if cc&1 != 0 {
+		r = !r
+	}
+	return r
+}
+
+// Conditional branch opcode ranges (the subject of the paper's Section 6).
+const (
+	// Jcc8Base is the opcode of the first 2-byte conditional branch (jo).
+	// The 2-byte set occupies 0x70..0x7F.
+	Jcc8Base = 0x70
+	// TwoByteEscape introduces the 2-byte opcode map (0x0F xx).
+	TwoByteEscape = 0x0F
+	// Jcc32Base is the second opcode byte of the first 6-byte conditional
+	// branch (jo rel32). The 6-byte set occupies 0x0F 0x80..0x8F.
+	Jcc32Base = 0x80
+)
+
+// IsJcc8Opcode reports whether b is the opcode of a 2-byte conditional
+// branch (jcc rel8).
+func IsJcc8Opcode(b byte) bool { return b >= 0x70 && b <= 0x7F }
+
+// IsJcc32SecondOpcode reports whether b is the second opcode byte of a
+// 6-byte conditional branch (0x0F b, jcc rel32).
+func IsJcc32SecondOpcode(b byte) bool { return b >= 0x80 && b <= 0x8F }
