@@ -1,0 +1,50 @@
+// Command campaignd serves injection campaigns over HTTP.
+//
+//	campaignd -addr :8080 -journals /var/lib/campaignd
+//
+// API:
+//
+//	POST /campaigns          submit {"app","scenario","scheme",...};
+//	                         returns {"id",...} immediately and runs the
+//	                         campaign on the engine in the background
+//	GET  /campaigns          list all campaigns
+//	GET  /campaigns/{id}     progress, outcome counts, ETA; once finished,
+//	                         the final Table-1-shaped counts
+//	GET  /metrics            engine counters across campaigns: runs/sec,
+//	                         snapshot hit rate, worker utilization
+//
+// Campaigns submitted with "journal": true are written to a JSONL journal
+// under -journals and survive daemon crashes: resubmitting the same
+// app/scenario/scheme resumes from the journal instead of starting over.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	journals := flag.String("journals", "", "directory for campaign journals (\"\" = journaling disabled)")
+	flag.Parse()
+
+	if *journals != "" {
+		if err := os.MkdirAll(*journals, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "campaignd:", err)
+			os.Exit(1)
+		}
+	}
+	srv, err := newServer(*journals)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "campaignd:", err)
+		os.Exit(1)
+	}
+	log.Printf("campaignd: listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		fmt.Fprintln(os.Stderr, "campaignd:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,322 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"faultsec/internal/campaign"
+	"faultsec/internal/encoding"
+	"faultsec/internal/ftpd"
+	"faultsec/internal/inject"
+	"faultsec/internal/sshd"
+	"faultsec/internal/target"
+)
+
+// submitRequest is the POST /campaigns body.
+type submitRequest struct {
+	App      string `json:"app"`      // "ftpd" or "sshd"
+	Scenario string `json:"scenario"` // e.g. "Client1"
+	Scheme   string `json:"scheme"`   // "x86" (default) or "parity"
+	Fuel     uint64 `json:"fuel,omitempty"`
+	Parallel int    `json:"parallelism,omitempty"`
+	Watchdog bool   `json:"watchdog,omitempty"`
+	// Journal enables crash-safe journaling (requires -journals). A
+	// resubmission of the same app/scenario/scheme resumes the journal.
+	Journal bool `json:"journal,omitempty"`
+}
+
+// campaignView is the GET /campaigns/{id} response.
+type campaignView struct {
+	ID       string `json:"id"`
+	App      string `json:"app"`
+	Scenario string `json:"scenario"`
+	Scheme   string `json:"scheme"`
+	// State is "running", "done", or "failed".
+	State    string            `json:"state"`
+	Error    string            `json:"error,omitempty"`
+	Resumed  bool              `json:"resumed,omitempty"`
+	Progress campaign.Progress `json:"progress"`
+	// Final is the Table-1-shaped outcome summary, present once done.
+	Final *finalSummary `json:"final,omitempty"`
+}
+
+// finalSummary is the completed-campaign digest: the paper's outcome
+// distribution plus transient-window activity.
+type finalSummary struct {
+	Total     int                    `json:"total"`
+	Activated int                    `json:"activated"`
+	Counts    map[string]int         `json:"counts"`
+	Window    inject.TransientWindow `json:"window"`
+	Crashes   int                    `json:"crashes"`
+}
+
+// run is one submitted campaign.
+type run struct {
+	id      string
+	req     submitRequest
+	eng     *campaign.Engine
+	resumed bool
+
+	mu    sync.Mutex
+	state string // "running", "done", "failed"
+	err   error
+	stats *inject.Stats
+}
+
+// engine returns the run's current engine (it is swapped if a resume
+// falls back to a fresh run).
+func (r *run) engine() *campaign.Engine {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.eng
+}
+
+func (r *run) view() campaignView {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := campaignView{
+		ID:       r.id,
+		App:      r.req.App,
+		Scenario: r.req.Scenario,
+		Scheme:   r.req.Scheme,
+		State:    r.state,
+		Resumed:  r.resumed,
+		Progress: r.eng.Progress(),
+	}
+	if r.err != nil {
+		v.Error = r.err.Error()
+	}
+	if r.stats != nil {
+		counts := make(map[string]int, len(r.stats.Counts))
+		for o, n := range r.stats.Counts {
+			counts[o.String()] = n
+		}
+		v.Final = &finalSummary{
+			Total:     r.stats.Total,
+			Activated: r.stats.Activated(),
+			Counts:    counts,
+			Window:    r.stats.Window,
+			Crashes:   len(r.stats.CrashLatencies),
+		}
+	}
+	return v
+}
+
+// server is the campaignd HTTP API. Campaign execution happens on
+// background goroutines; handlers only read the engine's atomic
+// progress/metrics counters and the run's terminal state.
+type server struct {
+	mux        *http.ServeMux
+	journalDir string
+	apps       map[string]*target.App
+
+	mu     sync.Mutex
+	nextID int
+	runs   map[string]*run
+	order  []string // insertion order for listing
+}
+
+func newServer(journalDir string) (*server, error) {
+	fapp, err := ftpd.Build()
+	if err != nil {
+		return nil, err
+	}
+	sapp, err := sshd.Build()
+	if err != nil {
+		return nil, err
+	}
+	s := &server{
+		journalDir: journalDir,
+		apps:       map[string]*target.App{fapp.Name: fapp, sapp.Name: sapp},
+		runs:       make(map[string]*run),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/campaigns", s.handleCampaigns)
+	s.mux.HandleFunc("/campaigns/", s.handleCampaign)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s, nil
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func parseScheme(s string) (encoding.Scheme, error) {
+	switch s {
+	case "", "x86":
+		return encoding.SchemeX86, nil
+	case "parity":
+		return encoding.SchemeParity, nil
+	}
+	return 0, fmt.Errorf("unknown scheme %q (want \"x86\" or \"parity\")", s)
+}
+
+func (s *server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.submit(w, r)
+	case http.MethodGet:
+		s.mu.Lock()
+		views := make([]campaignView, 0, len(s.order))
+		for _, id := range s.order {
+			views = append(views, s.runs[id].view())
+		}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]any{"campaigns": views})
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+	}
+}
+
+func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	app, ok := s.apps[req.App]
+	if !ok {
+		names := make([]string, 0, len(s.apps))
+		for n := range s.apps {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		writeErr(w, http.StatusBadRequest, "unknown app %q (have %s)", req.App, strings.Join(names, ", "))
+		return
+	}
+	sc, ok := app.Scenario(req.Scenario)
+	if !ok {
+		writeErr(w, http.StatusBadRequest, "app %s has no scenario %q", req.App, req.Scenario)
+		return
+	}
+	scheme, err := parseScheme(req.Scheme)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	req.Scheme = scheme.String()
+
+	cfg := campaign.Config{
+		App: app, Scenario: sc, Scheme: scheme,
+		Fuel: req.Fuel, Parallelism: req.Parallel, Watchdog: req.Watchdog,
+	}
+	resume := false
+	if req.Journal {
+		if s.journalDir == "" {
+			writeErr(w, http.StatusBadRequest, "journaling requested but campaignd runs without -journals")
+			return
+		}
+		cfg.Journal = filepath.Join(s.journalDir,
+			fmt.Sprintf("%s-%s-%s.jsonl", req.App, req.Scenario, scheme))
+		if _, err := os.Stat(cfg.Journal); err == nil {
+			resume = true
+		}
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("c%d", s.nextID)
+	rn := &run{id: id, req: req, eng: campaign.New(cfg), resumed: resume, state: "running"}
+	s.runs[id] = rn
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+
+	go func() {
+		var stats *inject.Stats
+		var err error
+		if resume {
+			stats, err = rn.engine().Resume(context.Background())
+			if err != nil {
+				// A foreign or corrupt journal must not wedge the service:
+				// fall back to a fresh run (on a fresh engine, so metrics
+				// are not double-counted), which truncates the journal.
+				e2 := campaign.New(cfg)
+				rn.mu.Lock()
+				rn.eng, rn.resumed = e2, false
+				rn.mu.Unlock()
+				var ferr error
+				if stats, ferr = e2.Run(context.Background()); ferr == nil {
+					err = nil
+				} else {
+					err = errors.Join(err, ferr)
+				}
+			}
+		} else {
+			stats, err = rn.engine().Run(context.Background())
+		}
+		rn.mu.Lock()
+		defer rn.mu.Unlock()
+		if err != nil {
+			rn.state, rn.err = "failed", err
+			return
+		}
+		rn.state, rn.stats = "done", stats
+	}()
+
+	writeJSON(w, http.StatusAccepted, rn.view())
+}
+
+func (s *server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/campaigns/")
+	s.mu.Lock()
+	rn, ok := s.runs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no campaign %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, rn.view())
+}
+
+// metricsView is the GET /metrics response: per-campaign engine counters
+// plus service-wide aggregates.
+type metricsView struct {
+	Campaigns map[string]campaign.Metrics `json:"campaigns"`
+	// TotalRuns sums fresh runs across campaigns.
+	TotalRuns int64 `json:"totalRuns"`
+	// Running is the number of campaigns still executing.
+	Running int `json:"running"`
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	s.mu.Lock()
+	v := metricsView{Campaigns: make(map[string]campaign.Metrics, len(s.runs))}
+	for id, rn := range s.runs {
+		m := rn.engine().Metrics()
+		v.Campaigns[id] = m
+		v.TotalRuns += m.RunsTotal
+		rn.mu.Lock()
+		if rn.state == "running" {
+			v.Running++
+		}
+		rn.mu.Unlock()
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, v)
+}

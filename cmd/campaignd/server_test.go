@@ -1,0 +1,199 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func newTestService(t *testing.T) (*httptest.Server, string) {
+	t.Helper()
+	dir := t.TempDir()
+	srv, err := newServer(dir)
+	if err != nil {
+		t.Fatalf("newServer: %v", err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, dir
+}
+
+func postCampaign(t *testing.T, ts *httptest.Server, body string) campaignView {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/campaigns", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close() //nolint:errcheck // test
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /campaigns: status %d", resp.StatusCode)
+	}
+	var v campaignView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close() //nolint:errcheck // test
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode
+}
+
+// waitDone polls the campaign until it leaves the running state, checking
+// that progress counters only ever move forward.
+func waitDone(t *testing.T, ts *httptest.Server, id string) campaignView {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	lastDone := -1
+	for time.Now().Before(deadline) {
+		var v campaignView
+		if code := getJSON(t, ts.URL+"/campaigns/"+id, &v); code != http.StatusOK {
+			t.Fatalf("GET /campaigns/%s: status %d", id, code)
+		}
+		if v.Progress.Done < lastDone {
+			t.Fatalf("progress went backwards: %d -> %d", lastDone, v.Progress.Done)
+		}
+		lastDone = v.Progress.Done
+		if v.State != "running" {
+			return v
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("campaign %s did not finish", id)
+	return campaignView{}
+}
+
+// TestServiceEndToEnd drives campaignd the way a client would: submit the
+// FTP Client1 campaign, watch progress advance monotonically, and check
+// the finished campaign reports Table-1-shaped counts and engine metrics.
+func TestServiceEndToEnd(t *testing.T) {
+	ts, _ := newTestService(t)
+
+	v := postCampaign(t, ts, `{"app":"ftpd","scenario":"Client1","scheme":"x86"}`)
+	if v.ID == "" || v.State != "running" {
+		t.Fatalf("submit returned %+v", v)
+	}
+
+	final := waitDone(t, ts, v.ID)
+	if final.State != "done" {
+		t.Fatalf("campaign ended %q (error %q)", final.State, final.Error)
+	}
+	if final.Final == nil {
+		t.Fatal("finished campaign has no final summary")
+	}
+	if final.Final.Total == 0 || final.Progress.Done != final.Final.Total {
+		t.Fatalf("final progress %d/%d", final.Progress.Done, final.Final.Total)
+	}
+	sum := 0
+	for _, k := range []string{"NA", "NM", "SD", "FSV", "BRK"} {
+		sum += final.Final.Counts[k]
+	}
+	if sum != final.Final.Total {
+		t.Fatalf("outcome counts %v sum to %d, want %d", final.Final.Counts, sum, final.Final.Total)
+	}
+	if final.Final.Counts["BRK"] == 0 {
+		t.Error("stock-x86 FTP campaign reported no break-ins")
+	}
+
+	var m metricsView
+	if code := getJSON(t, ts.URL+"/metrics", &m); code != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", code)
+	}
+	em, ok := m.Campaigns[v.ID]
+	if !ok {
+		t.Fatalf("metrics missing campaign %s: %+v", v.ID, m)
+	}
+	if em.RunsTotal == 0 || em.SnapshotRuns == 0 {
+		t.Errorf("metrics show no snapshot work: %+v", em)
+	}
+	if em.SnapshotHitRate <= 0 || em.SnapshotHitRate > 1 {
+		t.Errorf("snapshot hit rate %v out of range", em.SnapshotHitRate)
+	}
+	if m.TotalRuns < em.RunsTotal {
+		t.Errorf("aggregate runs %d < campaign runs %d", m.TotalRuns, em.RunsTotal)
+	}
+
+	var list struct {
+		Campaigns []campaignView `json:"campaigns"`
+	}
+	if code := getJSON(t, ts.URL+"/campaigns", &list); code != http.StatusOK {
+		t.Fatalf("GET /campaigns: status %d", code)
+	}
+	if len(list.Campaigns) != 1 || list.Campaigns[0].ID != v.ID {
+		t.Fatalf("campaign list %+v", list)
+	}
+}
+
+// TestServiceJournalResume submits the same journaled campaign twice; the
+// second submission must resume (here: adopt every journaled run) rather
+// than re-execute.
+func TestServiceJournalResume(t *testing.T) {
+	ts, _ := newTestService(t)
+
+	body := `{"app":"ftpd","scenario":"Client1","journal":true}`
+	first := postCampaign(t, ts, body)
+	if got := waitDone(t, ts, first.ID); got.State != "done" {
+		t.Fatalf("first run ended %q (error %q)", got.State, got.Error)
+	}
+
+	second := postCampaign(t, ts, body)
+	if !second.Resumed {
+		t.Fatal("resubmission did not resume the journal")
+	}
+	final := waitDone(t, ts, second.ID)
+	if final.State != "done" {
+		t.Fatalf("resumed run ended %q (error %q)", final.State, final.Error)
+	}
+
+	var m metricsView
+	getJSON(t, ts.URL+"/metrics", &m)
+	em := m.Campaigns[second.ID]
+	if em.JournalAdopted != int64(final.Final.Total) {
+		t.Errorf("resumed campaign adopted %d of %d runs", em.JournalAdopted, final.Final.Total)
+	}
+	if em.RunsTotal != 0 {
+		t.Errorf("resumed campaign re-executed %d runs", em.RunsTotal)
+	}
+}
+
+// TestServiceRejectsBadRequests pins the API's error contract.
+func TestServiceRejectsBadRequests(t *testing.T) {
+	ts, _ := newTestService(t)
+	cases := []struct {
+		body string
+		want int
+	}{
+		{`{"app":"nope","scenario":"Client1"}`, http.StatusBadRequest},
+		{`{"app":"ftpd","scenario":"NoSuch"}`, http.StatusBadRequest},
+		{`{"app":"ftpd","scenario":"Client1","scheme":"trinary"}`, http.StatusBadRequest},
+		{`not json`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(ts.URL+"/campaigns", "application/json", bytes.NewBufferString(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close() //nolint:errcheck // test
+		if resp.StatusCode != c.want {
+			t.Errorf("POST %s: status %d, want %d", c.body, resp.StatusCode, c.want)
+		}
+	}
+
+	var v map[string]any
+	if code := getJSON(t, ts.URL+"/campaigns/c999", &v); code != http.StatusNotFound {
+		t.Errorf("GET unknown campaign: status %d, want 404", code)
+	}
+}

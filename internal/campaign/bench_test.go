@@ -1,0 +1,37 @@
+package campaign_test
+
+import (
+	"context"
+	"testing"
+
+	"faultsec/internal/campaign"
+	"faultsec/internal/encoding"
+)
+
+// benchCampaign runs the full Table 1 FTP Client1 campaign once per
+// iteration and reports throughput in runs/sec, the engine's headline
+// metric (acceptance: snapshot ≥ 2× naive).
+func benchCampaign(b *testing.B, noSnapshot bool) {
+	app, sc := ftpClient1(b)
+	var runs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := campaign.New(campaign.Config{
+			App: app, Scenario: sc, Scheme: encoding.SchemeX86,
+			NoSnapshot: noSnapshot,
+		})
+		stats, err := eng.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		runs += int64(stats.Total)
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(runs)/sec, "runs/sec")
+	}
+}
+
+func BenchmarkEngineSnapshotFTP(b *testing.B) { benchCampaign(b, false) }
+
+func BenchmarkEngineNaiveFTP(b *testing.B) { benchCampaign(b, true) }

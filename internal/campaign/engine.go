@@ -1,0 +1,637 @@
+// Package campaign is the production campaign engine underneath the
+// study's injection experiments: a sharded, crash-safe, resumable executor
+// that replaces the naive one-run-per-experiment loop in internal/inject.
+//
+// Three ideas make it fast and durable:
+//
+//   - Snapshot fast-forward. All experiments that flip bits of the same
+//     target instruction share an identical golden prefix from _start to
+//     the injection breakpoint, and targets themselves share most of their
+//     prefixes with each other. The engine therefore runs one golden sweep
+//     with every target's breakpoint armed at once, capturing the machine
+//     (vm.Snapshot) and session kernel (kernel.Snapshot) state at each
+//     first hit — the entire prefix work of a campaign collapses into a
+//     single fault-free session. Each of a target's ~8-48 bit-flip runs
+//     then restores its snapshot instead of re-executing from _start.
+//     Targets whose breakpoint is never reached are even cheaper: the
+//     fault-free session outcome is already known from the golden run, so
+//     their experiments are synthesized as NA without executing anything.
+//     Sweeps run in bounded waves (maxResidentSnapshots) so a 100k-run
+//     random campaign over thousands of distinct instructions does not
+//     hold thousands of address-space copies live at once.
+//
+//   - Sharding. Experiments are grouped by target address and the groups
+//     are distributed over a worker pool, so snapshot reuse is conflict
+//     free and wall-clock scales with cores.
+//
+//   - Journaling. Every completed run is appended to a JSONL journal with
+//     periodic checkpoint records. Resume replays the journal, skips every
+//     recorded experiment, and merges journaled and fresh results into the
+//     exact Stats an uninterrupted campaign produces.
+//
+// Importing this package registers it as the execution backend for
+// inject.Run / inject.RunExperiments / inject.RunRandom (see register.go),
+// making it a drop-in replacement for existing callers.
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"faultsec/internal/classify"
+	"faultsec/internal/encoding"
+	"faultsec/internal/inject"
+	"faultsec/internal/kernel"
+	"faultsec/internal/target"
+	"faultsec/internal/vm"
+)
+
+// Config parameterizes one engine campaign. The first block mirrors
+// inject.Config; the second is engine-specific.
+type Config struct {
+	App      *target.App
+	Scenario target.Scenario
+	Scheme   encoding.Scheme
+	// Fuel is the per-run instruction budget; 0 means inject.DefaultFuel.
+	Fuel uint64
+	// Parallelism is the worker count; 0 means GOMAXPROCS.
+	Parallelism int
+	// KeepResults retains every per-run Result in Stats.Results.
+	KeepResults bool
+	// Watchdog enables the control-flow checker for every run.
+	Watchdog bool
+	// Progress, when non-nil, receives (done, total) after each run.
+	Progress func(done, total int)
+
+	// Journal is the path of the JSONL run journal; "" disables
+	// journaling (and with it crash-safety and Resume).
+	Journal string
+	// CheckpointEvery is the journal checkpoint cadence in runs; 0 means
+	// DefaultCheckpointEvery.
+	CheckpointEvery int
+	// NoSnapshot forces the naive from-scratch path for every run. It
+	// exists for differential testing and benchmarking against the
+	// snapshot fast-forward.
+	NoSnapshot bool
+}
+
+// DefaultCheckpointEvery is the journal checkpoint cadence.
+const DefaultCheckpointEvery = 256
+
+// maxResidentSnapshots bounds how many target snapshots are live at once.
+// Each snapshot deep-copies the address space, so an unbounded table would
+// cost (distinct targets × memory image) — fine for the selective-
+// exhaustive campaigns (~10s of targets), ruinous for random campaigns
+// over the whole text segment. Targets are swept in waves of this size;
+// each wave costs one extra golden session.
+const maxResidentSnapshots = 256
+
+func (c *Config) effectiveFuel() uint64 {
+	if c.Fuel == 0 {
+		return inject.DefaultFuel
+	}
+	return c.Fuel
+}
+
+func (c *Config) effectiveWorkers(n int) int {
+	w := c.Parallelism
+	if w <= 0 {
+		w = defaultParallelism()
+	}
+	if w > n && n > 0 {
+		w = n
+	}
+	return w
+}
+
+func (c *Config) effectiveCheckpointEvery() int {
+	if c.CheckpointEvery <= 0 {
+		return DefaultCheckpointEvery
+	}
+	return c.CheckpointEvery
+}
+
+// FromInjectConfig adapts an inject.Config (no journal, snapshots on).
+func FromInjectConfig(cfg inject.Config) Config {
+	return Config{
+		App:         cfg.App,
+		Scenario:    cfg.Scenario,
+		Scheme:      cfg.Scheme,
+		Fuel:        cfg.Fuel,
+		Parallelism: cfg.Parallelism,
+		KeepResults: cfg.KeepResults,
+		Watchdog:    cfg.Watchdog,
+		Progress:    cfg.Progress,
+	}
+}
+
+// Engine executes one campaign. Its progress and metrics accessors are
+// safe for concurrent use while the campaign runs (cmd/campaignd polls
+// them from HTTP handlers).
+type Engine struct {
+	cfg Config
+
+	total     atomic.Int64
+	done      atomic.Int64
+	preloaded atomic.Int64 // journaled runs adopted by Resume
+	counts    [6]atomic.Int64
+
+	prefixRuns      atomic.Int64 // golden prefix executions (one per reached target)
+	snapshotRuns    atomic.Int64 // runs served by snapshot restore
+	synthesizedRuns atomic.Int64 // NA runs synthesized from an unreached prefix
+	naiveRuns       atomic.Int64 // runs executed from _start (NoSnapshot)
+
+	workers    atomic.Int64
+	busyNanos  atomic.Int64
+	startNanos atomic.Int64
+	endNanos   atomic.Int64
+}
+
+// New returns an engine for cfg.
+func New(cfg Config) *Engine { return &Engine{cfg: cfg} }
+
+// Run executes the full selective-exhaustive campaign for the configured
+// app/scenario/scheme. An existing journal at cfg.Journal is truncated;
+// use Resume to continue one.
+func (e *Engine) Run(ctx context.Context) (*inject.Stats, error) {
+	exps, err := e.enumerate()
+	if err != nil {
+		return nil, err
+	}
+	return e.RunExperiments(ctx, exps)
+}
+
+// RunExperiments executes an explicit experiment list (the inject backend
+// entry point; also used by random campaigns).
+func (e *Engine) RunExperiments(ctx context.Context, exps []inject.Experiment) (*inject.Stats, error) {
+	var w *journalWriter
+	if e.cfg.Journal != "" {
+		f, err := os.OpenFile(e.cfg.Journal, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: create journal: %w", err)
+		}
+		w = newJournalWriter(f, e.cfg.effectiveCheckpointEvery())
+		if err := w.writeHeader(journalIdentity(&e.cfg, len(exps))); err != nil {
+			return nil, fmt.Errorf("campaign: journal header: %w", err)
+		}
+	}
+	return e.run(ctx, exps, nil, w)
+}
+
+// Resume continues the campaign recorded in cfg.Journal: experiments with
+// journaled results are adopted verbatim, the remainder is executed, and
+// the merged Stats is identical to an uninterrupted run. The journal keeps
+// growing in place, so a resumed campaign is itself resumable.
+func Resume(ctx context.Context, cfg Config) (*inject.Stats, error) {
+	return New(cfg).Resume(ctx)
+}
+
+// Resume is the method form of the package-level Resume; it leaves the
+// caller a handle for Progress and Metrics while the campaign runs.
+func (e *Engine) Resume(ctx context.Context) (*inject.Stats, error) {
+	if e.cfg.Journal == "" {
+		return nil, errors.New("campaign: Resume needs cfg.Journal")
+	}
+	exps, err := e.enumerate()
+	if err != nil {
+		return nil, err
+	}
+	skip, err := readJournal(e.cfg.Journal, journalIdentity(&e.cfg, len(exps)))
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(e.cfg.Journal, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: reopen journal: %w", err)
+	}
+	w := newJournalWriter(f, e.cfg.effectiveCheckpointEvery())
+	return e.run(ctx, exps, skip, w)
+}
+
+func (e *Engine) enumerate() ([]inject.Experiment, error) {
+	targets, err := inject.Targets(e.cfg.App)
+	if err != nil {
+		return nil, err
+	}
+	return inject.Enumerate(targets, e.cfg.Scheme), nil
+}
+
+// group is one shard: every pending experiment targeting one instruction.
+type group struct {
+	addr    uint32
+	indices []int
+}
+
+// groupByTarget shards pending experiments by target address, in first-
+// appearance (address-enumeration) order.
+func groupByTarget(exps []inject.Experiment, skip map[int]*wireResult) []group {
+	byAddr := make(map[uint32]int)
+	var out []group
+	for i := range exps {
+		if _, done := skip[i]; done {
+			continue
+		}
+		addr := exps[i].Target.Addr
+		gi, ok := byAddr[addr]
+		if !ok {
+			gi = len(out)
+			byAddr[addr] = gi
+			out = append(out, group{addr: addr})
+		}
+		out[gi].indices = append(out[gi].indices, i)
+	}
+	return out
+}
+
+// snapEntry is one target's captured prefix state.
+type snapEntry struct {
+	m *vm.Snapshot
+	k *kernel.Snapshot
+	// activationSteps is the retired-instruction count at the breakpoint.
+	activationSteps uint64
+	// bytesAtActivation is the server-to-client byte count at the
+	// breakpoint (transient-window accounting starts here).
+	bytesAtActivation int
+}
+
+// captureSnapshots runs one golden sweep with every wave target's
+// breakpoint armed and snapshots the machine+kernel at each first hit.
+// Execution is unperturbed by armed breakpoints, so each snapshot is
+// identical to the state a single-breakpoint prefix run would reach. The
+// sweep stops as soon as the last breakpoint is collected; targets whose
+// breakpoint the fault-free session never reaches are absent from the
+// returned table (their experiments classify as NA without execution).
+func (e *Engine) captureSnapshots(wave []group, cfValid map[uint32]struct{},
+	fuel uint64) (map[uint32]*snapEntry, error) {
+	client := e.cfg.Scenario.New()
+	k := kernel.New(client)
+	ld, err := e.cfg.App.Image.Load(k, nil)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: sweep load: %w", err)
+	}
+	m := ld.Machine
+	m.Fuel = fuel
+	m.CFValid = cfValid
+	for i := range wave {
+		m.SetBreakpoint(wave[i].addr)
+	}
+	e.prefixRuns.Add(1)
+
+	snaps := make(map[uint32]*snapEntry, len(wave))
+	for len(snaps) < len(wave) {
+		runErr := m.Run()
+		var bp *vm.BreakpointHit
+		if !errors.As(runErr, &bp) {
+			// Fault-free session over: the remaining targets never
+			// activate under this scenario.
+			break
+		}
+		snaps[bp.Addr] = &snapEntry{
+			m:                 m.Snapshot(),
+			k:                 k.Snapshot(),
+			activationSteps:   m.Steps,
+			bytesAtActivation: len(k.Transcript.ServerBytes()),
+		}
+		m.ClearBreakpoint(bp.Addr)
+	}
+	return snaps, nil
+}
+
+// run is the engine core: shard by target, sweep-capture snapshots in
+// waves, execute on the worker pool, journal, aggregate.
+func (e *Engine) run(ctx context.Context, exps []inject.Experiment,
+	skip map[int]*wireResult, w *journalWriter) (*inject.Stats, error) {
+	total := len(exps)
+	e.total.Store(int64(total))
+	e.startNanos.Store(time.Now().UnixNano())
+	defer func() { e.endNanos.Store(time.Now().UnixNano()) }()
+
+	fuel := e.cfg.effectiveFuel()
+	golden, err := inject.GoldenRun(e.cfg.App, e.cfg.Scenario, fuel)
+	if err != nil {
+		return nil, err
+	}
+	var cfValid map[uint32]struct{}
+	if e.cfg.Watchdog {
+		cfValid = inject.ValidInstructionStarts(e.cfg.App)
+	}
+
+	results := make([]inject.Result, total)
+	for idx, wr := range skip {
+		results[idx] = wr.toResult(exps[idx])
+		e.counts[results[idx].Outcome].Add(1)
+	}
+	e.preloaded.Store(int64(len(skip)))
+	e.done.Store(int64(len(skip)))
+
+	groups := groupByTarget(exps, skip)
+	workers := e.cfg.effectiveWorkers(len(groups))
+	e.workers.Store(int64(workers))
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		errMu   sync.Mutex
+		loopErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if loopErr == nil {
+			loopErr = err
+		}
+		errMu.Unlock()
+		cancel()
+	}
+	finish := func(idx int, res inject.Result) {
+		results[idx] = res
+		e.counts[res.Outcome].Add(1)
+		d := int(e.done.Add(1))
+		if w != nil {
+			if err := w.writeRun(idx, res, d, e.countsMap()); err != nil {
+				fail(fmt.Errorf("campaign: journal append: %w", err))
+				return
+			}
+		}
+		if e.cfg.Progress != nil {
+			e.cfg.Progress(d, total)
+		}
+	}
+
+	// naRun is the observable outcome of a never-activated experiment: the
+	// fault-free session itself (determinism makes this exact, not a
+	// model).
+	naRun := &classify.Run{
+		Activated:   false,
+		Err:         &vm.ExitStatus{Code: golden.ExitCode},
+		ServerBytes: golden.ServerBytes,
+		Granted:     golden.Granted,
+		EndSteps:    golden.Steps,
+	}
+
+	// Worker machines are pooled across waves so each worker's address
+	// space is allocated once and rewound in place thereafter.
+	pool := make(chan *vm.Machine, workers)
+	for i := 0; i < workers; i++ {
+		pool <- nil
+	}
+
+	for start := 0; start < len(groups) && runCtx.Err() == nil; start += maxResidentSnapshots {
+		endIdx := start + maxResidentSnapshots
+		if endIdx > len(groups) {
+			endIdx = len(groups)
+		}
+		wave := groups[start:endIdx]
+
+		var snaps map[uint32]*snapEntry
+		if !e.cfg.NoSnapshot {
+			snaps, err = e.captureSnapshots(wave, cfValid, fuel)
+			if err != nil {
+				fail(err)
+				break
+			}
+		}
+
+		gch := make(chan int)
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				wm := <-pool
+				defer func() { pool <- wm }()
+				for gi := range gch {
+					begin := time.Now()
+					wm = e.runGroup(runCtx, wm, &wave[gi], exps, golden, naRun,
+						snaps[wave[gi].addr], cfValid, fuel, finish, fail)
+					e.busyNanos.Add(time.Since(begin).Nanoseconds())
+				}
+			}()
+		}
+	feed:
+		for gi := range wave {
+			select {
+			case <-runCtx.Done():
+				break feed
+			case gch <- gi:
+			}
+		}
+		close(gch)
+		wg.Wait()
+	}
+
+	if w != nil {
+		if err := w.close(int(e.done.Load()), e.countsMap()); err != nil && loopErr == nil {
+			loopErr = fmt.Errorf("campaign: journal close: %w", err)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("campaign: canceled: %w", err)
+	}
+	if loopErr != nil {
+		return nil, loopErr
+	}
+
+	stats := inject.NewStats(e.cfg.App.Name, e.cfg.Scenario.Name, e.cfg.Scheme)
+	for i := range results {
+		stats.Add(results[i])
+	}
+	if e.cfg.KeepResults {
+		stats.Results = results
+	}
+	return stats, nil
+}
+
+// runGroup executes every pending experiment of one target-address shard
+// against the target's prefix snapshot (nil = never activated). It returns
+// the (possibly newly allocated) reusable worker machine.
+func (e *Engine) runGroup(ctx context.Context, wm *vm.Machine, g *group,
+	exps []inject.Experiment, golden *classify.Golden, naRun *classify.Run,
+	snap *snapEntry, cfValid map[uint32]struct{}, fuel uint64,
+	finish func(int, inject.Result), fail func(error)) *vm.Machine {
+
+	if e.cfg.NoSnapshot {
+		for _, idx := range g.indices {
+			if ctx.Err() != nil {
+				return wm
+			}
+			res, err := inject.RunOneWatched(e.cfg.App, e.cfg.Scenario, golden, exps[idx], fuel, cfValid)
+			if err != nil {
+				fail(fmt.Errorf("campaign: experiment %d: %w", idx, err))
+				return wm
+			}
+			e.naiveRuns.Add(1)
+			finish(idx, res)
+		}
+		return wm
+	}
+
+	if snap == nil {
+		// The target instruction never executes under this scenario. A
+		// from-scratch run would simply replay the fault-free session
+		// around the dormant corruption: synthesize NA from the golden
+		// observables without executing anything.
+		for _, idx := range g.indices {
+			if ctx.Err() != nil {
+				return wm
+			}
+			e.synthesizedRuns.Add(1)
+			finish(idx, inject.ResultFromRun(golden, exps[idx], naRun, e.cfg.Scenario.ShouldGrant, 0))
+		}
+		return wm
+	}
+
+	for _, idx := range g.indices {
+		if ctx.Err() != nil {
+			return wm
+		}
+		ex := exps[idx]
+		fresh := e.cfg.Scenario.New()
+		k2 := snap.k.NewKernel(fresh)
+		if wm == nil {
+			wm = snap.m.NewMachine(k2)
+		} else {
+			if err := wm.Restore(snap.m); err != nil {
+				fail(fmt.Errorf("campaign: restore at %#x: %w", g.addr, err))
+				return wm
+			}
+			wm.Sys = k2
+		}
+		// The snapshot was captured mid-sweep: its own and later targets'
+		// breakpoints are still armed. The injected run must execute to
+		// its fate without stopping at any of them.
+		wm.ClearBreakpoints()
+		if err := wm.Mem.Poke(ex.Target.Addr, ex.CorruptedBytes()); err != nil {
+			fail(fmt.Errorf("campaign: poke at %#x: %w", ex.Target.Addr, err))
+			return wm
+		}
+		endErr := wm.Run()
+		serverBytes := k2.Transcript.ServerBytes()
+		run := &classify.Run{
+			Activated:       true,
+			Err:             endErr,
+			ServerBytes:     serverBytes,
+			Granted:         fresh.Granted(),
+			ActivationSteps: snap.activationSteps,
+			EndSteps:        wm.Steps,
+		}
+		e.snapshotRuns.Add(1)
+		finish(idx, inject.ResultFromRun(golden, ex, run, e.cfg.Scenario.ShouldGrant,
+			len(serverBytes)-snap.bytesAtActivation))
+	}
+	return wm
+}
+
+func (e *Engine) countsMap() map[string]int {
+	out := make(map[string]int, 5)
+	for _, o := range classify.Outcomes() {
+		if n := e.counts[o].Load(); n > 0 {
+			out[o.String()] = int(n)
+		}
+	}
+	return out
+}
+
+// Progress is a point-in-time view of a running (or finished) campaign.
+type Progress struct {
+	// Done and Total are completed and total experiment counts; Done
+	// includes runs adopted from a resumed journal.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Counts maps outcome abbreviations (NA/NM/SD/FSV/BRK) to run counts.
+	Counts map[string]int `json:"counts"`
+	// ElapsedSeconds is wall time since the campaign started.
+	ElapsedSeconds float64 `json:"elapsedSeconds"`
+	// RunsPerSec is fresh-run throughput (journal-adopted runs excluded).
+	RunsPerSec float64 `json:"runsPerSec"`
+	// ETASeconds estimates time to completion at the current throughput;
+	// 0 when done or unknown.
+	ETASeconds float64 `json:"etaSeconds"`
+}
+
+// Progress reports campaign progress. Safe to call concurrently with Run.
+func (e *Engine) Progress() Progress {
+	p := Progress{
+		Done:   int(e.done.Load()),
+		Total:  int(e.total.Load()),
+		Counts: e.countsMap(),
+	}
+	p.ElapsedSeconds = e.elapsed().Seconds()
+	fresh := p.Done - int(e.preloaded.Load())
+	if p.ElapsedSeconds > 0 && fresh > 0 {
+		p.RunsPerSec = float64(fresh) / p.ElapsedSeconds
+		if remaining := p.Total - p.Done; remaining > 0 {
+			p.ETASeconds = float64(remaining) / p.RunsPerSec
+		}
+	}
+	return p
+}
+
+// Metrics is the engine's operational counter set.
+type Metrics struct {
+	// RunsTotal is the number of completed fresh runs.
+	RunsTotal int64 `json:"runsTotal"`
+	// PrefixRuns is the number of golden sweep executions (one per wave
+	// of up to maxResidentSnapshots scheduled targets).
+	PrefixRuns int64 `json:"prefixRuns"`
+	// SnapshotRuns is the number of runs served by snapshot restore.
+	SnapshotRuns int64 `json:"snapshotRuns"`
+	// SynthesizedNA is the number of NA results synthesized from an
+	// unreached prefix without any execution.
+	SynthesizedNA int64 `json:"synthesizedNA"`
+	// NaiveRuns is the number of runs executed from _start (NoSnapshot).
+	NaiveRuns int64 `json:"naiveRuns"`
+	// JournalAdopted is the number of results adopted from a journal.
+	JournalAdopted int64 `json:"journalAdopted"`
+	// SnapshotHitRate is the share of fresh runs that did not re-execute
+	// the golden prefix (snapshot restores plus synthesized NAs).
+	SnapshotHitRate float64 `json:"snapshotHitRate"`
+	// RunsPerSec is fresh-run throughput over the campaign wall time.
+	RunsPerSec float64 `json:"runsPerSec"`
+	// Workers is the worker pool size.
+	Workers int `json:"workers"`
+	// WorkerUtilization is aggregate busy time divided by workers times
+	// wall time (1.0 = every worker busy the whole campaign).
+	WorkerUtilization float64 `json:"workerUtilization"`
+}
+
+// Metrics reports operational counters. Safe to call concurrently with Run.
+func (e *Engine) Metrics() Metrics {
+	m := Metrics{
+		SnapshotRuns:   e.snapshotRuns.Load(),
+		SynthesizedNA:  e.synthesizedRuns.Load(),
+		NaiveRuns:      e.naiveRuns.Load(),
+		PrefixRuns:     e.prefixRuns.Load(),
+		JournalAdopted: e.preloaded.Load(),
+		Workers:        int(e.workers.Load()),
+	}
+	m.RunsTotal = m.SnapshotRuns + m.SynthesizedNA + m.NaiveRuns
+	if m.RunsTotal > 0 {
+		m.SnapshotHitRate = float64(m.SnapshotRuns+m.SynthesizedNA) / float64(m.RunsTotal)
+	}
+	elapsed := e.elapsed().Seconds()
+	if elapsed > 0 {
+		m.RunsPerSec = float64(m.RunsTotal) / elapsed
+		if m.Workers > 0 {
+			m.WorkerUtilization = float64(e.busyNanos.Load()) / 1e9 / (elapsed * float64(m.Workers))
+		}
+	}
+	return m
+}
+
+func (e *Engine) elapsed() time.Duration {
+	start := e.startNanos.Load()
+	if start == 0 {
+		return 0
+	}
+	end := e.endNanos.Load()
+	if end == 0 {
+		end = time.Now().UnixNano()
+	}
+	return time.Duration(end - start)
+}

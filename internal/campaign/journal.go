@@ -1,0 +1,239 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"faultsec/internal/classify"
+	"faultsec/internal/encoding"
+	"faultsec/internal/inject"
+)
+
+// The journal is an append-only JSONL file: one header record identifying
+// the campaign, one run record per completed experiment, and periodic
+// checkpoint records summarizing progress. Every record is flushed as it
+// is written, so a killed campaign loses at most the runs that were still
+// in flight; Resume replays the journal, skips every recorded experiment,
+// and re-runs only the remainder.
+
+// recordType discriminates journal lines.
+const (
+	recordHeader     = "header"
+	recordRun        = "run"
+	recordCheckpoint = "checkpoint"
+)
+
+// journalRecord is the wire form of one journal line. Fields are a union
+// over the record types; Type selects which are meaningful.
+type journalRecord struct {
+	Type string `json:"type"`
+
+	// Header fields: campaign identity. Resume refuses a journal whose
+	// identity does not match the engine config — a journal from a
+	// different app/scenario/scheme/fuel would corrupt results silently.
+	App      string          `json:"app,omitempty"`
+	Scenario string          `json:"scenario,omitempty"`
+	Scheme   encoding.Scheme `json:"scheme,omitempty"`
+	Total    int             `json:"total,omitempty"`
+	Fuel     uint64          `json:"fuel,omitempty"`
+	Watchdog bool            `json:"watchdog,omitempty"`
+
+	// Run fields.
+	Idx    int         `json:"idx,omitempty"`
+	Result *wireResult `json:"result,omitempty"`
+
+	// Checkpoint fields.
+	Done   int            `json:"done,omitempty"`
+	Counts map[string]int `json:"counts,omitempty"`
+}
+
+// wireResult is inject.Result minus the Experiment (reconstructed from the
+// deterministic enumeration by index).
+type wireResult struct {
+	Outcome            classify.Outcome  `json:"outcome"`
+	Location           classify.Location `json:"location"`
+	Activated          bool              `json:"activated,omitempty"`
+	FaultKind          string            `json:"faultKind,omitempty"`
+	CrashLatency       uint64            `json:"crashLatency,omitempty"`
+	Crashed            bool              `json:"crashed,omitempty"`
+	Granted            bool              `json:"granted,omitempty"`
+	BytesInWindow      int               `json:"bytesInWindow,omitempty"`
+	DetectedByWatchdog bool              `json:"watchdogHit,omitempty"`
+}
+
+func toWire(r inject.Result) *wireResult {
+	return &wireResult{
+		Outcome:            r.Outcome,
+		Location:           r.Location,
+		Activated:          r.Activated,
+		FaultKind:          r.FaultKind,
+		CrashLatency:       r.CrashLatency,
+		Crashed:            r.Crashed,
+		Granted:            r.Granted,
+		BytesInWindow:      r.BytesInWindow,
+		DetectedByWatchdog: r.DetectedByWatchdog,
+	}
+}
+
+func (w *wireResult) toResult(ex inject.Experiment) inject.Result {
+	return inject.Result{
+		Experiment:         ex,
+		Outcome:            w.Outcome,
+		Location:           w.Location,
+		Activated:          w.Activated,
+		FaultKind:          w.FaultKind,
+		CrashLatency:       w.CrashLatency,
+		Crashed:            w.Crashed,
+		Granted:            w.Granted,
+		BytesInWindow:      w.BytesInWindow,
+		DetectedByWatchdog: w.DetectedByWatchdog,
+	}
+}
+
+// journalIdentity derives the header record for an engine config.
+func journalIdentity(cfg *Config, total int) journalRecord {
+	return journalRecord{
+		Type:     recordHeader,
+		App:      cfg.App.Name,
+		Scenario: cfg.Scenario.Name,
+		Scheme:   cfg.Scheme,
+		Total:    total,
+		Fuel:     cfg.effectiveFuel(),
+		Watchdog: cfg.Watchdog,
+	}
+}
+
+// journalWriter serializes appends to the journal file. Every record is a
+// single line followed by a flush, so records are atomic with respect to
+// process death (at worst the final line is truncated, which readers
+// tolerate).
+type journalWriter struct {
+	mu              sync.Mutex
+	f               *os.File
+	bw              *bufio.Writer
+	enc             *json.Encoder
+	runsSinceCkpt   int
+	checkpointEvery int
+}
+
+func newJournalWriter(f *os.File, checkpointEvery int) *journalWriter {
+	bw := bufio.NewWriter(f)
+	return &journalWriter{
+		f:               f,
+		bw:              bw,
+		enc:             json.NewEncoder(bw),
+		checkpointEvery: checkpointEvery,
+	}
+}
+
+func (w *journalWriter) write(rec *journalRecord) error {
+	if err := w.enc.Encode(rec); err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}
+
+func (w *journalWriter) writeHeader(rec journalRecord) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.write(&rec)
+}
+
+// writeRun appends one run record and, every checkpointEvery runs, a
+// checkpoint summarizing progress so far.
+func (w *journalWriter) writeRun(idx int, r inject.Result, done int, counts map[string]int) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.write(&journalRecord{Type: recordRun, Idx: idx, Result: toWire(r)}); err != nil {
+		return err
+	}
+	w.runsSinceCkpt++
+	if w.runsSinceCkpt >= w.checkpointEvery {
+		w.runsSinceCkpt = 0
+		return w.write(&journalRecord{Type: recordCheckpoint, Done: done, Counts: counts})
+	}
+	return nil
+}
+
+func (w *journalWriter) close(done int, counts map[string]int) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	err := w.write(&journalRecord{Type: recordCheckpoint, Done: done, Counts: counts})
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// readJournal parses a journal and returns the recorded results keyed by
+// experiment index. A truncated final line (the crash case) is ignored;
+// corruption anywhere else is an error. The header must match want's
+// identity.
+func readJournal(path string, want journalRecord) (map[int]*wireResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() //nolint:errcheck // read-only
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	out := make(map[int]*wireResult)
+	sawHeader := false
+	lineNo := 0
+	var pendingErr error
+	for sc.Scan() {
+		lineNo++
+		if pendingErr != nil {
+			// A malformed line that was NOT the final line: hard error.
+			return nil, pendingErr
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			pendingErr = fmt.Errorf("campaign: journal %s line %d: %w", path, lineNo, err)
+			continue
+		}
+		switch rec.Type {
+		case recordHeader:
+			if sawHeader {
+				return nil, fmt.Errorf("campaign: journal %s: duplicate header", path)
+			}
+			sawHeader = true
+			if rec.App != want.App || rec.Scenario != want.Scenario ||
+				rec.Scheme != want.Scheme || rec.Total != want.Total ||
+				rec.Fuel != want.Fuel || rec.Watchdog != want.Watchdog {
+				return nil, fmt.Errorf("campaign: journal %s is for %s/%s scheme=%d total=%d fuel=%d watchdog=%v; "+
+					"config wants %s/%s scheme=%d total=%d fuel=%d watchdog=%v",
+					path, rec.App, rec.Scenario, rec.Scheme, rec.Total, rec.Fuel, rec.Watchdog,
+					want.App, want.Scenario, want.Scheme, want.Total, want.Fuel, want.Watchdog)
+			}
+		case recordRun:
+			if !sawHeader {
+				return nil, fmt.Errorf("campaign: journal %s: run record before header", path)
+			}
+			if rec.Result == nil || rec.Idx < 0 || rec.Idx >= want.Total ||
+				rec.Result.Outcome < classify.OutcomeNA || rec.Result.Outcome > classify.OutcomeBRK {
+				pendingErr = fmt.Errorf("campaign: journal %s line %d: bad run record", path, lineNo)
+				continue
+			}
+			out[rec.Idx] = rec.Result
+		case recordCheckpoint:
+			// Progress markers only; run records are the source of truth.
+		default:
+			pendingErr = fmt.Errorf("campaign: journal %s line %d: unknown record %q", path, lineNo, rec.Type)
+		}
+	}
+	if err := sc.Err(); err != nil && err != io.ErrUnexpectedEOF {
+		return nil, fmt.Errorf("campaign: journal %s: %w", path, err)
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("campaign: journal %s: missing header", path)
+	}
+	// pendingErr on the final line means the process died mid-append; the
+	// half-written record is simply re-run.
+	return out, nil
+}

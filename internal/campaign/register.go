@@ -1,0 +1,21 @@
+package campaign
+
+import (
+	"context"
+	"runtime"
+
+	"faultsec/internal/inject"
+)
+
+func defaultParallelism() int { return runtime.GOMAXPROCS(0) }
+
+// Importing this package swaps the engine in as the execution backend for
+// inject.Run / inject.RunExperiments / inject.RunRandom: every existing
+// caller (internal/core, cmd/campaign, the faultsec facade) gets the
+// snapshot fast-forward transparently. The naive path stays reachable as
+// inject.RunExperimentsNaive for differential testing.
+func init() {
+	inject.SetBackend(func(ctx context.Context, cfg inject.Config, exps []inject.Experiment) (*inject.Stats, error) {
+		return New(FromInjectConfig(cfg)).RunExperiments(ctx, exps)
+	})
+}

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 
+	_ "faultsec/internal/campaign" // registers the snapshot campaign engine as the inject backend
 	"faultsec/internal/classify"
 	"faultsec/internal/encoding"
 	"faultsec/internal/ftpd"

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"faultsec/internal/classify"
 	"faultsec/internal/encoding"
@@ -103,7 +104,10 @@ func (s *Stats) ManifestedBreakdown() map[classify.Location]int {
 	return out
 }
 
-func newStats(app, scenario string, scheme encoding.Scheme) *Stats {
+// NewStats returns an empty aggregate for one campaign. It is exported so
+// alternative execution backends (internal/campaign) aggregate through the
+// exact same code path as the naive runner.
+func NewStats(app, scenario string, scheme encoding.Scheme) *Stats {
 	return &Stats{
 		App:        app,
 		Scenario:   scenario,
@@ -113,7 +117,9 @@ func newStats(app, scenario string, scheme encoding.Scheme) *Stats {
 	}
 }
 
-func (s *Stats) add(r Result) {
+// Add folds one run into the aggregate. Results must be added in
+// experiment-enumeration order for deterministic CrashLatencies.
+func (s *Stats) Add(r Result) {
 	s.Total++
 	s.Counts[r.Outcome]++
 	locM := s.ByLocation[r.Location]
@@ -141,6 +147,18 @@ func (s *Stats) add(r Result) {
 	}
 }
 
+// Backend is a pluggable campaign executor. internal/campaign registers
+// its snapshot fast-forward engine here, which makes every Run /
+// RunExperiments / RunRandom caller use it transparently.
+type Backend func(ctx context.Context, cfg Config, experiments []Experiment) (*Stats, error)
+
+var backend Backend
+
+// SetBackend installs the campaign execution backend. It must be called
+// before campaigns start (package init time); a nil backend restores the
+// naive per-run path.
+func SetBackend(b Backend) { backend = b }
+
 // Run executes the full selective-exhaustive campaign described by cfg.
 func Run(ctx context.Context, cfg Config) (*Stats, error) {
 	targets, err := Targets(cfg.App)
@@ -150,9 +168,21 @@ func Run(ctx context.Context, cfg Config) (*Stats, error) {
 	return RunExperiments(ctx, cfg, Enumerate(targets, cfg.Scheme))
 }
 
-// RunExperiments executes an explicit experiment list under cfg, in
-// parallel, and aggregates deterministically (experiment order).
+// RunExperiments executes an explicit experiment list under cfg and
+// aggregates deterministically (experiment order). When a backend is
+// registered (internal/campaign's snapshot engine), execution delegates to
+// it; otherwise every experiment re-executes the server from _start.
 func RunExperiments(ctx context.Context, cfg Config, experiments []Experiment) (*Stats, error) {
+	if backend != nil {
+		return backend(ctx, cfg, experiments)
+	}
+	return RunExperimentsNaive(ctx, cfg, experiments)
+}
+
+// RunExperimentsNaive is the backend-independent reference executor: one
+// full from-scratch server run per experiment, in parallel. It is exported
+// as the differential-testing baseline for alternative backends.
+func RunExperimentsNaive(ctx context.Context, cfg Config, experiments []Experiment) (*Stats, error) {
 	fuel := cfg.Fuel
 	if fuel == 0 {
 		fuel = DefaultFuel
@@ -179,8 +209,7 @@ func RunExperiments(ctx context.Context, cfg Config, experiments []Experiment) (
 	indexes := make(chan int)
 
 	var wg sync.WaitGroup
-	var done int
-	var doneMu sync.Mutex
+	var done atomic.Int64
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -188,11 +217,7 @@ func RunExperiments(ctx context.Context, cfg Config, experiments []Experiment) (
 			for i := range indexes {
 				results[i], errs[i] = RunOneWatched(cfg.App, cfg.Scenario, golden, experiments[i], fuel, cfValid)
 				if cfg.Progress != nil {
-					doneMu.Lock()
-					done++
-					d := done
-					doneMu.Unlock()
-					cfg.Progress(d, len(experiments))
+					cfg.Progress(int(done.Add(1)), len(experiments))
 				}
 			}
 		}()
@@ -218,9 +243,9 @@ feed:
 		}
 	}
 
-	stats := newStats(cfg.App.Name, cfg.Scenario.Name, cfg.Scheme)
+	stats := NewStats(cfg.App.Name, cfg.Scenario.Name, cfg.Scheme)
 	for _, r := range results {
-		stats.add(r)
+		stats.Add(r)
 	}
 	if cfg.KeepResults {
 		stats.Results = results

@@ -213,16 +213,26 @@ func RunOneWatched(app *target.App, sc target.Scenario, golden *classify.Golden,
 		ActivationSteps: activationSteps,
 		EndSteps:        m.Steps,
 	}
-	outcome := classify.Classify(golden, run, sc.ShouldGrant)
+	return ResultFromRun(golden, ex, run, sc.ShouldGrant, len(serverBytes)-bytesAtActivation), nil
+}
+
+// ResultFromRun classifies one completed (possibly injected) session into
+// a Result. bytesInWindow is the server-to-client byte count between
+// activation and the end of the run; it is ignored for non-activated runs.
+// The campaign engine's snapshot path builds results through this exact
+// function so that its classification is bit-identical to the naive path.
+func ResultFromRun(golden *classify.Golden, ex Experiment, run *classify.Run,
+	shouldGrant bool, bytesInWindow int) Result {
+	outcome := classify.Classify(golden, run, shouldGrant)
 	res := Result{
 		Experiment: ex,
 		Outcome:    outcome,
 		Location:   classify.LocationOf(&ex.Target.Inst, ex.Target.Raw, ex.ByteIdx),
-		Activated:  activated,
-		Granted:    client.Granted(),
+		Activated:  run.Activated,
+		Granted:    run.Granted,
 	}
-	if activated {
-		res.BytesInWindow = len(serverBytes) - bytesAtActivation
+	if run.Activated {
+		res.BytesInWindow = bytesInWindow
 	}
 	if fault, crashed := run.Crashed(); crashed {
 		res.Crashed = true
@@ -230,7 +240,7 @@ func RunOneWatched(app *target.App, sc target.Scenario, golden *classify.Golden,
 		res.CrashLatency = run.CrashLatency()
 		res.DetectedByWatchdog = fault.Kind == vm.FaultCFE
 	}
-	return res, nil
+	return res
 }
 
 // Enumerate lists every single-bit experiment for the target set under the

@@ -181,9 +181,10 @@ type Kernel struct {
 	MaxOutput int
 
 	client      Client
-	inBuf       []byte // pending client-to-server bytes
-	lineBuf     []byte // partial server line, not yet delivered to client
-	serverOut   int    // total server-to-client bytes
+	inBuf       []byte   // pending client-to-server bytes
+	lineBuf     []byte   // partial server line, not yet delivered to client
+	clientLines []string // every line delivered to the client, for snapshot replay
+	serverOut   int      // total server-to-client bytes
 	readsAtEOF  int
 	exitedEarly bool
 }
@@ -331,6 +332,7 @@ func (k *Kernel) deliverToClient(data []byte) {
 			return
 		}
 		text := string(bytes.TrimSuffix(line, []byte{'\r'}))
+		k.clientLines = append(k.clientLines, text)
 		for _, reply := range k.client.OnServerLine(text) {
 			wire := append([]byte(reply), '\r', '\n')
 			k.Transcript.Events = append(k.Transcript.Events,

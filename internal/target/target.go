@@ -1,0 +1,68 @@
+// Package target defines the study's target-application bundle: a
+// compiled server image together with the client access patterns
+// ("scenarios") that drive it. It is the seam between the build side
+// (internal/ftpd, internal/sshd compile MiniC sources into images) and the
+// experiment side (internal/inject and internal/campaign run injection
+// campaigns against App/Scenario pairs).
+package target
+
+import (
+	"faultsec/internal/image"
+)
+
+// Client is the remote peer driving one server session. Implementations
+// are deterministic state machines: the same sequence of server lines
+// always produces the same client behaviour. Determinism is load-bearing —
+// the campaign engine reconstructs a client mid-session by replaying the
+// server lines it has seen (see internal/kernel's snapshot support).
+type Client interface {
+	// OnServerLine is invoked for every complete line the server writes to
+	// the connection (line terminators stripped). It returns zero or more
+	// lines for the client to send back; each is terminated with CRLF on
+	// the wire.
+	OnServerLine(line string) []string
+	// Done reports that the client has finished its session script and
+	// will send nothing further; a subsequent server read sees EOF.
+	Done() bool
+	// Granted reports whether the server awarded access during the
+	// session — the study's break-in observable.
+	Granted() bool
+}
+
+// Scenario is one client access pattern (a Table 1 column).
+type Scenario struct {
+	// Name is the paper's column label (Client1..Client4).
+	Name string
+	// Description summarizes the access pattern.
+	Description string
+	// ShouldGrant is whether a correct server awards access to this
+	// client. Granted() != ShouldGrant on a fault-free run means the
+	// scenario itself is broken.
+	ShouldGrant bool
+	// New builds a fresh client for one session.
+	New func() Client
+}
+
+// App bundles one compiled target application.
+type App struct {
+	// Name identifies the application (ftpd, sshd).
+	Name string
+	// Image is the compiled, linked program (immutable; runs load fresh
+	// copies).
+	Image *image.Image
+	// AuthFuncs names the authentication functions whose branch
+	// instructions form the injection target set.
+	AuthFuncs []string
+	// Scenarios are the app's client access patterns, in Table 1 order.
+	Scenarios []Scenario
+}
+
+// Scenario returns the named access pattern.
+func (a *App) Scenario(name string) (Scenario, bool) {
+	for _, sc := range a.Scenarios {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}

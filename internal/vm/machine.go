@@ -65,6 +65,12 @@ func (m *Machine) ClearBreakpoint(addr uint32) {
 	delete(m.breakpoints, addr)
 }
 
+// ClearBreakpoints disarms every breakpoint. The campaign engine uses it
+// on snapshot-restored machines: the snapshot is captured mid-sweep with
+// other targets' breakpoints still armed, but an injected run must execute
+// to its own fate without stopping at them.
+func (m *Machine) ClearBreakpoints() { m.breakpoints = nil }
+
 // Reg returns register r (32-bit).
 func (m *Machine) Reg(r uint8) uint32 { return m.Regs[r] }
 

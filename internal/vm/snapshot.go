@@ -1,0 +1,137 @@
+package vm
+
+import (
+	"fmt"
+
+	"faultsec/internal/x86"
+)
+
+// Snapshot is a complete architectural checkpoint of a Machine: registers,
+// EIP, EFLAGS, instruction counters, fuel, armed breakpoints, and a deep
+// copy of every mapped memory region. It is the campaign engine's
+// fast-forward primitive: the golden prefix from _start to the injection
+// breakpoint runs once per target instruction, and every bit-flip
+// experiment on that target restores the snapshot instead of re-executing
+// the prefix.
+//
+// A Snapshot is immutable after capture and safe for concurrent Restore
+// from multiple goroutines.
+type Snapshot struct {
+	regs  [x86.NumRegs]uint32
+	eip   uint32
+	flags uint32
+	steps uint64
+	fuel  uint64
+	tsc   uint64
+
+	// regions are deep copies of the machine's address space, in address
+	// order (same order as Memory.Regions).
+	regions []Region
+
+	// breakpoints are the armed breakpoints at capture time (typically the
+	// injection breakpoint itself, since capture happens on BreakpointHit).
+	breakpoints []uint32
+
+	// cfValid is shared by reference: the watchdog signature set is
+	// read-only for the lifetime of a campaign.
+	cfValid map[uint32]struct{}
+}
+
+// Snapshot captures the machine's architectural state. The machine must be
+// stopped (between Run/Step calls).
+func (m *Machine) Snapshot() *Snapshot {
+	s := &Snapshot{
+		regs:    m.Regs,
+		eip:     m.EIP,
+		flags:   m.Flags,
+		steps:   m.Steps,
+		fuel:    m.Fuel,
+		tsc:     m.TSC,
+		cfValid: m.CFValid,
+	}
+	for _, r := range m.Mem.Regions() {
+		s.regions = append(s.regions, Region{
+			Name: r.Name,
+			Base: r.Base,
+			Perm: r.Perm,
+			Data: append([]byte(nil), r.Data...),
+		})
+	}
+	for addr := range m.breakpoints {
+		s.breakpoints = append(s.breakpoints, addr)
+	}
+	return s
+}
+
+// Steps returns the retired-instruction count at capture time (the
+// injector's activation step count).
+func (s *Snapshot) Steps() uint64 { return s.steps }
+
+// EIP returns the program counter at capture time.
+func (s *Snapshot) EIP() uint32 { return s.eip }
+
+// NewMachine instantiates a fresh machine from the snapshot with its own
+// copy of the address space and the given syscall handler.
+func (s *Snapshot) NewMachine(sys SyscallHandler) *Machine {
+	m := &Machine{Mem: NewMemory(), Sys: sys}
+	// Restore against an empty address space maps fresh regions.
+	if err := m.Restore(s); err != nil {
+		// Unreachable: an empty memory cannot mismatch the snapshot.
+		panic(fmt.Sprintf("vm: restore into fresh machine: %v", err))
+	}
+	return m
+}
+
+// Restore rewinds the machine to the snapshot. When the machine's address
+// space has the same region layout as the snapshot (the common case: the
+// machine was loaded from the same image, or previously restored from this
+// snapshot), region bytes are copied in place and no allocation happens —
+// this is the engine's hot path, run once per bit-flip experiment. A
+// machine with an empty address space gets fresh region mappings. Any
+// other layout is an error.
+//
+// The syscall handler is left untouched: callers pair each Restore with
+// the kernel restored for the same run.
+func (m *Machine) Restore(s *Snapshot) error {
+	existing := m.Mem.Regions()
+	switch {
+	case len(existing) == 0:
+		for i := range s.regions {
+			src := &s.regions[i]
+			if err := m.Mem.Map(&Region{
+				Name: src.Name,
+				Base: src.Base,
+				Perm: src.Perm,
+				Data: append([]byte(nil), src.Data...),
+			}); err != nil {
+				return err
+			}
+		}
+	case len(existing) == len(s.regions):
+		for i, r := range existing {
+			src := &s.regions[i]
+			if r.Name != src.Name || r.Base != src.Base || len(r.Data) != len(src.Data) {
+				return fmt.Errorf("vm: restore: region %d is %s@%#x+%d, snapshot has %s@%#x+%d",
+					i, r.Name, r.Base, len(r.Data), src.Name, src.Base, len(src.Data))
+			}
+			r.Perm = src.Perm
+			copy(r.Data, src.Data)
+		}
+	default:
+		return fmt.Errorf("vm: restore: machine has %d regions, snapshot has %d",
+			len(existing), len(s.regions))
+	}
+
+	m.Regs = s.regs
+	m.EIP = s.eip
+	m.Flags = s.flags
+	m.Steps = s.steps
+	m.Fuel = s.fuel
+	m.TSC = s.tsc
+	m.CFValid = s.cfValid
+	m.breakpoints = nil
+	for _, addr := range s.breakpoints {
+		m.SetBreakpoint(addr)
+	}
+	return nil
+}
