@@ -28,6 +28,9 @@ type submitRequest struct {
 	Fuel     uint64 `json:"fuel,omitempty"`
 	Parallel int    `json:"parallelism,omitempty"`
 	Watchdog bool   `json:"watchdog,omitempty"`
+	// NoICache disables the VM's predecoded instruction cache for this
+	// campaign (the perf-ablation knob; outcomes are identical either way).
+	NoICache bool `json:"noICache,omitempty"`
 	// Journal enables crash-safe journaling (requires -journals). A
 	// resubmission of the same app/scenario/scheme resumes the journal.
 	Journal bool `json:"journal,omitempty"`
@@ -217,6 +220,7 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 	cfg := campaign.Config{
 		App: app, Scenario: sc, Scheme: scheme,
 		Fuel: req.Fuel, Parallelism: req.Parallel, Watchdog: req.Watchdog,
+		NoICache: req.NoICache,
 	}
 	resume := false
 	if req.Journal {
@@ -296,6 +300,10 @@ type metricsView struct {
 	Campaigns map[string]campaign.Metrics `json:"campaigns"`
 	// TotalRuns sums fresh runs across campaigns.
 	TotalRuns int64 `json:"totalRuns"`
+	// ICacheHits and ICacheMisses sum the per-campaign predecoded
+	// instruction cache counters.
+	ICacheHits   int64 `json:"icacheHits"`
+	ICacheMisses int64 `json:"icacheMisses"`
 	// Running is the number of campaigns still executing.
 	Running int `json:"running"`
 }
@@ -311,6 +319,8 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		m := rn.engine().Metrics()
 		v.Campaigns[id] = m
 		v.TotalRuns += m.RunsTotal
+		v.ICacheHits += m.ICacheHits
+		v.ICacheMisses += m.ICacheMisses
 		rn.mu.Lock()
 		if rn.state == "running" {
 			v.Running++

@@ -125,6 +125,15 @@ func TestServiceEndToEnd(t *testing.T) {
 	if m.TotalRuns < em.RunsTotal {
 		t.Errorf("aggregate runs %d < campaign runs %d", m.TotalRuns, em.RunsTotal)
 	}
+	if em.ICacheHits == 0 {
+		t.Errorf("metrics show no icache hits after a completed campaign: %+v", em)
+	}
+	if em.ICacheHitRate <= 0 || em.ICacheHitRate > 1 {
+		t.Errorf("icache hit rate %v out of range", em.ICacheHitRate)
+	}
+	if m.ICacheHits < em.ICacheHits {
+		t.Errorf("aggregate icache hits %d < campaign hits %d", m.ICacheHits, em.ICacheHits)
+	}
 
 	var list struct {
 		Campaigns []campaignView `json:"campaigns"`

@@ -11,14 +11,14 @@ import (
 // benchCampaign runs the full Table 1 FTP Client1 campaign once per
 // iteration and reports throughput in runs/sec, the engine's headline
 // metric (acceptance: snapshot ≥ 2× naive).
-func benchCampaign(b *testing.B, noSnapshot bool) {
+func benchCampaign(b *testing.B, noSnapshot, noICache bool) {
 	app, sc := ftpClient1(b)
 	var runs int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng := campaign.New(campaign.Config{
 			App: app, Scenario: sc, Scheme: encoding.SchemeX86,
-			NoSnapshot: noSnapshot,
+			NoSnapshot: noSnapshot, NoICache: noICache,
 		})
 		stats, err := eng.Run(context.Background())
 		if err != nil {
@@ -32,6 +32,10 @@ func benchCampaign(b *testing.B, noSnapshot bool) {
 	}
 }
 
-func BenchmarkEngineSnapshotFTP(b *testing.B) { benchCampaign(b, false) }
+func BenchmarkEngineSnapshotFTP(b *testing.B) { benchCampaign(b, false, false) }
 
-func BenchmarkEngineNaiveFTP(b *testing.B) { benchCampaign(b, true) }
+func BenchmarkEngineNaiveFTP(b *testing.B) { benchCampaign(b, true, false) }
+
+// BenchmarkEngineSnapshotFTPNoICache isolates the predecoded instruction
+// cache's contribution on top of snapshot fast-forwarding.
+func BenchmarkEngineSnapshotFTPNoICache(b *testing.B) { benchCampaign(b, false, true) }

@@ -78,6 +78,11 @@ type Config struct {
 	// exists for differential testing and benchmarking against the
 	// snapshot fast-forward.
 	NoSnapshot bool
+	// NoICache disables the VM's predecoded instruction cache on every
+	// machine the engine creates. Like NoSnapshot it exists for
+	// differential testing and for the ablation benchmarks; outcomes must
+	// be bit-identical either way.
+	NoICache bool
 }
 
 // DefaultCheckpointEvery is the journal checkpoint cadence.
@@ -145,6 +150,9 @@ type Engine struct {
 	snapshotRuns    atomic.Int64 // runs served by snapshot restore
 	synthesizedRuns atomic.Int64 // NA runs synthesized from an unreached prefix
 	naiveRuns       atomic.Int64 // runs executed from _start (NoSnapshot)
+
+	icacheHits   atomic.Int64 // VM retirements served by the predecoded icache
+	icacheMisses atomic.Int64 // VM retirements that decoded on an icache miss
 
 	workers    atomic.Int64
 	busyNanos  atomic.Int64
@@ -277,6 +285,7 @@ func (e *Engine) captureSnapshots(wave []group, cfValid map[uint32]struct{},
 	m := ld.Machine
 	m.Fuel = fuel
 	m.CFValid = cfValid
+	m.NoICache = e.cfg.NoICache
 	for i := range wave {
 		m.SetBreakpoint(wave[i].addr)
 	}
@@ -299,7 +308,19 @@ func (e *Engine) captureSnapshots(wave []group, cfValid map[uint32]struct{},
 		}
 		m.ClearBreakpoint(bp.Addr)
 	}
+	e.harvestICache(m)
 	return snaps, nil
+}
+
+// harvestICache folds a machine's icache counters into the engine's
+// metrics and zeroes them, so pooled machines are not double-counted.
+func (e *Engine) harvestICache(m *vm.Machine) {
+	if m == nil {
+		return
+	}
+	e.icacheHits.Add(int64(m.ICacheHits))
+	e.icacheMisses.Add(int64(m.ICacheMisses))
+	m.ICacheHits, m.ICacheMisses = 0, 0
 }
 
 // run is the engine core: shard by target, sweep-capture snapshots in
@@ -410,6 +431,7 @@ func (e *Engine) run(ctx context.Context, exps []inject.Experiment,
 					wm = e.runGroup(runCtx, wm, &wave[gi], exps, golden, naRun,
 						snaps[wave[gi].addr], cfValid, fuel, finish, fail)
 					e.busyNanos.Add(time.Since(begin).Nanoseconds())
+					e.harvestICache(wm)
 				}
 			}()
 		}
@@ -495,6 +517,7 @@ func (e *Engine) runGroup(ctx context.Context, wm *vm.Machine, g *group,
 		k2 := snap.k.NewKernel(fresh)
 		if wm == nil {
 			wm = snap.m.NewMachine(k2)
+			wm.NoICache = e.cfg.NoICache
 		} else {
 			if err := wm.Restore(snap.m); err != nil {
 				fail(fmt.Errorf("campaign: restore at %#x: %w", g.addr, err))
@@ -591,6 +614,14 @@ type Metrics struct {
 	// SnapshotHitRate is the share of fresh runs that did not re-execute
 	// the golden prefix (snapshot restores plus synthesized NAs).
 	SnapshotHitRate float64 `json:"snapshotHitRate"`
+	// ICacheHits and ICacheMisses count VM instruction retirements served
+	// from versus decoded into the predecoded instruction cache, summed
+	// over the engine's golden sweeps and snapshot-restored runs.
+	ICacheHits   int64 `json:"icacheHits"`
+	ICacheMisses int64 `json:"icacheMisses"`
+	// ICacheHitRate is ICacheHits / (ICacheHits + ICacheMisses); 0 when
+	// the cache is disabled (Config.NoICache) or nothing has retired yet.
+	ICacheHitRate float64 `json:"icacheHitRate"`
 	// RunsPerSec is fresh-run throughput over the campaign wall time.
 	RunsPerSec float64 `json:"runsPerSec"`
 	// Workers is the worker pool size.
@@ -609,10 +640,15 @@ func (e *Engine) Metrics() Metrics {
 		PrefixRuns:     e.prefixRuns.Load(),
 		JournalAdopted: e.preloaded.Load(),
 		Workers:        int(e.workers.Load()),
+		ICacheHits:     e.icacheHits.Load(),
+		ICacheMisses:   e.icacheMisses.Load(),
 	}
 	m.RunsTotal = m.SnapshotRuns + m.SynthesizedNA + m.NaiveRuns
 	if m.RunsTotal > 0 {
 		m.SnapshotHitRate = float64(m.SnapshotRuns+m.SynthesizedNA) / float64(m.RunsTotal)
+	}
+	if fetches := m.ICacheHits + m.ICacheMisses; fetches > 0 {
+		m.ICacheHitRate = float64(m.ICacheHits) / float64(fetches)
 	}
 	elapsed := e.elapsed().Seconds()
 	if elapsed > 0 {

@@ -43,6 +43,18 @@ type Machine struct {
 	// branch taken in the wrong direction.
 	CFValid map[uint32]struct{}
 
+	// NoICache disables the predecoded instruction cache (the ablation
+	// knob): Step then fetches and decodes every instruction from memory
+	// bytes, and Snapshot/Restore carry no decode tables.
+	NoICache bool
+
+	// ICacheHits and ICacheMisses count retirements served from the
+	// predecoded instruction cache versus decoded on a miss. They are
+	// measurement state, not architectural state: Restore leaves them
+	// alone, so they accumulate across snapshot-restored runs.
+	ICacheHits   uint64
+	ICacheMisses uint64
+
 	breakpoints map[uint32]struct{}
 }
 
@@ -175,19 +187,31 @@ func (m *Machine) Step() error {
 			return &Fault{Kind: FaultCFE, Addr: pc, PC: pc}
 		}
 	}
+	if !m.NoICache {
+		if in := m.Mem.icacheLookup(pc); in != nil {
+			m.ICacheHits++
+			m.Steps++
+			m.TSC += 3 // deterministic pseudo cycle count
+			return m.exec(in, pc)
+		}
+	}
 	code, f := m.Mem.Fetch(pc, x86.MaxInstLen)
 	if f != nil {
 		f.PC = pc
 		return f
 	}
-	in, err := x86.Decode(code)
-	if err != nil {
+	var in x86.Inst
+	if err := x86.DecodeInto(&in, code); err != nil {
 		de, ok := err.(*x86.DecodeError)
 		if ok && de.Truncated {
 			// Ran off the end of the executable region mid-instruction.
 			return &Fault{Kind: FaultFetch, Addr: pc + uint32(de.Offset), PC: pc}
 		}
 		return &Fault{Kind: FaultUndefined, Addr: pc, PC: pc}
+	}
+	if !m.NoICache {
+		m.ICacheMisses++
+		m.Mem.icacheFill(pc, &in)
 	}
 	m.Steps++
 	m.TSC += 3 // deterministic pseudo cycle count
@@ -198,13 +222,20 @@ func (m *Machine) Step() error {
 // armed breakpoint, or the kernel aborts the run. The returned error is
 // never nil and is one of *ExitStatus, *Fault, *OutOfFuel, *BreakpointHit,
 // or a kernel-defined error.
+//
+// Breakpoints must be armed before Run is called: once the armed set
+// drains to empty, Run stops probing it entirely, so a breakpoint armed
+// from inside a syscall handler mid-run is not seen until the next Run.
 func (m *Machine) Run() error {
-	for {
-		if len(m.breakpoints) != 0 {
-			if _, hit := m.breakpoints[m.EIP]; hit {
-				return &BreakpointHit{Addr: m.EIP}
-			}
+	for len(m.breakpoints) != 0 {
+		if _, hit := m.breakpoints[m.EIP]; hit {
+			return &BreakpointHit{Addr: m.EIP}
 		}
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	for {
 		if err := m.Step(); err != nil {
 			return err
 		}

@@ -7,6 +7,7 @@
 package vm
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 )
@@ -55,6 +56,10 @@ func (r *Region) Contains(addr uint32) bool {
 // Memory is a sparse 32-bit address space made of non-overlapping regions.
 type Memory struct {
 	regions []*Region // sorted by Base
+
+	// icache is the lazily built predecoded instruction cache (see
+	// icache.go); nil until the machine first decodes an instruction.
+	icache *ICache
 }
 
 // NewMemory returns an empty address space.
@@ -117,6 +122,11 @@ func (m *Memory) access(addr uint32, n int, p Perm) ([]byte, *Fault) {
 	if int(off)+n > len(r.Data) {
 		// Access straddles the end of the region: fault at first bad byte.
 		return nil, &Fault{Kind: faultKindForPerm(p), Addr: r.End()}
+	}
+	if p&PermWrite != 0 && r.Perm&PermExec != 0 {
+		// Self-modifying code: a successful store into an executable
+		// region voids the covering predecoded cache lines.
+		m.icacheInvalidate(addr, n)
 	}
 	return r.Data[off : off+uint32(n)], nil
 }
@@ -232,12 +242,15 @@ func (m *Memory) Fetch(addr uint32, n int) ([]byte, *Fault) {
 
 // Poke writes bytes at addr ignoring permissions. It is the injector's
 // (debugger's) memory access: ptrace POKETEXT can modify read-only text.
+// Predecoded cache lines covering the poked bytes are invalidated, so the
+// next fetch decodes the corrupted encoding.
 func (m *Memory) Poke(addr uint32, data []byte) error {
 	r := m.Find(addr)
 	if r == nil || int(addr-r.Base)+len(data) > len(r.Data) {
 		return fmt.Errorf("vm: poke at %#x: not mapped", addr)
 	}
 	copy(r.Data[addr-r.Base:], data)
+	m.icacheInvalidate(addr, len(data))
 	return nil
 }
 
@@ -253,18 +266,29 @@ func (m *Memory) Peek(addr uint32, n int) ([]byte, error) {
 }
 
 // CString reads a NUL-terminated string at addr with a length cap,
-// checking read permission. Used by the kernel for diagnostics.
+// checking read permission. Used by the kernel for diagnostics. The
+// region is resolved once and its backing slice scanned directly (the
+// naive per-byte Read8 loop cost one full region lookup per character);
+// fault semantics are unchanged: running past the last readable byte
+// faults at the first unreadable address, and a string may span
+// contiguously mapped regions.
 func (m *Memory) CString(addr uint32, maxLen int) (string, *Fault) {
 	out := make([]byte, 0, 32)
-	for i := 0; i < maxLen; i++ {
-		c, f := m.Read8(addr + uint32(i))
-		if f != nil {
-			return "", f
+	for maxLen > 0 {
+		r := m.Find(addr)
+		if r == nil || r.Perm&PermRead == 0 {
+			return "", &Fault{Kind: FaultMemory, Addr: addr}
 		}
-		if c == 0 {
-			break
+		data := r.Data[addr-r.Base:]
+		if len(data) > maxLen {
+			data = data[:maxLen]
 		}
-		out = append(out, byte(c))
+		if i := bytes.IndexByte(data, 0); i >= 0 {
+			return string(append(out, data[:i]...)), nil
+		}
+		out = append(out, data...)
+		maxLen -= len(data)
+		addr += uint32(len(data))
 	}
 	return string(out), nil
 }

@@ -35,6 +35,14 @@ type Snapshot struct {
 	// cfValid is shared by reference: the watchdog signature set is
 	// read-only for the lifetime of a campaign.
 	cfValid map[uint32]struct{}
+
+	// icache is the frozen view of the captured machine's predecoded
+	// instruction tables (nil when it had none). The tables are shared by
+	// reference with every restored machine — the decode work of the
+	// golden prefix is paid once per snapshot, not once per restore — and
+	// are immutable from capture on: the capturing machine's later decodes
+	// go to its private local overlay.
+	icache *icacheSnap
 }
 
 // Snapshot captures the machine's architectural state. The machine must be
@@ -48,6 +56,7 @@ func (m *Machine) Snapshot() *Snapshot {
 		fuel:    m.Fuel,
 		tsc:     m.TSC,
 		cfValid: m.CFValid,
+		icache:  m.Mem.icacheFreeze(),
 	}
 	for _, r := range m.Mem.Regions() {
 		s.regions = append(s.regions, Region{
@@ -120,6 +129,15 @@ func (m *Machine) Restore(s *Snapshot) error {
 	default:
 		return fmt.Errorf("vm: restore: machine has %d regions, snapshot has %d",
 			len(existing), len(s.regions))
+	}
+
+	// The restored bytes match the snapshot, so the snapshot's frozen
+	// decode tables are coherent for this machine; whatever the previous
+	// run cached for other bytes is not.
+	if m.NoICache {
+		m.Mem.icache = nil
+	} else {
+		m.Mem.icacheInstall(s.icache)
 	}
 
 	m.Regs = s.regs

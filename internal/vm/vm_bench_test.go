@@ -49,6 +49,20 @@ func BenchmarkStepALULoop(b *testing.B) {
 	b.ReportMetric(float64(m.Steps), "retired")
 }
 
+// BenchmarkStepALULoopNoICache measures the same loop with the predecoded
+// instruction cache disabled — the decode cost the cache amortises away.
+func BenchmarkStepALULoopNoICache(b *testing.B) {
+	m := benchMachine(b)
+	m.NoICache = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(m.Steps), "retired")
+}
+
 // BenchmarkStepMemoryLoop measures throughput with memory operands.
 func BenchmarkStepMemoryLoop(b *testing.B) {
 	// loop: mov eax, [0x8000] ; add eax, 1 ; mov [0x8000], eax ; jmp loop

@@ -140,8 +140,20 @@ func (d *decoder) modrm() (reg uint8, rm RM, ok bool) {
 // when available; a short slice yields a truncated-instruction error, which
 // the VM reports as a fetch fault.
 func Decode(code []byte) (Inst, error) {
-	d := decoder{code: code}
 	var in Inst
+	if err := DecodeInto(&in, code); err != nil {
+		return Inst{}, err
+	}
+	return in, nil
+}
+
+// DecodeInto decodes like Decode but writes the result into *in instead of
+// returning it by value, so hot callers (the VM's predecoded instruction
+// cache fill and its decode-miss fallback) avoid copying the Inst struct.
+// On error the contents of *in are unspecified.
+func DecodeInto(in *Inst, code []byte) error {
+	d := decoder{code: code}
+	*in = Inst{}
 	w := uint8(4)
 
 prefixes:
@@ -175,13 +187,13 @@ prefixes:
 	in.W = w
 
 	// helpers
-	fail := func() (Inst, error) { return truncated(d.i) }
-	done := func() (Inst, error) {
+	fail := func() error { return truncated(d.i) }
+	done := func() error {
 		if d.i > MaxInstLen {
 			return undef(d.i, "instruction exceeds 15 bytes")
 		}
 		in.Len = uint8(d.i)
-		return in, nil
+		return nil
 	}
 	wBytes := func() int {
 		if in.W == 2 {
@@ -245,7 +257,7 @@ prefixes:
 		in.Op, in.Form = OpNop, FormNone
 		return done()
 	case 0x0F:
-		return decode0F(&d, &in, wBytes)
+		return decode0F(&d, in, wBytes)
 	}
 
 	switch {
@@ -855,14 +867,14 @@ prefixes:
 }
 
 // decode0F decodes the two-byte (0x0F-escaped) opcode map.
-func decode0F(d *decoder, in *Inst, wBytes func() int) (Inst, error) {
-	fail := func() (Inst, error) { return truncated(d.i) }
-	done := func() (Inst, error) {
+func decode0F(d *decoder, in *Inst, wBytes func() int) error {
+	fail := func() error { return truncated(d.i) }
+	done := func() error {
 		if d.i > MaxInstLen {
 			return undef(d.i, "instruction exceeds 15 bytes")
 		}
 		in.Len = uint8(d.i)
-		return *in, nil
+		return nil
 	}
 	op, ok := d.byte()
 	if !ok {

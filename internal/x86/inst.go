@@ -147,10 +147,10 @@ func (e *DecodeError) Error() string {
 	return "x86 decode: " + e.Reason
 }
 
-func undef(off int, reason string) (Inst, error) {
-	return Inst{}, &DecodeError{Offset: off, Reason: reason}
+func undef(off int, reason string) error {
+	return &DecodeError{Offset: off, Reason: reason}
 }
 
-func truncated(off int) (Inst, error) {
-	return Inst{}, &DecodeError{Offset: off, Reason: "truncated instruction", Truncated: true}
+func truncated(off int) error {
+	return &DecodeError{Offset: off, Reason: "truncated instruction", Truncated: true}
 }
