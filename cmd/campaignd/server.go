@@ -31,6 +31,10 @@ type submitRequest struct {
 	// NoICache disables the VM's predecoded instruction cache for this
 	// campaign (the perf-ablation knob; outcomes are identical either way).
 	NoICache bool `json:"noICache,omitempty"`
+	// NoUops routes execution through the VM's legacy interpreter switch
+	// instead of bound micro-op handlers (the other perf-ablation knob;
+	// outcomes are identical either way).
+	NoUops bool `json:"noUops,omitempty"`
 	// Journal enables crash-safe journaling (requires -journals). A
 	// resubmission of the same app/scenario/scheme resumes the journal.
 	Journal bool `json:"journal,omitempty"`
@@ -221,6 +225,7 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 		App: app, Scenario: sc, Scheme: scheme,
 		Fuel: req.Fuel, Parallelism: req.Parallel, Watchdog: req.Watchdog,
 		NoICache: req.NoICache,
+		NoUops:   req.NoUops,
 	}
 	resume := false
 	if req.Journal {

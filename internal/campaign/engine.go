@@ -83,6 +83,11 @@ type Config struct {
 	// differential testing and for the ablation benchmarks; outcomes must
 	// be bit-identical either way.
 	NoICache bool
+	// NoUops routes every retirement through the VM's legacy interpreter
+	// switch instead of the bound micro-op handlers. Like NoICache it is
+	// an ablation/differential-testing knob; outcomes must be
+	// bit-identical either way.
+	NoUops bool
 }
 
 // DefaultCheckpointEvery is the journal checkpoint cadence.
@@ -286,6 +291,7 @@ func (e *Engine) captureSnapshots(wave []group, cfValid map[uint32]struct{},
 	m.Fuel = fuel
 	m.CFValid = cfValid
 	m.NoICache = e.cfg.NoICache
+	m.NoUops = e.cfg.NoUops
 	for i := range wave {
 		m.SetBreakpoint(wave[i].addr)
 	}
@@ -518,6 +524,7 @@ func (e *Engine) runGroup(ctx context.Context, wm *vm.Machine, g *group,
 		if wm == nil {
 			wm = snap.m.NewMachine(k2)
 			wm.NoICache = e.cfg.NoICache
+			wm.NoUops = e.cfg.NoUops
 		} else {
 			if err := wm.Restore(snap.m); err != nil {
 				fail(fmt.Errorf("campaign: restore at %#x: %w", g.addr, err))

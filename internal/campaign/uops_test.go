@@ -1,0 +1,76 @@
+package campaign_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"faultsec/internal/campaign"
+	"faultsec/internal/encoding"
+	"faultsec/internal/sshd"
+	"faultsec/internal/target"
+)
+
+// runUopsAblation runs the full campaign for one app/scenario twice — with
+// micro-op dispatch (the default) and with the NoUops legacy-switch
+// ablation — under both encodings, and requires byte-identical Stats
+// including per-run Results. Every experiment pokes corrupted bytes over
+// live text, so this exercises the bound micro-ops in frozen snapshot base
+// tables, overlay rebinds after invalidation, and every fault class the
+// handlers can raise (#UD, #GP, #DE, memory, fetch, fuel, watchdog).
+func runUopsAblation(t *testing.T, app *target.App, sc target.Scenario) {
+	t.Helper()
+	for _, scheme := range []encoding.Scheme{encoding.SchemeX86, encoding.SchemeParity} {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			uops := campaign.New(campaign.Config{
+				App: app, Scenario: sc, Scheme: scheme, KeepResults: true,
+			})
+			want, err := uops.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			legacy := campaign.New(campaign.Config{
+				App: app, Scenario: sc, Scheme: scheme, KeepResults: true,
+				NoUops: true,
+			})
+			got, err := legacy.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("uop stats differ from NoUops\nuops: %+v\nnouops: %+v",
+					statsSummary(want), statsSummary(got))
+			}
+		})
+	}
+}
+
+// TestUopsAblationFTPClient1 is the micro-op pipeline's acceptance gate on
+// the FTP server campaign.
+func TestUopsAblationFTPClient1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign ablation is not short")
+	}
+	app, sc := ftpClient1(t)
+	runUopsAblation(t, app, sc)
+}
+
+// TestUopsAblationSSHClient1 is the same gate on the SSH server campaign,
+// whose Client1 scenario exercises the authentication-rejection path.
+func TestUopsAblationSSHClient1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign ablation is not short")
+	}
+	app, err := sshd.Build()
+	if err != nil {
+		t.Fatalf("build sshd: %v", err)
+	}
+	sc, ok := app.Scenario("Client1")
+	if !ok {
+		t.Fatal("sshd has no Client1")
+	}
+	runUopsAblation(t, app, sc)
+}

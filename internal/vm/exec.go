@@ -4,8 +4,15 @@ import (
 	"faultsec/internal/x86"
 )
 
-// exec executes one decoded instruction. pc is the address of the
-// instruction; m.EIP is advanced here.
+// exec executes one decoded instruction via the legacy monolithic switch.
+// pc is the address of the instruction; m.EIP is advanced here.
+//
+// This path survives only as the NoUops ablation knob (and as the
+// reference semantics the micro-op pipeline is differentially tested
+// against): the warm path binds each decode to a handler index once and
+// dispatches through uopTable (see exec_uop.go and the exec_*.go handler
+// families), so this switch no longer runs per retirement unless
+// Machine.NoUops is set.
 //
 //nolint:gocyclo // a CPU dispatch loop is inherently one large switch
 func (m *Machine) exec(in *x86.Inst, pc uint32) error {
@@ -629,368 +636,4 @@ func (m *Machine) exec(in *x86.Inst, pc uint32) error {
 	}
 
 	return fault(FaultUndefined, pc)
-}
-
-func b2u(b bool) uint32 {
-	if b {
-		return 1
-	}
-	return 0
-}
-
-// execMul implements one-operand MUL/IMUL.
-func (m *Machine) execMul(v uint32, w uint8, signed bool) {
-	switch w {
-	case 1:
-		a := m.regRead(x86.EAX, 1)
-		var p uint32
-		if signed {
-			p = uint32(int32(int8(a)) * int32(int8(v)))
-		} else {
-			p = a * v
-		}
-		m.regWrite(x86.EAX, 2, p)
-		high := p >> 8 & 0xFF
-		var ovf bool
-		if signed {
-			ovf = p&0xFFFF != uint32(int32(int8(p)))&0xFFFF
-		} else {
-			ovf = high != 0
-		}
-		m.setFlag(x86.FlagCF, ovf)
-		m.setFlag(x86.FlagOF, ovf)
-	case 2:
-		a := m.regRead(x86.EAX, 2)
-		var p uint32
-		if signed {
-			p = uint32(int32(int16(a)) * int32(int16(v)))
-		} else {
-			p = a * v
-		}
-		m.regWrite(x86.EAX, 2, p)
-		m.regWrite(x86.EDX, 2, p>>16)
-		var ovf bool
-		if signed {
-			ovf = p != uint32(int32(int16(p)))
-		} else {
-			ovf = p>>16 != 0
-		}
-		m.setFlag(x86.FlagCF, ovf)
-		m.setFlag(x86.FlagOF, ovf)
-	default:
-		a := m.Regs[x86.EAX]
-		var p uint64
-		if signed {
-			p = uint64(int64(int32(a)) * int64(int32(v)))
-		} else {
-			p = uint64(a) * uint64(v)
-		}
-		m.Regs[x86.EAX] = uint32(p)
-		m.Regs[x86.EDX] = uint32(p >> 32)
-		var ovf bool
-		if signed {
-			ovf = p != uint64(int64(int32(p)))
-		} else {
-			ovf = p>>32 != 0
-		}
-		m.setFlag(x86.FlagCF, ovf)
-		m.setFlag(x86.FlagOF, ovf)
-	}
-}
-
-// errDivide is an internal signal that execDiv faulted.
-type errDivideT struct{}
-
-func (errDivideT) Error() string { return "divide error" }
-
-// execDiv implements DIV/IDIV; it returns a non-nil error on #DE.
-func (m *Machine) execDiv(v uint32, w uint8, signed bool) error {
-	if v&widthMask(w) == 0 {
-		return errDivideT{}
-	}
-	switch w {
-	case 1:
-		num := m.regRead(x86.EAX, 2)
-		if signed {
-			n := int32(int16(num))
-			d := int32(int8(v))
-			q, r := n/d, n%d
-			if q < -128 || q > 127 {
-				return errDivideT{}
-			}
-			m.regWrite(x86.EAX, 1, uint32(q))
-			m.regWrite(4, 1, uint32(r)) // AH
-		} else {
-			q, r := num/v, num%v
-			if q > 0xFF {
-				return errDivideT{}
-			}
-			m.regWrite(x86.EAX, 1, q)
-			m.regWrite(4, 1, r) // AH
-		}
-	case 2:
-		num := m.regRead(x86.EDX, 2)<<16 | m.regRead(x86.EAX, 2)
-		if signed {
-			n := int32(num)
-			d := int32(int16(v))
-			q, r := n/d, n%d
-			if q < -32768 || q > 32767 {
-				return errDivideT{}
-			}
-			m.regWrite(x86.EAX, 2, uint32(q))
-			m.regWrite(x86.EDX, 2, uint32(r))
-		} else {
-			q, r := num/v, num%v
-			if q > 0xFFFF {
-				return errDivideT{}
-			}
-			m.regWrite(x86.EAX, 2, q)
-			m.regWrite(x86.EDX, 2, r)
-		}
-	default:
-		num := uint64(m.Regs[x86.EDX])<<32 | uint64(m.Regs[x86.EAX])
-		if signed {
-			n := int64(num)
-			d := int64(int32(v))
-			if n == -1<<63 && d == -1 {
-				return errDivideT{}
-			}
-			q, r := n/d, n%d
-			if q < -1<<31 || q > 1<<31-1 {
-				return errDivideT{}
-			}
-			m.Regs[x86.EAX] = uint32(q)
-			m.Regs[x86.EDX] = uint32(r)
-		} else {
-			q, r := num/uint64(v), num%uint64(v)
-			if q > 0xFFFFFFFF {
-				return errDivideT{}
-			}
-			m.Regs[x86.EAX] = uint32(q)
-			m.Regs[x86.EDX] = uint32(r)
-		}
-	}
-	return nil
-}
-
-// execShift implements the shift and rotate group.
-func (m *Machine) execShift(op x86.Op, v, count uint32, w uint8) uint32 {
-	bitsN := uint32(w) * 8
-	if count == 0 {
-		return v
-	}
-	mask := widthMask(w)
-	v &= mask
-	var r uint32
-	switch op {
-	case x86.OpShl:
-		if count > bitsN {
-			r = 0
-			m.setFlag(x86.FlagCF, false)
-		} else {
-			r = v << count & mask
-			m.setFlag(x86.FlagCF, v>>(bitsN-count)&1 != 0)
-		}
-		if count == 1 {
-			m.setFlag(x86.FlagOF, (r&signBit(w) != 0) != m.GetFlag(x86.FlagCF))
-		}
-		m.setSZP(r, w)
-	case x86.OpShr:
-		if count > bitsN {
-			r = 0
-			m.setFlag(x86.FlagCF, false)
-		} else {
-			r = v >> count
-			m.setFlag(x86.FlagCF, v>>(count-1)&1 != 0)
-		}
-		if count == 1 {
-			m.setFlag(x86.FlagOF, v&signBit(w) != 0)
-		}
-		m.setSZP(r, w)
-	case x86.OpSar:
-		sv := int32(v << (32 - bitsN)) // sign-position-normalize
-		if count >= bitsN {
-			count = bitsN - 1
-			m.setFlag(x86.FlagCF, sv < 0)
-		} else {
-			m.setFlag(x86.FlagCF, v>>(count-1)&1 != 0)
-		}
-		r = uint32(sv>>(32-bitsN)>>count) & mask
-		if count == 1 {
-			m.setFlag(x86.FlagOF, false)
-		}
-		m.setSZP(r, w)
-	case x86.OpRol:
-		c := count % bitsN
-		if c == 0 {
-			r = v
-		} else {
-			r = (v<<c | v>>(bitsN-c)) & mask
-		}
-		m.setFlag(x86.FlagCF, r&1 != 0)
-		if count == 1 {
-			m.setFlag(x86.FlagOF, (r&signBit(w) != 0) != m.GetFlag(x86.FlagCF))
-		}
-	case x86.OpRor:
-		c := count % bitsN
-		if c == 0 {
-			r = v
-		} else {
-			r = (v>>c | v<<(bitsN-c)) & mask
-		}
-		m.setFlag(x86.FlagCF, r&signBit(w) != 0)
-	case x86.OpRcl:
-		r = v
-		for i := uint32(0); i < count%(bitsN+1); i++ {
-			carry := b2u(m.GetFlag(x86.FlagCF))
-			m.setFlag(x86.FlagCF, r&signBit(w) != 0)
-			r = (r<<1 | carry) & mask
-		}
-	case x86.OpRcr:
-		r = v
-		for i := uint32(0); i < count%(bitsN+1); i++ {
-			carry := b2u(m.GetFlag(x86.FlagCF))
-			m.setFlag(x86.FlagCF, r&1 != 0)
-			r = r>>1 | carry<<(bitsN-1)
-		}
-	}
-	return r & mask
-}
-
-// execString implements the string instruction family, honouring REP
-// prefixes. Each REP iteration counts as one retired instruction, matching
-// hardware retirement semantics closely enough for the latency histograms.
-func (m *Machine) execString(in *x86.Inst, pc uint32) error {
-	w := uint32(in.W)
-	if in.W == 0 {
-		w = 4
-	}
-	delta := w
-	if m.GetFlag(x86.FlagDF) {
-		delta = uint32(-int32(w))
-	}
-	one := func() (bool, error) {
-		switch in.Op {
-		case x86.OpMovs:
-			v, f := m.Mem.ReadW(m.Regs[x86.ESI], in.W)
-			if f != nil {
-				f.PC = pc
-				return false, f
-			}
-			if f := m.Mem.WriteW(m.Regs[x86.EDI], v, in.W); f != nil {
-				f.PC = pc
-				return false, f
-			}
-			m.Regs[x86.ESI] += delta
-			m.Regs[x86.EDI] += delta
-		case x86.OpStos:
-			if f := m.Mem.WriteW(m.Regs[x86.EDI], m.regRead(x86.EAX, in.W), in.W); f != nil {
-				f.PC = pc
-				return false, f
-			}
-			m.Regs[x86.EDI] += delta
-		case x86.OpLods:
-			v, f := m.Mem.ReadW(m.Regs[x86.ESI], in.W)
-			if f != nil {
-				f.PC = pc
-				return false, f
-			}
-			m.regWrite(x86.EAX, in.W, v)
-			m.Regs[x86.ESI] += delta
-		case x86.OpScas:
-			v, f := m.Mem.ReadW(m.Regs[x86.EDI], in.W)
-			if f != nil {
-				f.PC = pc
-				return false, f
-			}
-			m.subFlags(m.regRead(x86.EAX, in.W), v, 0, in.W)
-			m.Regs[x86.EDI] += delta
-		case x86.OpCmps:
-			a, f := m.Mem.ReadW(m.Regs[x86.ESI], in.W)
-			if f != nil {
-				f.PC = pc
-				return false, f
-			}
-			b, f := m.Mem.ReadW(m.Regs[x86.EDI], in.W)
-			if f != nil {
-				f.PC = pc
-				return false, f
-			}
-			m.subFlags(a, b, 0, in.W)
-			m.Regs[x86.ESI] += delta
-			m.Regs[x86.EDI] += delta
-		}
-		return true, nil
-	}
-
-	if in.Rep == 0 {
-		_, err := one()
-		return err
-	}
-	for m.Regs[x86.ECX] != 0 {
-		if m.Steps >= m.fuel() {
-			return &OutOfFuel{Steps: m.Steps}
-		}
-		if _, err := one(); err != nil {
-			return err
-		}
-		m.Regs[x86.ECX]--
-		m.Steps++
-		conditional := in.Op == x86.OpScas || in.Op == x86.OpCmps
-		if conditional {
-			zf := m.GetFlag(x86.FlagZF)
-			if (in.Rep == 0xF3 && !zf) || (in.Rep == 0xF2 && zf) {
-				break
-			}
-		}
-	}
-	return nil
-}
-
-// execBitTest implements BT/BTS/BTR/BTC.
-func (m *Machine) execBitTest(in *x86.Inst, pc uint32) error {
-	var off uint32
-	if in.Form == x86.FormRMImm {
-		off = uint32(in.Imm)
-	} else {
-		off = m.regRead(in.Reg, 4)
-	}
-	var v uint32
-	var addr uint32
-	if in.RM.IsReg {
-		off &= 31
-		v = m.Regs[in.RM.Reg]
-	} else {
-		// Memory form: the bit string extends beyond the dword.
-		addr = m.effAddr(&in.RM) + 4*(off>>5)
-		off &= 31
-		var f *Fault
-		v, f = m.Mem.Read32(addr)
-		if f != nil {
-			f.PC = pc
-			return f
-		}
-	}
-	bit := v >> off & 1
-	m.setFlag(x86.FlagCF, bit != 0)
-	var nv uint32
-	switch in.Op {
-	case x86.OpBt:
-		return nil
-	case x86.OpBts:
-		nv = v | 1<<off
-	case x86.OpBtr:
-		nv = v &^ (1 << off)
-	case x86.OpBtc:
-		nv = v ^ 1<<off
-	}
-	if in.RM.IsReg {
-		m.Regs[in.RM.Reg] = nv
-		return nil
-	}
-	if f := m.Mem.Write32(addr, nv); f != nil {
-		f.PC = pc
-		return f
-	}
-	return nil
 }

@@ -1,0 +1,117 @@
+package vm
+
+import "faultsec/internal/x86"
+
+// Control-flow micro-op handlers. Step has already set m.EIP to the
+// fall-through address, so taken branches add the (pre-sign-extended)
+// displacement to it, exactly like the legacy switch's `next`.
+
+func uJcc(m *Machine, u *x86.Uop) error {
+	if x86.EvalCond(u.Cond, m.Flags) {
+		m.EIP += uint32(u.Rel)
+	}
+	return nil
+}
+
+func uJmpRel(m *Machine, u *x86.Uop) error {
+	m.EIP += uint32(u.Rel)
+	return nil
+}
+
+func uJmpRM(m *Machine, u *x86.Uop) error {
+	v, f := m.rmRead(&u.RM, 4)
+	if f != nil {
+		return m.uopMemFault(f)
+	}
+	m.EIP = v
+	return nil
+}
+
+func uJCXZ(m *Machine, u *x86.Uop) error {
+	if m.Regs[x86.ECX] == 0 {
+		m.EIP += uint32(u.Rel)
+	}
+	return nil
+}
+
+func uLoop(m *Machine, u *x86.Uop) error {
+	m.Regs[x86.ECX]--
+	if m.Regs[x86.ECX] != 0 {
+		m.EIP += uint32(u.Rel)
+	}
+	return nil
+}
+
+func uLoopE(m *Machine, u *x86.Uop) error {
+	m.Regs[x86.ECX]--
+	if m.Regs[x86.ECX] != 0 && m.GetFlag(x86.FlagZF) {
+		m.EIP += uint32(u.Rel)
+	}
+	return nil
+}
+
+func uLoopNE(m *Machine, u *x86.Uop) error {
+	m.Regs[x86.ECX]--
+	if m.Regs[x86.ECX] != 0 && !m.GetFlag(x86.FlagZF) {
+		m.EIP += uint32(u.Rel)
+	}
+	return nil
+}
+
+func uCallRel(m *Machine, u *x86.Uop) error {
+	target := m.EIP + uint32(u.Rel)
+	if f := m.push(m.EIP); f != nil {
+		return m.uopMemFault(f)
+	}
+	m.EIP = target
+	return nil
+}
+
+func uCallRM(m *Machine, u *x86.Uop) error {
+	target, f := m.rmRead(&u.RM, 4)
+	if f != nil {
+		return m.uopMemFault(f)
+	}
+	if f := m.push(m.EIP); f != nil {
+		return m.uopMemFault(f)
+	}
+	m.EIP = target
+	return nil
+}
+
+func uRet(m *Machine, u *x86.Uop) error {
+	v, f := m.pop()
+	if f != nil {
+		return m.uopMemFault(f)
+	}
+	// The plain RET decodes with Imm == 0, so the stack adjustment is a
+	// no-op for it and one handler covers both encodings.
+	m.Regs[x86.ESP] += uint32(u.Imm)
+	m.EIP = v
+	return nil
+}
+
+func uInt3(m *Machine, u *x86.Uop) error {
+	return m.uopFault(FaultBreak, m.pc)
+}
+
+func uInto(m *Machine, u *x86.Uop) error {
+	if m.GetFlag(x86.FlagOF) {
+		return m.uopFault(FaultBreak, m.pc)
+	}
+	return nil
+}
+
+func uSyscall(m *Machine, u *x86.Uop) error {
+	return m.Sys.Syscall(m)
+}
+
+func uBadInt(m *Machine, u *x86.Uop) error {
+	return m.uopFault(FaultSyscall, m.pc)
+}
+
+func uBound(m *Machine, u *x86.Uop) error {
+	// Bounds are essentially never satisfied on corrupted paths; model
+	// the #BR exception (SIGSEGV on Linux).
+	return m.uopFault(FaultMemory, m.effAddr(&u.RM))
+}

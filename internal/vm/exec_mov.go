@@ -1,0 +1,141 @@
+package vm
+
+import "faultsec/internal/x86"
+
+// Data-movement micro-op handlers.
+
+func uMovRMReg(m *Machine, u *x86.Uop) error {
+	if f := m.rmWrite(&u.RM, u.W, m.regRead(u.Reg, u.W)); f != nil {
+		return m.uopMemFault(f)
+	}
+	return nil
+}
+
+func uMovRegRM(m *Machine, u *x86.Uop) error {
+	v, f := m.rmRead(&u.RM, u.W)
+	if f != nil {
+		return m.uopMemFault(f)
+	}
+	m.regWrite(u.Reg, u.W, v)
+	return nil
+}
+
+func uMovRMImm(m *Machine, u *x86.Uop) error {
+	if f := m.rmWrite(&u.RM, u.W, uint32(u.Imm)); f != nil {
+		return m.uopMemFault(f)
+	}
+	return nil
+}
+
+func uMovRegImm(m *Machine, u *x86.Uop) error {
+	m.regWrite(u.Reg, u.W, uint32(u.Imm))
+	return nil
+}
+
+func uMovMoffsLoad(m *Machine, u *x86.Uop) error {
+	v, f := m.Mem.ReadW(uint32(u.Imm), u.W)
+	if f != nil {
+		return m.uopMemFault(f)
+	}
+	m.regWrite(x86.EAX, u.W, v)
+	return nil
+}
+
+func uMovMoffsStore(m *Machine, u *x86.Uop) error {
+	if f := m.Mem.WriteW(uint32(u.Imm), m.regRead(x86.EAX, u.W), u.W); f != nil {
+		return m.uopMemFault(f)
+	}
+	return nil
+}
+
+func uMovZX(m *Machine, u *x86.Uop) error {
+	v, f := m.rmRead(&u.RM, u.W) // u.W is the source width
+	if f != nil {
+		return m.uopMemFault(f)
+	}
+	m.regWrite(u.Reg, 4, v)
+	return nil
+}
+
+func uMovSX8(m *Machine, u *x86.Uop) error {
+	v, f := m.rmRead(&u.RM, 1)
+	if f != nil {
+		return m.uopMemFault(f)
+	}
+	m.regWrite(u.Reg, 4, x86.SignExtend8(v))
+	return nil
+}
+
+func uMovSX16(m *Machine, u *x86.Uop) error {
+	v, f := m.rmRead(&u.RM, 2)
+	if f != nil {
+		return m.uopMemFault(f)
+	}
+	m.regWrite(u.Reg, 4, x86.SignExtend16(v))
+	return nil
+}
+
+func uLea(m *Machine, u *x86.Uop) error {
+	m.regWrite(u.Reg, 4, m.effAddr(&u.RM))
+	return nil
+}
+
+func uXchgAcc(m *Machine, u *x86.Uop) error {
+	m.Regs[x86.EAX], m.Regs[u.Reg] = m.Regs[u.Reg], m.Regs[x86.EAX]
+	return nil
+}
+
+func uXchgRM(m *Machine, u *x86.Uop) error {
+	rv := m.regRead(u.Reg, u.W)
+	mv, f := m.rmRead(&u.RM, u.W)
+	if f != nil {
+		return m.uopMemFault(f)
+	}
+	if f := m.rmWrite(&u.RM, u.W, rv); f != nil {
+		return m.uopMemFault(f)
+	}
+	m.regWrite(u.Reg, u.W, mv)
+	return nil
+}
+
+func uBswap(m *Machine, u *x86.Uop) error {
+	v := m.Regs[u.Reg]
+	m.Regs[u.Reg] = v<<24 | v>>24 | (v&0xFF00)<<8 | (v&0xFF0000)>>8
+	return nil
+}
+
+func uSetcc(m *Machine, u *x86.Uop) error {
+	v := uint32(0)
+	if x86.EvalCond(u.Cond, m.Flags) {
+		v = 1
+	}
+	if f := m.rmWrite(&u.RM, 1, v); f != nil {
+		return m.uopMemFault(f)
+	}
+	return nil
+}
+
+func uCMov(m *Machine, u *x86.Uop) error {
+	// The source is read (and can fault) even when the condition is false,
+	// matching hardware and the legacy switch.
+	v, f := m.rmRead(&u.RM, 4)
+	if f != nil {
+		return m.uopMemFault(f)
+	}
+	if x86.EvalCond(u.Cond, m.Flags) {
+		m.regWrite(u.Reg, 4, v)
+	}
+	return nil
+}
+
+func uMovFromSeg(m *Machine, u *x86.Uop) error {
+	if f := m.rmWrite(&u.RM, 2, 0x2B); f != nil { // user data selector
+		return m.uopMemFault(f)
+	}
+	return nil
+}
+
+func uMovToSeg(m *Machine, u *x86.Uop) error {
+	// Loading an arbitrary selector raises #GP.
+	return m.uopFault(FaultPrivileged, m.pc)
+}

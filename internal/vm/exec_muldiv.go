@@ -1,0 +1,205 @@
+package vm
+
+import "faultsec/internal/x86"
+
+// Multiply/divide micro-op handlers plus the shared widening-arithmetic
+// cores (also used by the legacy switch).
+
+func uMul(m *Machine, u *x86.Uop) error {
+	v, f := m.rmRead(&u.RM, u.W)
+	if f != nil {
+		return m.uopMemFault(f)
+	}
+	m.execMul(v, u.W, false)
+	return nil
+}
+
+func uIMulRM(m *Machine, u *x86.Uop) error {
+	v, f := m.rmRead(&u.RM, u.W)
+	if f != nil {
+		return m.uopMemFault(f)
+	}
+	m.execMul(v, u.W, true)
+	return nil
+}
+
+// imul2 is the two/three-operand IMUL core: reg = trunc32(a * b) with
+// CF/OF on signed overflow.
+func (m *Machine) imul2(u *x86.Uop, b int64) error {
+	v, f := m.rmRead(&u.RM, 4)
+	if f != nil {
+		return m.uopMemFault(f)
+	}
+	p := int64(int32(v)) * b
+	r := uint32(p)
+	ovf := p != int64(int32(r))
+	m.setFlag(x86.FlagCF, ovf)
+	m.setFlag(x86.FlagOF, ovf)
+	m.regWrite(u.Reg, 4, r)
+	return nil
+}
+
+func uIMulReg(m *Machine, u *x86.Uop) error {
+	return m.imul2(u, int64(int32(m.regRead(u.Reg, 4))))
+}
+
+func uIMulImm(m *Machine, u *x86.Uop) error {
+	return m.imul2(u, int64(u.Imm))
+}
+
+func uDiv(m *Machine, u *x86.Uop) error {
+	v, f := m.rmRead(&u.RM, u.W)
+	if f != nil {
+		return m.uopMemFault(f)
+	}
+	if err := m.execDiv(v, u.W, false); err != nil {
+		return m.uopFault(FaultDivide, m.pc)
+	}
+	return nil
+}
+
+func uIDiv(m *Machine, u *x86.Uop) error {
+	v, f := m.rmRead(&u.RM, u.W)
+	if f != nil {
+		return m.uopMemFault(f)
+	}
+	if err := m.execDiv(v, u.W, true); err != nil {
+		return m.uopFault(FaultDivide, m.pc)
+	}
+	return nil
+}
+
+// execMul implements one-operand MUL/IMUL.
+func (m *Machine) execMul(v uint32, w uint8, signed bool) {
+	switch w {
+	case 1:
+		a := m.regRead(x86.EAX, 1)
+		var p uint32
+		if signed {
+			p = uint32(int32(int8(a)) * int32(int8(v)))
+		} else {
+			p = a * v
+		}
+		m.regWrite(x86.EAX, 2, p)
+		high := p >> 8 & 0xFF
+		var ovf bool
+		if signed {
+			ovf = p&0xFFFF != uint32(int32(int8(p)))&0xFFFF
+		} else {
+			ovf = high != 0
+		}
+		m.setFlag(x86.FlagCF, ovf)
+		m.setFlag(x86.FlagOF, ovf)
+	case 2:
+		a := m.regRead(x86.EAX, 2)
+		var p uint32
+		if signed {
+			p = uint32(int32(int16(a)) * int32(int16(v)))
+		} else {
+			p = a * v
+		}
+		m.regWrite(x86.EAX, 2, p)
+		m.regWrite(x86.EDX, 2, p>>16)
+		var ovf bool
+		if signed {
+			ovf = p != uint32(int32(int16(p)))
+		} else {
+			ovf = p>>16 != 0
+		}
+		m.setFlag(x86.FlagCF, ovf)
+		m.setFlag(x86.FlagOF, ovf)
+	default:
+		a := m.Regs[x86.EAX]
+		var p uint64
+		if signed {
+			p = uint64(int64(int32(a)) * int64(int32(v)))
+		} else {
+			p = uint64(a) * uint64(v)
+		}
+		m.Regs[x86.EAX] = uint32(p)
+		m.Regs[x86.EDX] = uint32(p >> 32)
+		var ovf bool
+		if signed {
+			ovf = p != uint64(int64(int32(p)))
+		} else {
+			ovf = p>>32 != 0
+		}
+		m.setFlag(x86.FlagCF, ovf)
+		m.setFlag(x86.FlagOF, ovf)
+	}
+}
+
+// errDivide is an internal signal that execDiv faulted.
+type errDivideT struct{}
+
+func (errDivideT) Error() string { return "divide error" }
+
+// execDiv implements DIV/IDIV; it returns a non-nil error on #DE.
+func (m *Machine) execDiv(v uint32, w uint8, signed bool) error {
+	if v&x86.WidthMask(w) == 0 {
+		return errDivideT{}
+	}
+	switch w {
+	case 1:
+		num := m.regRead(x86.EAX, 2)
+		if signed {
+			n := int32(int16(num))
+			d := int32(int8(v))
+			q, r := n/d, n%d
+			if q < -128 || q > 127 {
+				return errDivideT{}
+			}
+			m.regWrite(x86.EAX, 1, uint32(q))
+			m.regWrite(4, 1, uint32(r)) // AH
+		} else {
+			q, r := num/v, num%v
+			if q > 0xFF {
+				return errDivideT{}
+			}
+			m.regWrite(x86.EAX, 1, q)
+			m.regWrite(4, 1, r) // AH
+		}
+	case 2:
+		num := m.regRead(x86.EDX, 2)<<16 | m.regRead(x86.EAX, 2)
+		if signed {
+			n := int32(num)
+			d := int32(int16(v))
+			q, r := n/d, n%d
+			if q < -32768 || q > 32767 {
+				return errDivideT{}
+			}
+			m.regWrite(x86.EAX, 2, uint32(q))
+			m.regWrite(x86.EDX, 2, uint32(r))
+		} else {
+			q, r := num/v, num%v
+			if q > 0xFFFF {
+				return errDivideT{}
+			}
+			m.regWrite(x86.EAX, 2, q)
+			m.regWrite(x86.EDX, 2, r)
+		}
+	default:
+		num := uint64(m.Regs[x86.EDX])<<32 | uint64(m.Regs[x86.EAX])
+		if signed {
+			n := int64(num)
+			d := int64(int32(v))
+			if n == -1<<63 && d == -1 {
+				return errDivideT{}
+			}
+			q, r := n/d, n%d
+			if q < -1<<31 || q > 1<<31-1 {
+				return errDivideT{}
+			}
+			m.Regs[x86.EAX] = uint32(q)
+			m.Regs[x86.EDX] = uint32(r)
+		} else {
+			q, r := num/uint64(v), num%uint64(v)
+			if q > 0xFFFFFFFF {
+				return errDivideT{}
+			}
+			m.Regs[x86.EAX] = uint32(q)
+			m.Regs[x86.EDX] = uint32(r)
+		}
+	}
+	return nil
+}

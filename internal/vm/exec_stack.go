@@ -1,0 +1,128 @@
+package vm
+
+import "faultsec/internal/x86"
+
+// Stack micro-op handlers.
+
+func uPushReg(m *Machine, u *x86.Uop) error {
+	if f := m.push(m.Regs[u.Reg]); f != nil {
+		return m.uopMemFault(f)
+	}
+	return nil
+}
+
+func uPushImm(m *Machine, u *x86.Uop) error {
+	if f := m.push(uint32(u.Imm)); f != nil {
+		return m.uopMemFault(f)
+	}
+	return nil
+}
+
+func uPushRM(m *Machine, u *x86.Uop) error {
+	v, f := m.rmRead(&u.RM, 4)
+	if f != nil {
+		return m.uopMemFault(f)
+	}
+	if f := m.push(v); f != nil {
+		return m.uopMemFault(f)
+	}
+	return nil
+}
+
+func uPopReg(m *Machine, u *x86.Uop) error {
+	v, f := m.pop()
+	if f != nil {
+		return m.uopMemFault(f)
+	}
+	m.Regs[u.Reg] = v
+	return nil
+}
+
+func uPopRM(m *Machine, u *x86.Uop) error {
+	v, f := m.pop()
+	if f != nil {
+		return m.uopMemFault(f)
+	}
+	if f := m.rmWrite(&u.RM, 4, v); f != nil {
+		return m.uopMemFault(f)
+	}
+	return nil
+}
+
+func uPopDiscard(m *Machine, u *x86.Uop) error {
+	// pop segment register: value discarded
+	_, f := m.pop()
+	if f != nil {
+		return m.uopMemFault(f)
+	}
+	return nil
+}
+
+func uPushA(m *Machine, u *x86.Uop) error {
+	sp := m.Regs[x86.ESP]
+	for _, r := range [...]uint8{x86.EAX, x86.ECX, x86.EDX, x86.EBX} {
+		if f := m.push(m.Regs[r]); f != nil {
+			return m.uopMemFault(f)
+		}
+	}
+	if f := m.push(sp); f != nil {
+		return m.uopMemFault(f)
+	}
+	for _, r := range [...]uint8{x86.EBP, x86.ESI, x86.EDI} {
+		if f := m.push(m.Regs[r]); f != nil {
+			return m.uopMemFault(f)
+		}
+	}
+	return nil
+}
+
+func uPopA(m *Machine, u *x86.Uop) error {
+	order := [...]uint8{x86.EDI, x86.ESI, x86.EBP, x86.ESP, x86.EBX, x86.EDX, x86.ECX, x86.EAX}
+	for _, r := range order {
+		v, f := m.pop()
+		if f != nil {
+			return m.uopMemFault(f)
+		}
+		if r != x86.ESP { // popa discards the saved ESP
+			m.Regs[r] = v
+		}
+	}
+	return nil
+}
+
+func uPushF(m *Machine, u *x86.Uop) error {
+	if f := m.push(m.Flags | 0x2); f != nil { // bit 1 always set on x86
+		return m.uopMemFault(f)
+	}
+	return nil
+}
+
+func uPopF(m *Machine, u *x86.Uop) error {
+	v, f := m.pop()
+	if f != nil {
+		return m.uopMemFault(f)
+	}
+	const writable = x86.FlagCF | x86.FlagPF | x86.FlagAF | x86.FlagZF |
+		x86.FlagSF | x86.FlagDF | x86.FlagOF
+	m.Flags = v & writable
+	return nil
+}
+
+func uLeave(m *Machine, u *x86.Uop) error {
+	m.Regs[x86.ESP] = m.Regs[x86.EBP]
+	v, f := m.pop()
+	if f != nil {
+		return m.uopMemFault(f)
+	}
+	m.Regs[x86.EBP] = v
+	return nil
+}
+
+func uEnter(m *Machine, u *x86.Uop) error {
+	if f := m.push(m.Regs[x86.EBP]); f != nil {
+		return m.uopMemFault(f)
+	}
+	m.Regs[x86.EBP] = m.Regs[x86.ESP]
+	m.Regs[x86.ESP] -= uint32(u.Imm)
+	return nil
+}

@@ -17,26 +17,11 @@ func computeParityTable() [256]bool {
 	return t
 }
 
-func widthMask(w uint8) uint32 {
-	switch w {
-	case 1:
-		return 0xFF
-	case 2:
-		return 0xFFFF
-	default:
-		return 0xFFFFFFFF
+func b2u(b bool) uint32 {
+	if b {
+		return 1
 	}
-}
-
-func signBit(w uint8) uint32 {
-	switch w {
-	case 1:
-		return 0x80
-	case 2:
-		return 0x8000
-	default:
-		return 0x80000000
-	}
+	return 0
 }
 
 func (m *Machine) setFlag(f uint32, on bool) {
@@ -50,68 +35,105 @@ func (m *Machine) setFlag(f uint32, on bool) {
 // GetFlag reports whether flag f is set.
 func (m *Machine) GetFlag(f uint32) bool { return m.Flags&f != 0 }
 
-// setSZP sets the sign, zero and parity flags from a result of width w.
-func (m *Machine) setSZP(v uint32, w uint8) {
-	v &= widthMask(w)
+// The flag-computation core is parameterized on the precomputed width mask
+// and sign bit (the *MS variants) so micro-op handlers, whose Uop carries
+// both from bind time, pay no per-retirement width switch. The width-based
+// wrappers derive mask and sign bit via the shared x86 helpers and are used
+// by the legacy interpreter switch and the slow paths.
+
+// setSZPMS sets the sign, zero and parity flags from a result under the
+// given width mask and sign bit.
+func (m *Machine) setSZPMS(v, mask, sb uint32) {
+	v &= mask
 	m.setFlag(x86.FlagZF, v == 0)
-	m.setFlag(x86.FlagSF, v&signBit(w) != 0)
+	m.setFlag(x86.FlagSF, v&sb != 0)
 	m.setFlag(x86.FlagPF, parityEven[byte(v)])
 }
 
-// addFlags computes a+b+carry at width w, sets CF/OF/AF/SF/ZF/PF, and
-// returns the masked result.
-func (m *Machine) addFlags(a, b, carry uint32, w uint8) uint32 {
-	mask := widthMask(w)
+// setSZP sets the sign, zero and parity flags from a result of width w.
+func (m *Machine) setSZP(v uint32, w uint8) {
+	m.setSZPMS(v, x86.WidthMask(w), x86.SignBit(w))
+}
+
+// addFlagsMS computes a+b+carry under the given mask/sign bit, sets
+// CF/OF/AF/SF/ZF/PF, and returns the masked result.
+func (m *Machine) addFlagsMS(a, b, carry, mask, sb uint32) uint32 {
 	a &= mask
 	b &= mask
 	r64 := uint64(a) + uint64(b) + uint64(carry)
 	r := uint32(r64) & mask
 	m.setFlag(x86.FlagCF, r64 > uint64(mask))
-	sb := signBit(w)
 	m.setFlag(x86.FlagOF, (a^r)&(b^r)&sb != 0)
 	m.setFlag(x86.FlagAF, (a^b^r)&0x10 != 0)
-	m.setSZP(r, w)
+	m.setSZPMS(r, mask, sb)
+	return r
+}
+
+// addFlags computes a+b+carry at width w, sets CF/OF/AF/SF/ZF/PF, and
+// returns the masked result.
+func (m *Machine) addFlags(a, b, carry uint32, w uint8) uint32 {
+	return m.addFlagsMS(a, b, carry, x86.WidthMask(w), x86.SignBit(w))
+}
+
+// subFlagsMS computes a-b-borrow under the given mask/sign bit, sets
+// CF/OF/AF/SF/ZF/PF, and returns the masked result.
+func (m *Machine) subFlagsMS(a, b, borrow, mask, sb uint32) uint32 {
+	a &= mask
+	b &= mask
+	r64 := uint64(a) - uint64(b) - uint64(borrow)
+	r := uint32(r64) & mask
+	m.setFlag(x86.FlagCF, uint64(a) < uint64(b)+uint64(borrow))
+	m.setFlag(x86.FlagOF, (a^b)&(a^r)&sb != 0)
+	m.setFlag(x86.FlagAF, (a^b^r)&0x10 != 0)
+	m.setSZPMS(r, mask, sb)
 	return r
 }
 
 // subFlags computes a-b-borrow at width w, sets CF/OF/AF/SF/ZF/PF, and
 // returns the masked result.
 func (m *Machine) subFlags(a, b, borrow uint32, w uint8) uint32 {
-	mask := widthMask(w)
-	a &= mask
-	b &= mask
-	r64 := uint64(a) - uint64(b) - uint64(borrow)
-	r := uint32(r64) & mask
-	m.setFlag(x86.FlagCF, uint64(a) < uint64(b)+uint64(borrow))
-	sb := signBit(w)
-	m.setFlag(x86.FlagOF, (a^b)&(a^r)&sb != 0)
-	m.setFlag(x86.FlagAF, (a^b^r)&0x10 != 0)
-	m.setSZP(r, w)
-	return r
+	return m.subFlagsMS(a, b, borrow, x86.WidthMask(w), x86.SignBit(w))
+}
+
+// logicFlagsMS clears CF/OF, sets SF/ZF/PF from v under the given
+// mask/sign bit, and returns the masked result (the AND/OR/XOR/TEST flag
+// rule).
+func (m *Machine) logicFlagsMS(v, mask, sb uint32) uint32 {
+	v &= mask
+	m.setFlag(x86.FlagCF, false)
+	m.setFlag(x86.FlagOF, false)
+	m.setSZPMS(v, mask, sb)
+	return v
 }
 
 // logicFlags clears CF/OF, sets SF/ZF/PF from v, and returns the masked
-// result (the AND/OR/XOR/TEST flag rule).
+// result.
 func (m *Machine) logicFlags(v uint32, w uint8) uint32 {
-	v &= widthMask(w)
-	m.setFlag(x86.FlagCF, false)
-	m.setFlag(x86.FlagOF, false)
-	m.setSZP(v, w)
-	return v
+	return m.logicFlagsMS(v, x86.WidthMask(w), x86.SignBit(w))
+}
+
+// incFlagsMS computes v+1 preserving CF (INC semantics).
+func (m *Machine) incFlagsMS(v, mask, sb uint32) uint32 {
+	cf := m.GetFlag(x86.FlagCF)
+	r := m.addFlagsMS(v, 1, 0, mask, sb)
+	m.setFlag(x86.FlagCF, cf)
+	return r
 }
 
 // incFlags computes v+1 preserving CF (INC semantics).
 func (m *Machine) incFlags(v uint32, w uint8) uint32 {
+	return m.incFlagsMS(v, x86.WidthMask(w), x86.SignBit(w))
+}
+
+// decFlagsMS computes v-1 preserving CF (DEC semantics).
+func (m *Machine) decFlagsMS(v, mask, sb uint32) uint32 {
 	cf := m.GetFlag(x86.FlagCF)
-	r := m.addFlags(v, 1, 0, w)
+	r := m.subFlagsMS(v, 1, 0, mask, sb)
 	m.setFlag(x86.FlagCF, cf)
 	return r
 }
 
 // decFlags computes v-1 preserving CF (DEC semantics).
 func (m *Machine) decFlags(v uint32, w uint8) uint32 {
-	cf := m.GetFlag(x86.FlagCF)
-	r := m.subFlags(v, 1, 0, w)
-	m.setFlag(x86.FlagCF, cf)
-	return r
+	return m.decFlagsMS(v, x86.WidthMask(w), x86.SignBit(w))
 }

@@ -6,8 +6,8 @@ import (
 
 // This file implements the predecoded instruction cache (icache): a dense
 // per-region table mapping every executable address to its decoded
-// x86.Inst, filled lazily by Machine.Step and consulted before the
-// fetch+decode slow path. The text segment is immutable apart from the
+// x86.Inst plus the micro-op it binds to (see exec_uop.go), filled lazily
+// by Machine.Step and consulted before the fetch+decode+bind slow path. The text segment is immutable apart from the
 // injector's pokes, so almost every retirement after warm-up is a hit.
 //
 // Correctness rests on invalidation. Two mutation channels exist:
@@ -37,12 +37,21 @@ import (
 // icacheSpan is a half-open invalidated address range [lo, hi).
 type icacheSpan struct{ lo, hi uint32 }
 
+// islot is one predecoded cache slot: the decoded instruction plus the
+// micro-op it was bound to at fill time. Warm retirements dispatch straight
+// through uop.H; the Inst rides along for the NoUops ablation (and for
+// anything that wants the full decode). inst.Len == 0 marks an empty slot;
+// every successfully decoded instruction has Len >= 1.
+type islot struct {
+	inst x86.Inst
+	uop  x86.Uop
+}
+
 // icacheRegion is the decode table for one executable region: entries[i]
-// caches the instruction starting at base+i (Len == 0 marks an empty
-// slot; every successfully decoded instruction has Len >= 1).
+// caches the instruction starting at base+i.
 type icacheRegion struct {
 	base    uint32
-	entries []x86.Inst
+	entries []islot
 	// shared marks entries as owned by a Snapshot: read-only for this
 	// machine, potentially read concurrently by other restored machines.
 	// New decodes then land in the private local overlay instead.
@@ -55,7 +64,7 @@ type icacheRegion struct {
 	// local is the private overlay, indexed like entries and allocated on
 	// the first fill after the base went shared. It always reflects the
 	// region's current bytes: invalidation zeroes it in place.
-	local []x86.Inst
+	local []islot
 }
 
 func (rt *icacheRegion) contains(pc uint32) bool {
@@ -79,7 +88,7 @@ func (rt *icacheRegion) zeroLocal(spans []icacheSpan) {
 	}
 	for _, sp := range spans {
 		for a := sp.lo; a < sp.hi; a++ {
-			rt.local[a-rt.base] = x86.Inst{}
+			rt.local[a-rt.base] = islot{}
 		}
 	}
 }
@@ -98,7 +107,7 @@ type icacheSnap struct {
 
 type icacheSnapRegion struct {
 	base    uint32
-	entries []x86.Inst
+	entries []islot
 	dirty   []icacheSpan
 }
 
@@ -111,34 +120,38 @@ func (c *ICache) findRegion(pc uint32) *icacheRegion {
 	return nil
 }
 
-// icacheLookup returns the cached decode of the instruction at pc, or nil
-// on a miss. The returned Inst may live in a table shared across
-// machines; callers must treat it as read-only.
-func (m *Memory) icacheLookup(pc uint32) *x86.Inst {
+// icacheLookup returns the cached slot (decode + bound micro-op) of the
+// instruction at pc, or nil on a miss. The returned slot may live in a
+// table shared across machines; callers must treat it as read-only.
+func (m *Memory) icacheLookup(pc uint32) *islot {
 	c := m.icache
 	if c == nil {
 		return nil
 	}
-	rt := c.findRegion(pc)
-	if rt == nil {
-		return nil
-	}
-	i := pc - rt.base
-	if rt.local != nil {
-		if e := &rt.local[i]; e.Len != 0 {
+	for _, rt := range c.regions {
+		// Unsigned wrap folds the two range compares into one: pc below
+		// base underflows to a huge index and fails the length check.
+		i := pc - rt.base
+		if i >= uint32(len(rt.entries)) {
+			continue
+		}
+		if rt.local != nil {
+			if e := &rt.local[i]; e.inst.Len != 0 {
+				return e
+			}
+		}
+		if e := &rt.entries[i]; e.inst.Len != 0 && (len(rt.dirty) == 0 || !rt.inDirty(pc)) {
 			return e
 		}
-	}
-	if e := &rt.entries[i]; e.Len != 0 && !rt.inDirty(pc) {
-		return e
+		return nil // regions never overlap
 	}
 	return nil
 }
 
-// icacheFill records the decode of the instruction at pc, creating the
-// cache and the covering region table on first use. Fills for shared
-// (snapshot-frozen) base tables go to the private local overlay.
-func (m *Memory) icacheFill(pc uint32, in *x86.Inst) {
+// icacheFill records the decoded-and-bound slot for the instruction at pc,
+// creating the cache and the covering region table on first use. Fills for
+// shared (snapshot-frozen) base tables go to the private local overlay.
+func (m *Memory) icacheFill(pc uint32, s *islot) {
 	c := m.icache
 	if c == nil {
 		c = &ICache{}
@@ -150,17 +163,17 @@ func (m *Memory) icacheFill(pc uint32, in *x86.Inst) {
 		if r == nil || r.Perm&PermExec == 0 {
 			return
 		}
-		rt = &icacheRegion{base: r.Base, entries: make([]x86.Inst, len(r.Data))}
+		rt = &icacheRegion{base: r.Base, entries: make([]islot, len(r.Data))}
 		c.regions = append(c.regions, rt)
 	}
 	if rt.shared {
 		if rt.local == nil {
-			rt.local = make([]x86.Inst, len(rt.entries))
+			rt.local = make([]islot, len(rt.entries))
 		}
-		rt.local[pc-rt.base] = *in
+		rt.local[pc-rt.base] = *s
 		return
 	}
-	rt.entries[pc-rt.base] = *in
+	rt.entries[pc-rt.base] = *s
 }
 
 // icacheInvalidate voids every cached decode that could cover the n bytes
@@ -196,7 +209,7 @@ func (m *Memory) icacheInvalidate(addr uint32, n int) {
 			rt.zeroLocal([]icacheSpan{sp})
 		} else {
 			for a := rlo; a < rhi; a++ {
-				rt.entries[a-rt.base] = x86.Inst{}
+				rt.entries[a-rt.base] = islot{}
 			}
 		}
 	}

@@ -48,6 +48,13 @@ type Machine struct {
 	// bytes, and Snapshot/Restore carry no decode tables.
 	NoICache bool
 
+	// NoUops disables micro-op dispatch (the ablation knob): Step then
+	// executes every retirement through the legacy monolithic switch in
+	// exec.go instead of the bound-handler table. Fault semantics are
+	// identical either way (the campaign identity tests prove it); the
+	// knob exists to measure what decode-time handler binding buys.
+	NoUops bool
+
 	// ICacheHits and ICacheMisses count retirements served from the
 	// predecoded instruction cache versus decoded on a miss. They are
 	// measurement state, not architectural state: Restore leaves them
@@ -56,6 +63,12 @@ type Machine struct {
 	ICacheMisses uint64
 
 	breakpoints map[uint32]struct{}
+
+	// pc is the address of the instruction currently retiring, stashed by
+	// Step so micro-op handlers (and the shared string/bit-test cores) can
+	// stamp faults without threading it through every call. Transient: only
+	// valid during a Step.
+	pc uint32
 }
 
 // New returns a machine with the given address space and syscall handler.
@@ -177,6 +190,12 @@ func (m *Machine) fuel() uint64 {
 // Step decodes and executes one instruction. It returns nil on normal
 // retirement; a *Fault, *ExitStatus, *OutOfFuel, or a kernel error ends the
 // run.
+//
+// The warm path is: predecoded-cache hit -> indirect call through the
+// micro-op dispatch table. The decoded form, operand routing, width masks
+// and handler index were all resolved at fill time (x86.Inst.Bind), so a
+// warm retirement performs no per-form dispatch at all. The legacy
+// monolithic switch runs only under the NoUops ablation knob.
 func (m *Machine) Step() error {
 	if m.Steps >= m.fuel() {
 		return &OutOfFuel{Steps: m.Steps}
@@ -187,12 +206,17 @@ func (m *Machine) Step() error {
 			return &Fault{Kind: FaultCFE, Addr: pc, PC: pc}
 		}
 	}
+	m.pc = pc
 	if !m.NoICache {
-		if in := m.Mem.icacheLookup(pc); in != nil {
+		if s := m.Mem.icacheLookup(pc); s != nil {
 			m.ICacheHits++
 			m.Steps++
 			m.TSC += 3 // deterministic pseudo cycle count
-			return m.exec(in, pc)
+			if m.NoUops {
+				return m.exec(&s.inst, pc)
+			}
+			m.EIP = pc + uint32(s.uop.Len)
+			return uopTable[s.uop.H&(uopTableSize-1)](m, &s.uop)
 		}
 	}
 	code, f := m.Mem.Fetch(pc, x86.MaxInstLen)
@@ -209,13 +233,23 @@ func (m *Machine) Step() error {
 		}
 		return &Fault{Kind: FaultUndefined, Addr: pc, PC: pc}
 	}
-	if !m.NoICache {
-		m.ICacheMisses++
-		m.Mem.icacheFill(pc, &in)
-	}
 	m.Steps++
 	m.TSC += 3 // deterministic pseudo cycle count
-	return m.exec(&in, pc)
+	if m.NoICache {
+		// Nothing is cached, so nothing is bound: every retirement decodes
+		// from bytes and executes through the legacy switch.
+		return m.exec(&in, pc)
+	}
+	m.ICacheMisses++
+	var s islot
+	s.inst = in
+	s.inst.Bind(&s.uop)
+	m.Mem.icacheFill(pc, &s)
+	if m.NoUops {
+		return m.exec(&s.inst, pc)
+	}
+	m.EIP = pc + uint32(s.uop.Len)
+	return uopTable[s.uop.H&(uopTableSize-1)](m, &s.uop)
 }
 
 // Run executes until the program exits, faults, runs out of fuel, hits an

@@ -63,6 +63,137 @@ func BenchmarkStepALULoopNoICache(b *testing.B) {
 	b.ReportMetric(float64(m.Steps), "retired")
 }
 
+// BenchmarkStepALULoopNoUops measures the same loop with micro-op dispatch
+// disabled: every retirement walks the legacy interpreter switch. The gap
+// to BenchmarkStepALULoop is what decode-time handler binding buys.
+func BenchmarkStepALULoopNoUops(b *testing.B) {
+	m := benchMachine(b)
+	m.NoUops = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(m.Steps), "retired")
+}
+
+// branchMachine builds a machine running a jcc-heavy loop: three
+// conditional branches (two data-dependent, one loop-closing) per four ALU
+// retirements, the shape of authentication predicate code.
+func branchMachine(b *testing.B) *vm.Machine {
+	b.Helper()
+	// loop: inc eax
+	//       test al, 1 ; jz .l1
+	// .l1:  test al, 2 ; jz .l2
+	// .l2:  cmp eax, 0x7fffffff ; jne loop
+	code := []byte{
+		0x40,
+		0xA8, 0x01,
+		0x74, 0x00,
+		0xA8, 0x02,
+		0x74, 0x00,
+		0x3D, 0xFF, 0xFF, 0xFF, 0x7F,
+		0x75, 0xF0,
+	}
+	mem := vm.NewMemory()
+	text := make([]byte, 64)
+	copy(text, code)
+	if err := mem.Map(&vm.Region{Name: "text", Base: 0x1000, Perm: vm.PermRead | vm.PermExec, Data: text}); err != nil {
+		b.Fatal(err)
+	}
+	m := vm.New(mem, exitSysB{})
+	m.EIP = 0x1000
+	m.Fuel = 1 << 62
+	return m
+}
+
+// BenchmarkStepBranchLoop measures conditional-branch-dominated
+// throughput (condition evaluation + relative-target dispatch).
+func BenchmarkStepBranchLoop(b *testing.B) {
+	m := branchMachine(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(m.Steps), "retired")
+}
+
+// BenchmarkStepBranchLoopNoUops is the legacy-switch ablation of
+// BenchmarkStepBranchLoop.
+func BenchmarkStepBranchLoopNoUops(b *testing.B) {
+	m := branchMachine(b)
+	m.NoUops = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(m.Steps), "retired")
+}
+
+// memMachine builds a machine running a ModRM-memory-heavy loop
+// (base+index*scale effective addresses on both loads and a
+// read-modify-write), the operand shape the micro-op layer must not slow
+// down relative to moffs fast cases.
+func memMachine(b *testing.B) *vm.Machine {
+	b.Helper()
+	// loop: mov eax, [ebx+esi*4]
+	//       add [ebx+esi*4], eax
+	//       mov edx, [ebx+4]
+	//       jmp loop
+	code := []byte{
+		0x8B, 0x04, 0xB3,
+		0x01, 0x04, 0xB3,
+		0x8B, 0x53, 0x04,
+		0xEB, 0xF5,
+	}
+	mem := vm.NewMemory()
+	text := make([]byte, 64)
+	copy(text, code)
+	if err := mem.Map(&vm.Region{Name: "text", Base: 0x1000, Perm: vm.PermRead | vm.PermExec, Data: text}); err != nil {
+		b.Fatal(err)
+	}
+	if err := mem.Map(&vm.Region{Name: "data", Base: 0x8000, Perm: vm.PermRead | vm.PermWrite, Data: make([]byte, 4096)}); err != nil {
+		b.Fatal(err)
+	}
+	m := vm.New(mem, exitSysB{})
+	m.EIP = 0x1000
+	m.Regs[x86.EBX] = 0x8000
+	m.Regs[x86.ESI] = 1
+	m.Fuel = 1 << 62
+	return m
+}
+
+// BenchmarkStepMemLoop measures ModRM-memory-operand throughput.
+func BenchmarkStepMemLoop(b *testing.B) {
+	m := memMachine(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(m.Steps), "retired")
+}
+
+// BenchmarkStepMemLoopNoUops is the legacy-switch ablation of
+// BenchmarkStepMemLoop.
+func BenchmarkStepMemLoopNoUops(b *testing.B) {
+	m := memMachine(b)
+	m.NoUops = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(m.Steps), "retired")
+}
+
 // BenchmarkStepMemoryLoop measures throughput with memory operands.
 func BenchmarkStepMemoryLoop(b *testing.B) {
 	// loop: mov eax, [0x8000] ; add eax, 1 ; mov [0x8000], eax ; jmp loop

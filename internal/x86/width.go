@@ -1,0 +1,39 @@
+package x86
+
+// Width-masking and sign-extension helpers shared by the decoder, the
+// micro-op binder, and the VM's execution and flag-computation layers.
+// These used to be duplicated (as switch helpers in internal/vm/flags.go
+// and as inline conversions in the executor); this file is the single
+// home so every layer agrees on the arithmetic.
+
+// WidthMask returns the value mask for an operand width in bytes
+// (1, 2 or 4; any other width behaves as 4, matching the interpreter's
+// historical defaulting).
+func WidthMask(w uint8) uint32 {
+	switch w {
+	case 1:
+		return 0xFF
+	case 2:
+		return 0xFFFF
+	default:
+		return 0xFFFFFFFF
+	}
+}
+
+// SignBit returns the sign-bit mask for an operand width in bytes.
+func SignBit(w uint8) uint32 {
+	switch w {
+	case 1:
+		return 0x80
+	case 2:
+		return 0x8000
+	default:
+		return 0x80000000
+	}
+}
+
+// SignExtend8 sign-extends the low byte of v to 32 bits.
+func SignExtend8(v uint32) uint32 { return uint32(int32(int8(v))) }
+
+// SignExtend16 sign-extends the low 16 bits of v to 32 bits.
+func SignExtend16(v uint32) uint32 { return uint32(int32(int16(v))) }
