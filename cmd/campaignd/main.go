@@ -4,31 +4,46 @@
 //
 // API:
 //
-//	POST /campaigns          submit {"app","scenario","scheme",...};
+//	POST   /campaigns        submit {"app","scenario","scheme",...};
 //	                         returns {"id",...} immediately and runs the
 //	                         campaign on the engine in the background
-//	GET  /campaigns          list all campaigns
-//	GET  /campaigns/{id}     progress, outcome counts, ETA; once finished,
+//	GET    /campaigns        list all campaigns
+//	GET    /campaigns/{id}   progress, outcome counts, ETA; once finished,
 //	                         the final Table-1-shaped counts
-//	GET  /metrics            engine counters across campaigns: runs/sec,
+//	DELETE /campaigns/{id}   cancel a running campaign; it drains, writes
+//	                         a final journal checkpoint, and reports the
+//	                         terminal state "canceled"
+//	GET    /metrics          engine counters across campaigns: runs/sec,
 //	                         snapshot hit rate, worker utilization
 //
 // Campaigns submitted with "journal": true are written to a JSONL journal
 // under -journals and survive daemon crashes: resubmitting the same
 // app/scenario/scheme resumes from the journal instead of starting over.
+// Only one campaign may write a given journal at a time; a duplicate
+// submission while one runs is refused with 409.
+//
+// On SIGINT/SIGTERM the daemon shuts down gracefully: it stops accepting
+// requests, cancels in-flight campaigns, and waits (up to -drain) for each
+// engine to write its final journal checkpoint, so a restarted daemon
+// resumes exactly where this one stopped.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	journals := flag.String("journals", "", "directory for campaign journals (\"\" = journaling disabled)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for draining campaigns and connections")
 	flag.Parse()
 
 	if *journals != "" {
@@ -42,9 +57,42 @@ func main() {
 		fmt.Fprintln(os.Stderr, "campaignd:", err)
 		os.Exit(1)
 	}
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
 	log.Printf("campaignd: listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+
+	select {
+	case err := <-errc:
+		// ListenAndServe only returns on failure here (shutdown races go
+		// through the signal path below).
+		fmt.Fprintln(os.Stderr, "campaignd:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C kills immediately
+	log.Printf("campaignd: signal received, draining (budget %s)", *drain)
+
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		log.Printf("campaignd: http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(dctx); err != nil {
+		// Campaigns did not drain in time; journals may miss their final
+		// checkpoint (Resume still recovers everything up to the last
+		// flushed run record).
 		fmt.Fprintln(os.Stderr, "campaignd:", err)
 		os.Exit(1)
 	}
+	log.Printf("campaignd: drained cleanly")
 }

@@ -20,7 +20,13 @@ import (
 	"faultsec/internal/target"
 )
 
-// submitRequest is the POST /campaigns body.
+// maxSubmitBytes bounds the POST /campaigns body; real submissions are a
+// few hundred bytes, so anything near the limit is abuse, not a campaign.
+const maxSubmitBytes = 1 << 20
+
+// submitRequest is the POST /campaigns body. Unknown fields are rejected
+// (DisallowUnknownFields), so a typo'd knob fails the submit loudly
+// instead of silently running the wrong ablation.
 type submitRequest struct {
 	App      string `json:"app"`      // "ftpd" or "sshd"
 	Scenario string `json:"scenario"` // e.g. "Client1"
@@ -40,13 +46,23 @@ type submitRequest struct {
 	Journal bool `json:"journal,omitempty"`
 }
 
+// Terminal and non-terminal campaign states.
+const (
+	stateRunning  = "running"
+	stateDone     = "done"
+	stateFailed   = "failed"
+	stateCanceled = "canceled"
+)
+
 // campaignView is the GET /campaigns/{id} response.
 type campaignView struct {
 	ID       string `json:"id"`
 	App      string `json:"app"`
 	Scenario string `json:"scenario"`
 	Scheme   string `json:"scheme"`
-	// State is "running", "done", or "failed".
+	// State is "running", "done", "failed", or "canceled". A campaign
+	// stays "running" from DELETE until the engine drains its in-flight
+	// runs and writes the final journal checkpoint.
 	State    string            `json:"state"`
 	Error    string            `json:"error,omitempty"`
 	Resumed  bool              `json:"resumed,omitempty"`
@@ -71,9 +87,12 @@ type run struct {
 	req     submitRequest
 	eng     *campaign.Engine
 	resumed bool
+	// cancel aborts the campaign's context (DELETE /campaigns/{id} and
+	// server shutdown). Safe to call repeatedly and after completion.
+	cancel context.CancelFunc
 
 	mu    sync.Mutex
-	state string // "running", "done", "failed"
+	state string // stateRunning / stateDone / stateFailed / stateCanceled
 	err   error
 	stats *inject.Stats
 }
@@ -84,6 +103,30 @@ func (r *run) engine() *campaign.Engine {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.eng
+}
+
+// finish records the campaign's terminal state. Cancellation is a state
+// of its own, not a failure: an operator canceling a run (or the daemon
+// draining on SIGTERM) must be distinguishable from a campaign that blew
+// up.
+func (r *run) finish(stats *inject.Stats, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch {
+	case err == nil:
+		r.state, r.stats = stateDone, stats
+	case errors.Is(err, context.Canceled):
+		r.state, r.err = stateCanceled, err
+	default:
+		r.state, r.err = stateFailed, err
+	}
+}
+
+// terminal reports whether the campaign has reached a terminal state.
+func (r *run) terminal() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state != stateRunning
 }
 
 func (r *run) view() campaignView {
@@ -125,10 +168,21 @@ type server struct {
 	journalDir string
 	apps       map[string]*target.App
 
-	mu     sync.Mutex
-	nextID int
-	runs   map[string]*run
-	order  []string // insertion order for listing
+	// wg tracks campaign goroutines; Shutdown waits on it so the daemon
+	// only exits after every canceled campaign has written its final
+	// journal checkpoint.
+	wg sync.WaitGroup
+
+	mu      sync.Mutex
+	nextID  int
+	runs    map[string]*run
+	order   []string // insertion order for listing
+	closing bool     // set by Shutdown; rejects new submissions
+	// journals maps an active journal path to the run id writing it. A
+	// second journaled submit of the same app/scenario/scheme while the
+	// first still runs is refused with 409: two writers on one JSONL file
+	// would interleave records into corruption.
+	journals map[string]string
 }
 
 func newServer(journalDir string) (*server, error) {
@@ -144,6 +198,7 @@ func newServer(journalDir string) (*server, error) {
 		journalDir: journalDir,
 		apps:       map[string]*target.App{fapp.Name: fapp, sapp.Name: sapp},
 		runs:       make(map[string]*run),
+		journals:   make(map[string]string),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/campaigns", s.handleCampaigns)
@@ -153,6 +208,32 @@ func newServer(journalDir string) (*server, error) {
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Shutdown cancels every running campaign and waits for their goroutines
+// to drain — each engine finishes its in-flight runs, writes a final
+// journal checkpoint, and closes its journal, so a restarted daemon
+// resumes exactly where this one stopped. New submissions are refused
+// with 503 once shutdown begins. The ctx bounds the wait.
+func (s *server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closing = true
+	for _, rn := range s.runs {
+		rn.cancel()
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("campaignd: shutdown: %w", ctx.Err())
+	}
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -194,8 +275,11 @@ func (s *server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxSubmitBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
 	var req submitRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := dec.Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
@@ -227,7 +311,6 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 		NoICache: req.NoICache,
 		NoUops:   req.NoUops,
 	}
-	resume := false
 	if req.Journal {
 		if s.journalDir == "" {
 			writeErr(w, http.StatusBadRequest, "journaling requested but campaignd runs without -journals")
@@ -235,60 +318,93 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 		}
 		cfg.Journal = filepath.Join(s.journalDir,
 			fmt.Sprintf("%s-%s-%s.jsonl", req.App, req.Scenario, scheme))
+	}
+
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		writeErr(w, http.StatusServiceUnavailable, "campaignd is shutting down")
+		return
+	}
+	resume := false
+	if cfg.Journal != "" {
+		if holder, busy := s.journals[cfg.Journal]; busy {
+			s.mu.Unlock()
+			writeErr(w, http.StatusConflict,
+				"journal for %s/%s/%s is being written by campaign %s; cancel it or wait",
+				req.App, req.Scenario, req.Scheme, holder)
+			return
+		}
 		if _, err := os.Stat(cfg.Journal); err == nil {
 			resume = true
 		}
 	}
-
-	s.mu.Lock()
 	s.nextID++
 	id := fmt.Sprintf("c%d", s.nextID)
-	rn := &run{id: id, req: req, eng: campaign.New(cfg), resumed: resume, state: "running"}
+	runCtx, cancel := context.WithCancel(context.Background())
+	rn := &run{id: id, req: req, eng: campaign.New(cfg), resumed: resume,
+		state: stateRunning, cancel: cancel}
 	s.runs[id] = rn
 	s.order = append(s.order, id)
+	if cfg.Journal != "" {
+		s.journals[cfg.Journal] = id
+	}
+	s.wg.Add(1)
 	s.mu.Unlock()
 
 	go func() {
+		defer s.wg.Done()
+		defer cancel()
 		var stats *inject.Stats
 		var err error
+		// Defers run LIFO: the journal claim is released, then the
+		// terminal state is recorded — so a client that observes "done"
+		// or "canceled" can resubmit without hitting a stale 409.
+		defer func() { rn.finish(stats, err) }()
+		if cfg.Journal != "" {
+			defer func() {
+				s.mu.Lock()
+				delete(s.journals, cfg.Journal)
+				s.mu.Unlock()
+			}()
+		}
 		if resume {
-			stats, err = rn.engine().Resume(context.Background())
-			if err != nil {
+			stats, err = rn.engine().Resume(runCtx)
+			if err != nil && runCtx.Err() == nil && !errors.Is(err, campaign.ErrJournalBusy) {
 				// A foreign or corrupt journal must not wedge the service:
 				// fall back to a fresh run (on a fresh engine, so metrics
-				// are not double-counted), which truncates the journal.
+				// are not double-counted), which truncates the journal. A
+				// canceled resume or a busy journal is NOT corruption —
+				// falling back would truncate a journal we must preserve.
 				e2 := campaign.New(cfg)
 				rn.mu.Lock()
 				rn.eng, rn.resumed = e2, false
 				rn.mu.Unlock()
 				var ferr error
-				if stats, ferr = e2.Run(context.Background()); ferr == nil {
+				if stats, ferr = e2.Run(runCtx); ferr == nil {
 					err = nil
 				} else {
 					err = errors.Join(err, ferr)
 				}
 			}
 		} else {
-			stats, err = rn.engine().Run(context.Background())
+			stats, err = rn.engine().Run(runCtx)
 		}
-		rn.mu.Lock()
-		defer rn.mu.Unlock()
-		if err != nil {
-			rn.state, rn.err = "failed", err
-			return
-		}
-		rn.state, rn.stats = "done", stats
 	}()
 
 	writeJSON(w, http.StatusAccepted, rn.view())
 }
 
 func (s *server) handleCampaign(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeErr(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+	id := strings.TrimPrefix(r.URL.Path, "/campaigns/")
+	if id == "" {
+		writeErr(w, http.StatusNotFound, "campaign id required (GET /campaigns lists campaigns)")
 		return
 	}
-	id := strings.TrimPrefix(r.URL.Path, "/campaigns/")
+	if strings.Contains(id, "/") {
+		writeErr(w, http.StatusNotFound, "no such resource")
+		return
+	}
 	s.mu.Lock()
 	rn, ok := s.runs[id]
 	s.mu.Unlock()
@@ -296,7 +412,22 @@ func (s *server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "no campaign %q", id)
 		return
 	}
-	writeJSON(w, http.StatusOK, rn.view())
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, rn.view())
+	case http.MethodDelete:
+		if rn.terminal() {
+			writeErr(w, http.StatusConflict, "campaign %s already %s", id, rn.view().State)
+			return
+		}
+		// Cancellation is asynchronous: the engine drains in-flight runs
+		// and closes its journal with a final checkpoint, then the state
+		// becomes "canceled". 202 reflects that.
+		rn.cancel()
+		writeJSON(w, http.StatusAccepted, rn.view())
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+	}
 }
 
 // metricsView is the GET /metrics response: per-campaign engine counters
@@ -326,11 +457,9 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		v.TotalRuns += m.RunsTotal
 		v.ICacheHits += m.ICacheHits
 		v.ICacheMisses += m.ICacheMisses
-		rn.mu.Lock()
-		if rn.state == "running" {
+		if !rn.terminal() {
 			v.Running++
 		}
-		rn.mu.Unlock()
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, v)

@@ -2,7 +2,10 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"reflect"
+	"sync"
 
 	"net/http"
 	"net/http/httptest"
@@ -12,14 +15,22 @@ import (
 
 func newTestService(t *testing.T) (*httptest.Server, string) {
 	t.Helper()
-	dir := t.TempDir()
+	ts, _ := newTestServiceIn(t, t.TempDir())
+	return ts, ""
+}
+
+// newTestServiceIn starts a campaignd instance over an existing journal
+// directory, so tests can simulate a daemon restart by starting a second
+// instance on the same directory.
+func newTestServiceIn(t *testing.T, dir string) (*httptest.Server, *server) {
+	t.Helper()
 	srv, err := newServer(dir)
 	if err != nil {
 		t.Fatalf("newServer: %v", err)
 	}
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
-	return ts, dir
+	return ts, srv
 }
 
 func postCampaign(t *testing.T, ts *httptest.Server, body string) campaignView {
@@ -50,6 +61,51 @@ func getJSON(t *testing.T, url string, out any) int {
 		t.Fatal(err)
 	}
 	return resp.StatusCode
+}
+
+// postStatus submits a campaign body and returns the response status.
+func postStatus(t *testing.T, ts *httptest.Server, body string) int {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/campaigns", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close() //nolint:errcheck // test
+	return resp.StatusCode
+}
+
+// deleteCampaign issues DELETE /campaigns/{id} and returns the status.
+func deleteCampaign(t *testing.T, ts *httptest.Server, id string) int {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/campaigns/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close() //nolint:errcheck // test
+	return resp.StatusCode
+}
+
+// waitProgress polls the campaign until at least n runs completed (so a
+// following DELETE provably lands mid-campaign, not before the first run).
+func waitProgress(t *testing.T, ts *httptest.Server, id string, n int) campaignView {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		var v campaignView
+		if code := getJSON(t, ts.URL+"/campaigns/"+id, &v); code != http.StatusOK {
+			t.Fatalf("GET /campaigns/%s: status %d", id, code)
+		}
+		if v.Progress.Done >= n || v.State != "running" {
+			return v
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("campaign %s never reached %d runs", id, n)
+	return campaignView{}
 }
 
 // waitDone polls the campaign until it leaves the running state, checking
@@ -189,6 +245,10 @@ func TestServiceRejectsBadRequests(t *testing.T) {
 		{`{"app":"ftpd","scenario":"NoSuch"}`, http.StatusBadRequest},
 		{`{"app":"ftpd","scenario":"Client1","scheme":"trinary"}`, http.StatusBadRequest},
 		{`not json`, http.StatusBadRequest},
+		// A typo'd knob must fail loudly, not silently run the wrong
+		// ablation (DisallowUnknownFields).
+		{`{"app":"ftpd","scenario":"Client1","noICash":true}`, http.StatusBadRequest},
+		{`{"app":"ftpd","scenario":"Client1","jurnal":true}`, http.StatusBadRequest},
 	}
 	for _, c := range cases {
 		resp, err := http.Post(ts.URL+"/campaigns", "application/json", bytes.NewBufferString(c.body))
@@ -204,5 +264,288 @@ func TestServiceRejectsBadRequests(t *testing.T) {
 	var v map[string]any
 	if code := getJSON(t, ts.URL+"/campaigns/c999", &v); code != http.StatusNotFound {
 		t.Errorf("GET unknown campaign: status %d, want 404", code)
+	}
+}
+
+// TestServiceCampaignPathRouting pins the /campaigns/ sub-path contract:
+// the empty id and nested sub-paths get clean 404s (no raw suffix echoed),
+// and unknown methods get 405.
+func TestServiceCampaignPathRouting(t *testing.T) {
+	ts, _ := newTestService(t)
+
+	var v map[string]any
+	if code := getJSON(t, ts.URL+"/campaigns/", &v); code != http.StatusNotFound {
+		t.Errorf("GET /campaigns/: status %d, want 404", code)
+	}
+	if code := getJSON(t, ts.URL+"/campaigns/c1/x", &v); code != http.StatusNotFound {
+		t.Errorf("GET /campaigns/c1/x: status %d, want 404", code)
+	}
+	if msg, _ := v["error"].(string); msg == "" || bytes.Contains([]byte(msg), []byte("c1/x")) {
+		t.Errorf("sub-path 404 echoes the raw suffix: %q", msg)
+	}
+	if code := deleteCampaign(t, ts, "c999"); code != http.StatusNotFound {
+		t.Errorf("DELETE unknown campaign: status %d, want 404", code)
+	}
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/campaigns/c999", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close() //nolint:errcheck // test
+	// Method checks run after existence checks, so an unknown id is 404
+	// regardless; use a real campaign for the 405.
+	v2 := postCampaign(t, ts, `{"app":"ftpd","scenario":"Client1"}`)
+	req, _ = http.NewRequest(http.MethodPut, ts.URL+"/campaigns/"+v2.ID, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close() //nolint:errcheck // test
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("PUT /campaigns/%s: status %d, want 405", v2.ID, resp.StatusCode)
+	}
+	waitDone(t, ts, v2.ID)
+}
+
+// TestServiceCancelRestartResume is the lifecycle acceptance round-trip:
+// cancel a journaled campaign mid-run via DELETE, observe the distinct
+// "canceled" terminal state, restart the daemon (a second instance on the
+// same journal directory), resubmit, and the resumed campaign's final
+// summary must be identical to an uninterrupted run's.
+func TestServiceCancelRestartResume(t *testing.T) {
+	dir := t.TempDir()
+	ts, _ := newTestServiceIn(t, dir)
+
+	// Reference: the same campaign, uninterrupted (not journaled, so it
+	// does not touch the journal the canceled run will leave behind).
+	ref := postCampaign(t, ts, `{"app":"ftpd","scenario":"Client1"}`)
+	refFinal := waitDone(t, ts, ref.ID)
+	if refFinal.State != "done" {
+		t.Fatalf("reference run ended %q (error %q)", refFinal.State, refFinal.Error)
+	}
+
+	body := `{"app":"ftpd","scenario":"Client1","journal":true}`
+	v := postCampaign(t, ts, body)
+	mid := waitProgress(t, ts, v.ID, 1)
+	if mid.State != "running" {
+		t.Fatalf("campaign reached %q before it could be canceled", mid.State)
+	}
+	if code := deleteCampaign(t, ts, v.ID); code != http.StatusAccepted {
+		t.Fatalf("DELETE running campaign: status %d, want 202", code)
+	}
+	canceled := waitDone(t, ts, v.ID)
+	if canceled.State != "canceled" {
+		t.Fatalf("canceled campaign ended %q (error %q)", canceled.State, canceled.Error)
+	}
+	if canceled.Progress.Done >= refFinal.Final.Total {
+		t.Fatalf("campaign finished all %d runs before cancellation", canceled.Progress.Done)
+	}
+	if code := deleteCampaign(t, ts, v.ID); code != http.StatusConflict {
+		t.Errorf("DELETE canceled campaign: status %d, want 409", code)
+	}
+
+	// "Restart the daemon": a fresh instance over the same journal dir.
+	ts2, _ := newTestServiceIn(t, dir)
+	resumedView := postCampaign(t, ts2, body)
+	if !resumedView.Resumed {
+		t.Fatal("post-restart resubmission did not resume the journal")
+	}
+	final := waitDone(t, ts2, resumedView.ID)
+	if final.State != "done" {
+		t.Fatalf("resumed campaign ended %q (error %q)", final.State, final.Error)
+	}
+	if !reflect.DeepEqual(final.Final, refFinal.Final) {
+		t.Errorf("resumed final summary differs from uninterrupted run\nresumed: %+v\nreference: %+v",
+			final.Final, refFinal.Final)
+	}
+
+	var m metricsView
+	getJSON(t, ts2.URL+"/metrics", &m)
+	em := m.Campaigns[resumedView.ID]
+	if em.JournalAdopted == 0 {
+		t.Error("resumed campaign adopted nothing from the journal")
+	}
+	if em.JournalAdopted+em.RunsTotal != int64(final.Final.Total) {
+		t.Errorf("adopted %d + fresh %d != total %d", em.JournalAdopted, em.RunsTotal, final.Final.Total)
+	}
+}
+
+// TestServiceDuplicateJournalSubmit pins the single-writer guarantee at
+// the API: a second journaled submission of the same app/scenario/scheme
+// while the first still runs is refused with 409 Conflict, and once the
+// first finishes the journal is clean — a resubmission resumes it and
+// adopts every run.
+func TestServiceDuplicateJournalSubmit(t *testing.T) {
+	ts, _ := newTestService(t)
+
+	body := `{"app":"ftpd","scenario":"Client1","journal":true}`
+	first := postCampaign(t, ts, body)
+	if code := postStatus(t, ts, body); code != http.StatusConflict {
+		t.Fatalf("duplicate journaled submit: status %d, want 409", code)
+	}
+	// A different scheme journals to a different path: allowed.
+	other := postCampaign(t, ts, `{"app":"ftpd","scenario":"Client1","scheme":"parity","journal":true}`)
+
+	got := waitDone(t, ts, first.ID)
+	if got.State != "done" {
+		t.Fatalf("first run ended %q (error %q)", got.State, got.Error)
+	}
+	waitDone(t, ts, other.ID)
+
+	// The refused duplicate left no mark: the journal replays cleanly and
+	// completely.
+	second := postCampaign(t, ts, body)
+	if !second.Resumed {
+		t.Fatal("resubmission after completion did not resume the journal")
+	}
+	final := waitDone(t, ts, second.ID)
+	if final.State != "done" {
+		t.Fatalf("resumed run ended %q (error %q)", final.State, final.Error)
+	}
+	var m metricsView
+	getJSON(t, ts.URL+"/metrics", &m)
+	em := m.Campaigns[second.ID]
+	if em.JournalAdopted != int64(final.Final.Total) || em.RunsTotal != 0 {
+		t.Errorf("post-duplicate resume adopted %d and re-ran %d of %d runs",
+			em.JournalAdopted, em.RunsTotal, final.Final.Total)
+	}
+}
+
+// TestServiceShutdownDrains pins graceful shutdown: Shutdown cancels the
+// in-flight campaign, waits for its final journal checkpoint, refuses new
+// submissions with 503, and leaves a journal a restarted daemon resumes.
+func TestServiceShutdownDrains(t *testing.T) {
+	dir := t.TempDir()
+	ts, srv := newTestServiceIn(t, dir)
+
+	body := `{"app":"ftpd","scenario":"Client1","journal":true}`
+	v := postCampaign(t, ts, body)
+	waitProgress(t, ts, v.ID, 1)
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	final := waitDone(t, ts, v.ID) // handlers still respond; run is terminal
+	if final.State != "canceled" && final.State != "done" {
+		t.Fatalf("after shutdown campaign is %q (error %q)", final.State, final.Error)
+	}
+	if code := postStatus(t, ts, `{"app":"ftpd","scenario":"Client1"}`); code != http.StatusServiceUnavailable {
+		t.Errorf("submit after shutdown: status %d, want 503", code)
+	}
+
+	ts2, _ := newTestServiceIn(t, dir)
+	resumed := postCampaign(t, ts2, body)
+	if final.State == "canceled" && !resumed.Resumed {
+		t.Fatal("journal of drained campaign did not resume")
+	}
+	got := waitDone(t, ts2, resumed.ID)
+	if got.State != "done" {
+		t.Fatalf("post-restart campaign ended %q (error %q)", got.State, got.Error)
+	}
+}
+
+// TestServiceConcurrentLifecycle hammers submit/cancel/progress/metrics
+// concurrently; run under -race it proves the lifecycle bookkeeping is
+// data-race free. Journaled submissions race over one journal path on
+// purpose: every response must be 202 or 409, never a corrupted journal.
+func TestServiceConcurrentLifecycle(t *testing.T) {
+	ts, _ := newTestService(t)
+
+	var wg sync.WaitGroup
+	ids := make(chan string, 64)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := `{"app":"ftpd","scenario":"Client1","journal":true}`
+			if i%2 == 1 {
+				body = `{"app":"ftpd","scenario":"Client1","scheme":"parity","journal":true}`
+			}
+			resp, err := http.Post(ts.URL+"/campaigns", "application/json", bytes.NewBufferString(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close() //nolint:errcheck // test
+			switch resp.StatusCode {
+			case http.StatusAccepted:
+				var v campaignView
+				if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+					t.Error(err)
+					return
+				}
+				ids <- v.ID
+			case http.StatusConflict: // racing duplicate: expected
+			default:
+				t.Errorf("concurrent submit: status %d", resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(ids)
+
+	var all []string
+	for id := range ids {
+		all = append(all, id)
+	}
+	if len(all) == 0 {
+		t.Fatal("no campaign accepted")
+	}
+
+	// Readers poll list+detail+metrics while cancelers kill every run.
+	stop := make(chan struct{})
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var list struct {
+					Campaigns []campaignView `json:"campaigns"`
+				}
+				getJSON(t, ts.URL+"/campaigns", &list)
+				var m metricsView
+				getJSON(t, ts.URL+"/metrics", &m)
+				for _, id := range all {
+					var v campaignView
+					getJSON(t, ts.URL+"/campaigns/"+id, &v)
+				}
+			}
+		}()
+	}
+	for _, id := range all {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			if code := deleteCampaign(t, ts, id); code != http.StatusAccepted && code != http.StatusConflict {
+				t.Errorf("concurrent DELETE %s: status %d", id, code)
+			}
+		}(id)
+	}
+
+	for _, id := range all {
+		v := waitDone(t, ts, id)
+		if v.State != "canceled" && v.State != "done" {
+			t.Errorf("campaign %s ended %q (error %q)", id, v.State, v.Error)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// The surviving journals are intact: resubmissions resume cleanly.
+	for _, body := range []string{
+		`{"app":"ftpd","scenario":"Client1","journal":true}`,
+		`{"app":"ftpd","scenario":"Client1","scheme":"parity","journal":true}`,
+	} {
+		v := postCampaign(t, ts, body)
+		if got := waitDone(t, ts, v.ID); got.State != "done" {
+			t.Errorf("post-race resume of %s ended %q (error %q)", body, got.State, got.Error)
+		}
 	}
 }

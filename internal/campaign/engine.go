@@ -38,7 +38,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -184,12 +183,13 @@ func (e *Engine) Run(ctx context.Context) (*inject.Stats, error) {
 func (e *Engine) RunExperiments(ctx context.Context, exps []inject.Experiment) (*inject.Stats, error) {
 	var w *journalWriter
 	if e.cfg.Journal != "" {
-		f, err := os.OpenFile(e.cfg.Journal, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+		var err error
+		w, err = newJournalWriter(e.cfg.Journal, true, e.cfg.effectiveCheckpointEvery())
 		if err != nil {
-			return nil, fmt.Errorf("campaign: create journal: %w", err)
+			return nil, err
 		}
-		w = newJournalWriter(f, e.cfg.effectiveCheckpointEvery())
 		if err := w.writeHeader(journalIdentity(&e.cfg, len(exps))); err != nil {
+			w.abort()
 			return nil, fmt.Errorf("campaign: journal header: %w", err)
 		}
 	}
@@ -214,15 +214,18 @@ func (e *Engine) Resume(ctx context.Context) (*inject.Stats, error) {
 	if err != nil {
 		return nil, err
 	}
-	skip, err := readJournal(e.cfg.Journal, journalIdentity(&e.cfg, len(exps)))
+	// Claim the writer before replaying the journal: if another engine is
+	// appending to this path, Resume must fail up front rather than read a
+	// moving file and race a second writer onto it.
+	w, err := newJournalWriter(e.cfg.Journal, false, e.cfg.effectiveCheckpointEvery())
 	if err != nil {
 		return nil, err
 	}
-	f, err := os.OpenFile(e.cfg.Journal, os.O_APPEND|os.O_WRONLY, 0o644)
+	skip, err := readJournal(e.cfg.Journal, journalIdentity(&e.cfg, len(exps)))
 	if err != nil {
-		return nil, fmt.Errorf("campaign: reopen journal: %w", err)
+		w.abort()
+		return nil, err
 	}
-	w := newJournalWriter(f, e.cfg.effectiveCheckpointEvery())
 	return e.run(ctx, exps, skip, w)
 }
 
@@ -459,7 +462,9 @@ func (e *Engine) run(ctx context.Context, exps []inject.Experiment,
 		}
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("campaign: canceled: %w", err)
+		// The journal (if any) has already been closed with a final
+		// checkpoint above, so a canceled campaign is cleanly resumable.
+		return nil, &inject.CanceledError{Done: int(e.done.Load()), Total: total, Cause: err}
 	}
 	if loopErr != nil {
 		return nil, loopErr

@@ -6,6 +6,9 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"faultsec/internal/campaign"
@@ -137,17 +140,19 @@ func TestResumeAdoptsJournaledRuns(t *testing.T) {
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
-	var canceledAt int
+	// Progress fires concurrently from every worker; the capture must be
+	// atomic or the test itself races.
+	var canceledAt atomic.Int64
 	cfg.Progress = func(done, total int) {
 		if done >= total/4 {
-			canceledAt = done
+			canceledAt.Store(int64(done))
 			cancel()
 		}
 	}
 	if _, err := campaign.New(cfg).Run(ctx); err == nil {
 		t.Fatal("canceled campaign returned no error")
 	}
-	if canceledAt == 0 {
+	if canceledAt.Load() == 0 {
 		t.Fatal("campaign finished before cancellation point")
 	}
 
@@ -174,6 +179,117 @@ func TestResumeAdoptsJournaledRuns(t *testing.T) {
 	}
 	if !reflect.DeepEqual(full.Counts, resumed.Counts) {
 		t.Errorf("resumed counts %v != fresh counts %v", resumed.Counts, full.Counts)
+	}
+}
+
+// TestResumeAfterCancelRoundTrip is the lifecycle acceptance gate: cancel
+// a journaled campaign mid-wave, reopen the journal, Resume, and the
+// merged Stats must be byte-identical to an uninterrupted run — including
+// per-run Results. It also pins the cancellation error contract: a
+// structured inject.CanceledError that unwraps to context.Canceled and
+// does not stutter "canceled: context canceled".
+func TestResumeAfterCancelRoundTrip(t *testing.T) {
+	app, sc := ftpClient1(t)
+	journal := filepath.Join(t.TempDir(), "campaign.jsonl")
+	cfg := campaign.Config{
+		App: app, Scenario: sc, Scheme: encoding.SchemeX86, KeepResults: true,
+		Journal: journal, CheckpointEvery: 16, Parallelism: 2,
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg.Progress = func(done, total int) {
+		if done >= total/3 {
+			cancel()
+		}
+	}
+	_, err := campaign.New(cfg).Run(ctx)
+	if err == nil {
+		t.Fatal("canceled campaign returned no error")
+	}
+	var ce *inject.CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("canceled campaign returned %T (%v), want *inject.CanceledError", err, err)
+	}
+	if ce.Done <= 0 || ce.Total <= 0 || ce.Done >= ce.Total {
+		t.Errorf("CanceledError reports %d/%d runs", ce.Done, ce.Total)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("CanceledError does not unwrap to context.Canceled: %v", err)
+	}
+	if strings.Contains(err.Error(), "canceled: context canceled") {
+		t.Errorf("cancellation error still stutters: %q", err)
+	}
+
+	cfg.Progress = nil
+	resumed, err := campaign.Resume(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	uncfg := cfg
+	uncfg.Journal = ""
+	want, err := campaign.New(uncfg).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, resumed) {
+		t.Errorf("cancel+resume stats differ from uninterrupted run\nuninterrupted: %+v\nresumed: %+v",
+			statsSummary(want), statsSummary(resumed))
+	}
+}
+
+// TestEngineJournalBusy pins the engine-level single-writer guard: while
+// one engine holds a journal path, a second Run or Resume on the same
+// path fails with ErrJournalBusy instead of interleaving records (or,
+// worse, truncating the live journal).
+func TestEngineJournalBusy(t *testing.T) {
+	app, sc := ftpClient1(t)
+	journal := filepath.Join(t.TempDir(), "campaign.jsonl")
+	cfg := campaign.Config{
+		App: app, Scenario: sc, Scheme: encoding.SchemeX86, Journal: journal,
+		Parallelism: 2,
+	}
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	blocked := cfg
+	blocked.Progress = func(done, total int) {
+		once.Do(func() { close(started) })
+		<-release
+	}
+	runErr := make(chan error, 1)
+	go func() {
+		_, err := campaign.New(blocked).Run(context.Background())
+		runErr <- err
+	}()
+	<-started
+
+	if _, err := campaign.New(cfg).Run(context.Background()); !errors.Is(err, campaign.ErrJournalBusy) {
+		t.Errorf("duplicate Run: err = %v, want ErrJournalBusy", err)
+	}
+	if _, err := campaign.Resume(context.Background(), cfg); !errors.Is(err, campaign.ErrJournalBusy) {
+		t.Errorf("duplicate Resume: err = %v, want ErrJournalBusy", err)
+	}
+
+	close(release)
+	if err := <-runErr; err != nil {
+		t.Fatalf("blocked campaign failed: %v", err)
+	}
+	// The journal was never touched by the refused duplicates: a resume
+	// adopts every run cleanly.
+	resumed, err := campaign.Resume(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := campaign.New(campaign.Config{
+		App: app, Scenario: sc, Scheme: encoding.SchemeX86,
+	}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh.Counts, resumed.Counts) {
+		t.Errorf("post-busy resume counts %v != fresh %v", resumed.Counts, fresh.Counts)
 	}
 }
 

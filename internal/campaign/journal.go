@@ -3,9 +3,10 @@ package campaign
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"io"
 	"os"
+	"path/filepath"
 	"sync"
 
 	"faultsec/internal/classify"
@@ -107,12 +108,27 @@ func journalIdentity(cfg *Config, total int) journalRecord {
 	}
 }
 
+// ErrJournalBusy is returned when a journal path already has an active
+// writer in this process. Two concurrent writers on one JSONL file would
+// interleave records into corruption readJournal rejects, so the second
+// opener is refused up front (before the file is opened, and in
+// particular before a fresh run could truncate the active journal).
+var ErrJournalBusy = errors.New("journal has an active writer")
+
+// activeJournals tracks the journal paths (filepath.Clean'd) that have an
+// open journalWriter. The registry is process-local and advisory: it
+// guards every writer this process creates, but not a second daemon
+// pointed at the same directory.
+var activeJournals sync.Map
+
 // journalWriter serializes appends to the journal file. Every record is a
 // single line followed by a flush, so records are atomic with respect to
 // process death (at worst the final line is truncated, which readers
-// tolerate).
+// tolerate). Creating a writer claims the path in activeJournals; close
+// and abort release it.
 type journalWriter struct {
 	mu              sync.Mutex
+	path            string // cleaned registry key
 	f               *os.File
 	bw              *bufio.Writer
 	enc             *json.Encoder
@@ -120,14 +136,35 @@ type journalWriter struct {
 	checkpointEvery int
 }
 
-func newJournalWriter(f *os.File, checkpointEvery int) *journalWriter {
+// newJournalWriter claims path and opens it for writing: truncated for a
+// fresh campaign (trunc), appended-to for a resume. The claim happens
+// before the open so a duplicate fresh run cannot truncate a journal an
+// active writer is still appending to; errors.Is(err, ErrJournalBusy)
+// identifies that refusal.
+func newJournalWriter(path string, trunc bool, checkpointEvery int) (*journalWriter, error) {
+	key := filepath.Clean(path)
+	if _, loaded := activeJournals.LoadOrStore(key, struct{}{}); loaded {
+		return nil, fmt.Errorf("campaign: journal %s: %w", path, ErrJournalBusy)
+	}
+	flags := os.O_WRONLY
+	if trunc {
+		flags |= os.O_CREATE | os.O_TRUNC
+	} else {
+		flags |= os.O_APPEND
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		activeJournals.Delete(key)
+		return nil, fmt.Errorf("campaign: open journal: %w", err)
+	}
 	bw := bufio.NewWriter(f)
 	return &journalWriter{
+		path:            key,
 		f:               f,
 		bw:              bw,
 		enc:             json.NewEncoder(bw),
 		checkpointEvery: checkpointEvery,
-	}
+	}, nil
 }
 
 func (w *journalWriter) write(rec *journalRecord) error {
@@ -166,7 +203,18 @@ func (w *journalWriter) close(done int, counts map[string]int) error {
 	if cerr := w.f.Close(); err == nil {
 		err = cerr
 	}
+	activeJournals.Delete(w.path)
 	return err
+}
+
+// abort releases the writer without a final checkpoint: the path claim is
+// dropped and the file closed as-is. It is the error-path counterpart of
+// close, for writers that never got to journal anything.
+func (w *journalWriter) abort() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_ = w.f.Close()
+	activeJournals.Delete(w.path)
 }
 
 // readJournal parses a journal and returns the recorded results keyed by
@@ -227,7 +275,14 @@ func readJournal(path string, want journalRecord) (map[int]*wireResult, error) {
 			pendingErr = fmt.Errorf("campaign: journal %s line %d: unknown record %q", path, lineNo, rec.Type)
 		}
 	}
-	if err := sc.Err(); err != nil && err != io.ErrUnexpectedEOF {
+	if err := sc.Err(); err != nil {
+		// A scanner error is always fatal — unlike a truncated final line,
+		// it does not mean "crashed mid-append". The common case is a line
+		// over the 4 MiB buffer (bufio.ErrTooLong); name the offending line
+		// (the one after the last line successfully scanned).
+		if errors.Is(err, bufio.ErrTooLong) {
+			return nil, fmt.Errorf("campaign: journal %s line %d: %w", path, lineNo+1, err)
+		}
 		return nil, fmt.Errorf("campaign: journal %s: %w", path, err)
 	}
 	if !sawHeader {

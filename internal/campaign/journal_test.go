@@ -1,0 +1,124 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"faultsec/internal/classify"
+)
+
+// TestJournalWriterSingleWriter pins the single-writer invariant: a
+// second writer on an already-claimed journal path is refused with
+// ErrJournalBusy, and — critically — refused before the open, so the
+// duplicate's O_TRUNC cannot destroy the active journal.
+func TestJournalWriterSingleWriter(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.jsonl")
+	w1, err := newJournalWriter(path, true, 4)
+	if err != nil {
+		t.Fatalf("first writer: %v", err)
+	}
+	hdr := journalRecord{Type: recordHeader, App: "a", Scenario: "s", Total: 3, Fuel: 1}
+	if err := w1.writeHeader(hdr); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := newJournalWriter(path, true, 4); !errors.Is(err, ErrJournalBusy) {
+		t.Fatalf("duplicate truncating writer: err = %v, want ErrJournalBusy", err)
+	}
+	if _, err := newJournalWriter(path, false, 4); !errors.Is(err, ErrJournalBusy) {
+		t.Fatalf("duplicate appending writer: err = %v, want ErrJournalBusy", err)
+	}
+	// An equivalent spelling of the same path must hit the same claim.
+	dir := filepath.Dir(path)
+	alias := filepath.Join(dir, ".", "campaign.jsonl")
+	if _, err := newJournalWriter(alias, true, 4); !errors.Is(err, ErrJournalBusy) {
+		t.Fatalf("aliased duplicate writer: err = %v, want ErrJournalBusy", err)
+	}
+
+	// The refused duplicates must not have truncated the live journal.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 || !strings.Contains(string(data), `"header"`) {
+		t.Fatalf("refused duplicate truncated the journal: %q", data)
+	}
+
+	if err := w1.close(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	// close releases the claim; the path is reusable.
+	w2, err := newJournalWriter(path, false, 4)
+	if err != nil {
+		t.Fatalf("writer after close: %v", err)
+	}
+	w2.abort()
+	// ... and abort releases it too.
+	w3, err := newJournalWriter(path, false, 4)
+	if err != nil {
+		t.Fatalf("writer after abort: %v", err)
+	}
+	if err := w3.close(0, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadJournalTooLongLine pins the scanner error contract: a line over
+// the scanner buffer is a hard error (it cannot be the tolerated
+// crash-truncated tail) that wraps bufio.ErrTooLong and names the line.
+func TestReadJournalTooLongLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.jsonl")
+	want := journalRecord{Type: recordHeader, App: "a", Scenario: "s", Total: 3, Fuel: 1}
+
+	var sb strings.Builder
+	hdr, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Write(hdr)
+	sb.WriteByte('\n')
+	run, err := json.Marshal(journalRecord{Type: recordRun, Idx: 1,
+		Result: &wireResult{Outcome: classify.OutcomeNA, FaultKind: strings.Repeat("x", 5<<20)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Write(run)
+	sb.WriteByte('\n')
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = readJournal(path, want)
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Fatalf("over-long line: err = %v, want bufio.ErrTooLong", err)
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error %q does not name the offending line 2", err)
+	}
+}
+
+// TestReadJournalScannerErrorBeatsTruncationTolerance: an io-level error
+// must not be mistaken for the benign half-written final line.
+func TestReadJournalShortValidJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.jsonl")
+	want := journalRecord{Type: recordHeader, App: "a", Scenario: "s", Total: 3, Fuel: 1}
+	hdr, _ := json.Marshal(want)
+	run, _ := json.Marshal(journalRecord{Type: recordRun, Idx: 2,
+		Result: &wireResult{Outcome: classify.OutcomeBRK}})
+	content := string(hdr) + "\n" + string(run) + "\n" + `{"type":"run","idx":1,"resu`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readJournal(path, want)
+	if err != nil {
+		t.Fatalf("truncated tail should be tolerated: %v", err)
+	}
+	if len(got) != 1 || got[2] == nil || got[2].Outcome != classify.OutcomeBRK {
+		t.Fatalf("journal replay = %v, want idx 2 -> BRK only", got)
+	}
+}

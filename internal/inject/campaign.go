@@ -147,6 +147,22 @@ func (s *Stats) Add(r Result) {
 	}
 }
 
+// CanceledError reports a campaign stopped by context cancellation (or
+// deadline) before completing: Done of Total runs had finished, and — when
+// the campaign was journaled — every finished run is on disk, so the
+// campaign is resumable. It unwraps to the context error, so
+// errors.Is(err, context.Canceled) still matches.
+type CanceledError struct {
+	Done, Total int
+	Cause       error
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("campaign canceled after %d/%d runs", e.Done, e.Total)
+}
+
+func (e *CanceledError) Unwrap() error { return e.Cause }
+
 // Backend is a pluggable campaign executor. internal/campaign registers
 // its snapshot fast-forward engine here, which makes every Run /
 // RunExperiments / RunRandom caller use it transparently.
@@ -216,8 +232,9 @@ func RunExperimentsNaive(ctx context.Context, cfg Config, experiments []Experime
 			defer wg.Done()
 			for i := range indexes {
 				results[i], errs[i] = RunOneWatched(cfg.App, cfg.Scenario, golden, experiments[i], fuel, cfValid)
+				d := int(done.Add(1))
 				if cfg.Progress != nil {
-					cfg.Progress(int(done.Add(1)), len(experiments))
+					cfg.Progress(d, len(experiments))
 				}
 			}
 		}()
@@ -235,7 +252,7 @@ feed:
 	wg.Wait()
 
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("inject: campaign canceled: %w", err)
+		return nil, &CanceledError{Done: int(done.Load()), Total: len(experiments), Cause: err}
 	}
 	for i, e := range errs {
 		if e != nil {
