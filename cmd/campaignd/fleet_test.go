@@ -1,0 +1,227 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestServiceHealthz: /healthz answers 200 while serving and 503 once the
+// daemon drains, so fleet coordinators stop leasing shards to a worker
+// that is about to go away.
+func TestServiceHealthz(t *testing.T) {
+	ts, srv := newTestServiceIn(t, t.TempDir())
+
+	var body map[string]string
+	if code := getJSON(t, ts.URL+"/healthz", &body); code != http.StatusOK {
+		t.Fatalf("GET /healthz: status %d", code)
+	}
+	if body["status"] != "ok" {
+		t.Fatalf("healthz body %v, want status ok", body)
+	}
+
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if code := getJSON(t, ts.URL+"/healthz", &body); code != http.StatusServiceUnavailable {
+		t.Fatalf("GET /healthz while draining: status %d, want 503", code)
+	}
+	if body["status"] != "draining" {
+		t.Fatalf("draining healthz body %v", body)
+	}
+}
+
+// TestServiceFleetLoopback: a fleet campaign over two in-process workers
+// finishes with the same final summary as the plain in-process engine,
+// and /metrics exposes its shard table.
+func TestServiceFleetLoopback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign differential is not short")
+	}
+	ts, _ := newTestServiceIn(t, t.TempDir())
+
+	ref := postCampaign(t, ts, `{"app":"ftpd","scenario":"Client1"}`)
+	refDone := waitDone(t, ts, ref.ID)
+	if refDone.State != stateDone {
+		t.Fatalf("reference campaign ended %q: %s", refDone.State, refDone.Error)
+	}
+
+	v := postCampaign(t, ts,
+		`{"app":"ftpd","scenario":"Client1","workers":["loopback","loopback"],"shardRuns":64}`)
+	done := waitDone(t, ts, v.ID)
+	if done.State != stateDone {
+		t.Fatalf("fleet campaign ended %q: %s", done.State, done.Error)
+	}
+	if !reflect.DeepEqual(refDone.Final, done.Final) {
+		t.Errorf("fleet final summary differs from engine:\nengine %+v\nfleet  %+v",
+			refDone.Final, done.Final)
+	}
+
+	var m metricsView
+	if code := getJSON(t, ts.URL+"/metrics", &m); code != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", code)
+	}
+	fm, ok := m.Fleet[v.ID]
+	if !ok {
+		t.Fatalf("metrics have no fleet entry for %s: %+v", v.ID, m.Fleet)
+	}
+	if fm.ShardsTotal < 2 || fm.ShardsDone != fm.ShardsTotal {
+		t.Errorf("fleet shards %d/%d, want all of >=2", fm.ShardsDone, fm.ShardsTotal)
+	}
+	if fm.RunsTotal != int64(done.Final.Total) {
+		t.Errorf("fleet runs %d, want %d", fm.RunsTotal, done.Final.Total)
+	}
+}
+
+// TestServiceRejectsBadFleetRequests covers fleet-specific validation.
+func TestServiceRejectsBadFleetRequests(t *testing.T) {
+	ts, _ := newTestServiceIn(t, t.TempDir())
+	for name, body := range map[string]string{
+		"shardRuns without workers": `{"app":"ftpd","scenario":"Client1","shardRuns":64}`,
+		"bogus worker spec":         `{"app":"ftpd","scenario":"Client1","workers":["ssh://nope"]}`,
+	} {
+		if code := postStatus(t, ts, body); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, code)
+		}
+	}
+}
+
+// TestWorkerHelperProcess is not a test: it is the worker process body
+// for TestServiceFleetWorkerKilled, re-executing this test binary. It
+// serves a full campaignd (worker mode included) on a loopback port,
+// prints the address, and blocks until its stdin closes or it is killed.
+func TestWorkerHelperProcess(t *testing.T) {
+	if os.Getenv("CAMPAIGND_WORKER_HELPER") != "1" {
+		t.Skip("helper process body, not a test")
+	}
+	srv, err := newServer("")
+	if err != nil {
+		fmt.Printf("HELPER_ERR=%v\n", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Printf("HELPER_ERR=%v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ADDR=%s\n", ln.Addr())
+	go func() { _ = http.Serve(ln, srv) }()
+	_, _ = io.Copy(io.Discard, os.Stdin) // parent closes stdin (or kills us)
+	os.Exit(0)
+}
+
+// startWorkerProcess launches this test binary as a campaignd worker
+// process and returns its base URL.
+func startWorkerProcess(t *testing.T) (*exec.Cmd, string, io.WriteCloser) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=TestWorkerHelperProcess$")
+	cmd.Env = append(os.Environ(), "CAMPAIGND_WORKER_HELPER=1")
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if addr, ok := strings.CutPrefix(line, "ADDR="); ok {
+			go func() { _, _ = io.Copy(io.Discard, stdout) }() // drain test chatter
+			return cmd, "http://" + addr, stdin
+		}
+		if msg, ok := strings.CutPrefix(line, "HELPER_ERR="); ok {
+			t.Fatalf("worker helper failed to start: %s", msg)
+		}
+	}
+	t.Fatalf("worker helper exited before printing ADDR (scan err: %v)", sc.Err())
+	return nil, "", nil
+}
+
+// TestServiceFleetWorkerKilled is the crash-recovery acceptance test at
+// the service level: a campaign sharded across two real worker PROCESSES,
+// one of which is SIGKILLed mid-campaign. The coordinator must retry the
+// lost shards on the survivor and finish with the same final summary as
+// the single-process engine, with at least one retry on record.
+func TestServiceFleetWorkerKilled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process campaign is not short")
+	}
+	ts, _ := newTestServiceIn(t, t.TempDir())
+
+	ref := postCampaign(t, ts, `{"app":"ftpd","scenario":"Client1"}`)
+	refDone := waitDone(t, ts, ref.ID)
+	if refDone.State != stateDone {
+		t.Fatalf("reference campaign ended %q: %s", refDone.State, refDone.Error)
+	}
+
+	w1, url1, stdin1 := startWorkerProcess(t)
+	defer func() {
+		_ = stdin1.Close()
+		_ = w1.Process.Kill()
+		_, _ = w1.Process.Wait()
+	}()
+	w2, url2, stdin2 := startWorkerProcess(t)
+	defer func() {
+		_ = stdin2.Close()
+		_ = w2.Process.Kill()
+		_, _ = w2.Process.Wait()
+	}()
+
+	v := postCampaign(t, ts, fmt.Sprintf(
+		`{"app":"ftpd","scenario":"Client1","workers":[%q,%q],"shardRuns":64}`, url1, url2))
+
+	// Let the campaign get well underway, then SIGKILL one worker: any
+	// shard it is streaming truncates, and the coordinator must re-lease.
+	waitProgress(t, ts, v.ID, 100)
+	if err := w1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = w1.Process.Wait()
+
+	done := waitDone(t, ts, v.ID)
+	if done.State != stateDone {
+		t.Fatalf("fleet campaign ended %q after worker kill: %s", done.State, done.Error)
+	}
+	if !reflect.DeepEqual(refDone.Final, done.Final) {
+		t.Errorf("post-kill fleet summary differs from single-process engine:\nengine %+v\nfleet  %+v",
+			refDone.Final, done.Final)
+	}
+
+	var m metricsView
+	if code := getJSON(t, ts.URL+"/metrics", &m); code != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", code)
+	}
+	fm := m.Fleet[v.ID]
+	if fm.Retries < 1 {
+		t.Errorf("retries = %d, want >= 1 after killing a worker mid-campaign", fm.Retries)
+	}
+	var survivor, dead int64
+	for _, ws := range fm.Workers {
+		switch ws.Name {
+		case url1:
+			dead = ws.Runs
+		case url2:
+			survivor = ws.Runs
+		}
+	}
+	if survivor == 0 {
+		t.Error("surviving worker executed no runs")
+	}
+	if survivor+dead < fm.RunsTotal {
+		t.Errorf("worker runs %d+%d do not cover %d accepted runs", dead, survivor, fm.RunsTotal)
+	}
+}

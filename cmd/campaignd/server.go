@@ -14,6 +14,7 @@ import (
 
 	"faultsec/internal/campaign"
 	"faultsec/internal/encoding"
+	"faultsec/internal/fleet"
 	"faultsec/internal/ftpd"
 	"faultsec/internal/inject"
 	"faultsec/internal/sshd"
@@ -44,6 +45,14 @@ type submitRequest struct {
 	// Journal enables crash-safe journaling (requires -journals). A
 	// resubmission of the same app/scenario/scheme resumes the journal.
 	Journal bool `json:"journal,omitempty"`
+	// Workers runs the campaign across a fleet instead of the in-process
+	// engine: each entry is a worker node's base URL (its /shards and
+	// /healthz endpoints — any other campaignd qualifies), or the literal
+	// "loopback" for an in-process worker. This daemon becomes the
+	// coordinator: it owns the journal and the merged stats.
+	Workers []string `json:"workers,omitempty"`
+	// ShardRuns overrides the fleet's target shard size (runs per shard).
+	ShardRuns int `json:"shardRuns,omitempty"`
 }
 
 // Terminal and non-terminal campaign states.
@@ -81,28 +90,38 @@ type finalSummary struct {
 	Crashes   int                    `json:"crashes"`
 }
 
-// run is one submitted campaign.
+// run is one submitted campaign. Exactly one of eng (in-process engine)
+// or coord (fleet coordinator) executes it.
 type run struct {
 	id      string
 	req     submitRequest
-	eng     *campaign.Engine
 	resumed bool
 	// cancel aborts the campaign's context (DELETE /campaigns/{id} and
 	// server shutdown). Safe to call repeatedly and after completion.
 	cancel context.CancelFunc
 
 	mu    sync.Mutex
+	eng   *campaign.Engine
+	coord *fleet.Coordinator
 	state string // stateRunning / stateDone / stateFailed / stateCanceled
 	err   error
 	stats *inject.Stats
 }
 
-// engine returns the run's current engine (it is swapped if a resume
-// falls back to a fresh run).
+// engine returns the run's current engine, nil for fleet campaigns (it
+// is swapped if a resume falls back to a fresh run).
 func (r *run) engine() *campaign.Engine {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.eng
+}
+
+// coordinator returns the run's fleet coordinator, nil for in-process
+// campaigns.
+func (r *run) coordinator() *fleet.Coordinator {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.coord
 }
 
 // finish records the campaign's terminal state. Cancellation is a state
@@ -139,7 +158,11 @@ func (r *run) view() campaignView {
 		Scheme:   r.req.Scheme,
 		State:    r.state,
 		Resumed:  r.resumed,
-		Progress: r.eng.Progress(),
+	}
+	if r.coord != nil {
+		v.Progress = r.coord.Progress()
+	} else {
+		v.Progress = r.eng.Progress()
 	}
 	if r.err != nil {
 		v.Error = r.err.Error()
@@ -167,6 +190,9 @@ type server struct {
 	mux        *http.ServeMux
 	journalDir string
 	apps       map[string]*target.App
+	// worker serves POST /shards, making this daemon leasable by fleet
+	// coordinators (its counters feed GET /metrics).
+	worker *fleet.WorkerServer
 
 	// wg tracks campaign goroutines; Shutdown waits on it so the daemon
 	// only exits after every canceled campaign has written its final
@@ -204,7 +230,39 @@ func newServer(journalDir string) (*server, error) {
 	s.mux.HandleFunc("/campaigns", s.handleCampaigns)
 	s.mux.HandleFunc("/campaigns/", s.handleCampaign)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc(fleet.PathHealthz, s.handleHealthz)
+	// Every campaignd doubles as a fleet worker: coordinators POST shard
+	// leases here. The drain gate refuses new shards once shutdown began
+	// (in-flight shards finish; a coordinator that loses one to our exit
+	// sees a truncated stream and re-leases it elsewhere).
+	s.worker = fleet.NewWorkerServer(s.apps, s.drainGate)
+	s.mux.Handle(fleet.PathShards, s.worker)
 	return s, nil
+}
+
+// drainGate refuses new work once Shutdown has begun.
+func (s *server) drainGate() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing {
+		return errors.New("campaignd is draining")
+	}
+	return nil
+}
+
+// handleHealthz is the liveness probe fleet coordinators heartbeat: 200
+// while serving, 503 once draining so coordinators stop leasing shards
+// here before the listener goes away.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	if err := s.drainGate(); err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -304,6 +362,15 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req.Scheme = scheme.String()
+	if req.ShardRuns < 0 || (req.ShardRuns > 0 && len(req.Workers) == 0) {
+		writeErr(w, http.StatusBadRequest, "shardRuns requires a fleet campaign (non-empty workers)")
+		return
+	}
+	workers, err := s.buildWorkers(req.Workers)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 
 	cfg := campaign.Config{
 		App: app, Scenario: sc, Scheme: scheme,
@@ -342,8 +409,13 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 	s.nextID++
 	id := fmt.Sprintf("c%d", s.nextID)
 	runCtx, cancel := context.WithCancel(context.Background())
-	rn := &run{id: id, req: req, eng: campaign.New(cfg), resumed: resume,
-		state: stateRunning, cancel: cancel}
+	rn := &run{id: id, req: req, resumed: resume, state: stateRunning, cancel: cancel}
+	fleetCfg := fleet.Config{Campaign: cfg, Workers: workers, ShardRuns: req.ShardRuns}
+	if len(workers) > 0 {
+		rn.coord = fleet.New(fleetCfg)
+	} else {
+		rn.eng = campaign.New(cfg)
+	}
 	s.runs[id] = rn
 	s.order = append(s.order, id)
 	if cfg.Journal != "" {
@@ -368,31 +440,76 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 				s.mu.Unlock()
 			}()
 		}
+		// fresh swaps in a new executor for the resume-fallback path (so
+		// metrics are not double-counted) and runs it from scratch.
+		fresh := func() (*inject.Stats, error) {
+			if len(workers) > 0 {
+				co := fleet.New(fleetCfg)
+				rn.mu.Lock()
+				rn.coord, rn.resumed = co, false
+				rn.mu.Unlock()
+				return co.Run(runCtx)
+			}
+			e2 := campaign.New(cfg)
+			rn.mu.Lock()
+			rn.eng, rn.resumed = e2, false
+			rn.mu.Unlock()
+			return e2.Run(runCtx)
+		}
+		resumeOnce := func() (*inject.Stats, error) {
+			if co := rn.coordinator(); co != nil {
+				return co.Resume(runCtx)
+			}
+			return rn.engine().Resume(runCtx)
+		}
+		runOnce := func() (*inject.Stats, error) {
+			if co := rn.coordinator(); co != nil {
+				return co.Run(runCtx)
+			}
+			return rn.engine().Run(runCtx)
+		}
 		if resume {
-			stats, err = rn.engine().Resume(runCtx)
+			stats, err = resumeOnce()
 			if err != nil && runCtx.Err() == nil && !errors.Is(err, campaign.ErrJournalBusy) {
 				// A foreign or corrupt journal must not wedge the service:
-				// fall back to a fresh run (on a fresh engine, so metrics
-				// are not double-counted), which truncates the journal. A
+				// fall back to a fresh run, which truncates the journal. A
 				// canceled resume or a busy journal is NOT corruption —
 				// falling back would truncate a journal we must preserve.
-				e2 := campaign.New(cfg)
-				rn.mu.Lock()
-				rn.eng, rn.resumed = e2, false
-				rn.mu.Unlock()
 				var ferr error
-				if stats, ferr = e2.Run(runCtx); ferr == nil {
+				if stats, ferr = fresh(); ferr == nil {
 					err = nil
 				} else {
 					err = errors.Join(err, ferr)
 				}
 			}
 		} else {
-			stats, err = rn.engine().Run(runCtx)
+			stats, err = runOnce()
 		}
 	}()
 
 	writeJSON(w, http.StatusAccepted, rn.view())
+}
+
+// buildWorkers resolves the submit request's worker list: "loopback"
+// becomes an in-process worker over this daemon's apps, anything else
+// must be a worker base URL.
+func (s *server) buildWorkers(specs []string) ([]fleet.Worker, error) {
+	var apps []*target.App
+	for _, a := range s.apps {
+		apps = append(apps, a)
+	}
+	workers := make([]fleet.Worker, 0, len(specs))
+	for i, spec := range specs {
+		switch {
+		case spec == "loopback":
+			workers = append(workers, fleet.NewLoopback(fmt.Sprintf("loopback%d", i), apps...))
+		case strings.HasPrefix(spec, "http://") || strings.HasPrefix(spec, "https://"):
+			workers = append(workers, fleet.NewHTTPWorker(spec, nil))
+		default:
+			return nil, fmt.Errorf("worker %q: want \"loopback\" or an http(s) base URL", spec)
+		}
+	}
+	return workers, nil
 }
 
 func (s *server) handleCampaign(w http.ResponseWriter, r *http.Request) {
@@ -430,11 +547,15 @@ func (s *server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// metricsView is the GET /metrics response: per-campaign engine counters
-// plus service-wide aggregates.
+// metricsView is the GET /metrics response: per-campaign engine counters,
+// per-fleet-campaign shard/retry counters, worker-mode counters, and
+// service-wide aggregates.
 type metricsView struct {
 	Campaigns map[string]campaign.Metrics `json:"campaigns"`
-	// TotalRuns sums fresh runs across campaigns.
+	// Fleet holds coordinator metrics (shard lease states, retries,
+	// speculative attempts, per-worker tallies) for fleet campaigns.
+	Fleet map[string]fleet.Metrics `json:"fleet,omitempty"`
+	// TotalRuns sums fresh runs across campaigns (engine and fleet).
 	TotalRuns int64 `json:"totalRuns"`
 	// ICacheHits and ICacheMisses sum the per-campaign predecoded
 	// instruction cache counters.
@@ -442,6 +563,10 @@ type metricsView struct {
 	ICacheMisses int64 `json:"icacheMisses"`
 	// Running is the number of campaigns still executing.
 	Running int `json:"running"`
+	// WorkerShardsServed and WorkerRunsServed count work this daemon
+	// executed as a fleet worker for remote coordinators.
+	WorkerShardsServed int64 `json:"workerShardsServed"`
+	WorkerRunsServed   int64 `json:"workerRunsServed"`
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -452,15 +577,26 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	v := metricsView{Campaigns: make(map[string]campaign.Metrics, len(s.runs))}
 	for id, rn := range s.runs {
-		m := rn.engine().Metrics()
-		v.Campaigns[id] = m
-		v.TotalRuns += m.RunsTotal
-		v.ICacheHits += m.ICacheHits
-		v.ICacheMisses += m.ICacheMisses
+		if co := rn.coordinator(); co != nil {
+			fm := co.Metrics()
+			if v.Fleet == nil {
+				v.Fleet = make(map[string]fleet.Metrics)
+			}
+			v.Fleet[id] = fm
+			v.TotalRuns += fm.RunsTotal
+		} else {
+			m := rn.engine().Metrics()
+			v.Campaigns[id] = m
+			v.TotalRuns += m.RunsTotal
+			v.ICacheHits += m.ICacheHits
+			v.ICacheMisses += m.ICacheMisses
+		}
 		if !rn.terminal() {
 			v.Running++
 		}
 	}
 	s.mu.Unlock()
+	v.WorkerShardsServed = s.worker.ShardsServed()
+	v.WorkerRunsServed = s.worker.RunsServed()
 	writeJSON(w, http.StatusOK, v)
 }

@@ -66,6 +66,12 @@ type Config struct {
 	Watchdog bool
 	// Progress, when non-nil, receives (done, total) after each run.
 	Progress func(done, total int)
+	// OnResult, when non-nil, receives every completed fresh run with its
+	// index into the experiment list — the streaming hook fleet workers
+	// use to ship shard results back as they finish. Like Progress it is
+	// called concurrently from worker goroutines; journal-adopted results
+	// are not replayed through it.
+	OnResult func(idx int, res inject.Result)
 
 	// Journal is the path of the JSONL run journal; "" disables
 	// journaling (and with it crash-safety and Resume).
@@ -150,6 +156,9 @@ type Engine struct {
 	preloaded atomic.Int64 // journaled runs adopted by Resume
 	counts    [6]atomic.Int64
 
+	groupsTotal atomic.Int64 // target-address groups (engine-level shards) scheduled
+	groupsDone  atomic.Int64 // groups whose pending experiments all finished
+
 	prefixRuns      atomic.Int64 // golden prefix executions (one per reached target)
 	snapshotRuns    atomic.Int64 // runs served by snapshot restore
 	synthesizedRuns atomic.Int64 // NA runs synthesized from an unreached prefix
@@ -230,11 +239,7 @@ func (e *Engine) Resume(ctx context.Context) (*inject.Stats, error) {
 }
 
 func (e *Engine) enumerate() ([]inject.Experiment, error) {
-	targets, err := inject.Targets(e.cfg.App)
-	if err != nil {
-		return nil, err
-	}
-	return inject.Enumerate(targets, e.cfg.Scheme), nil
+	return EnumerateConfig(&e.cfg)
 }
 
 // group is one shard: every pending experiment targeting one instruction.
@@ -245,7 +250,7 @@ type group struct {
 
 // groupByTarget shards pending experiments by target address, in first-
 // appearance (address-enumeration) order.
-func groupByTarget(exps []inject.Experiment, skip map[int]*wireResult) []group {
+func groupByTarget(exps []inject.Experiment, skip map[int]*WireResult) []group {
 	byAddr := make(map[uint32]int)
 	var out []group
 	for i := range exps {
@@ -335,7 +340,7 @@ func (e *Engine) harvestICache(m *vm.Machine) {
 // run is the engine core: shard by target, sweep-capture snapshots in
 // waves, execute on the worker pool, journal, aggregate.
 func (e *Engine) run(ctx context.Context, exps []inject.Experiment,
-	skip map[int]*wireResult, w *journalWriter) (*inject.Stats, error) {
+	skip map[int]*WireResult, w *journalWriter) (*inject.Stats, error) {
 	total := len(exps)
 	e.total.Store(int64(total))
 	e.startNanos.Store(time.Now().UnixNano())
@@ -353,13 +358,14 @@ func (e *Engine) run(ctx context.Context, exps []inject.Experiment,
 
 	results := make([]inject.Result, total)
 	for idx, wr := range skip {
-		results[idx] = wr.toResult(exps[idx])
+		results[idx] = wr.ToResult(exps[idx])
 		e.counts[results[idx].Outcome].Add(1)
 	}
 	e.preloaded.Store(int64(len(skip)))
 	e.done.Store(int64(len(skip)))
 
 	groups := groupByTarget(exps, skip)
+	e.groupsTotal.Store(int64(len(groups)))
 	workers := e.cfg.effectiveWorkers(len(groups))
 	e.workers.Store(int64(workers))
 
@@ -390,6 +396,9 @@ func (e *Engine) run(ctx context.Context, exps []inject.Experiment,
 		}
 		if e.cfg.Progress != nil {
 			e.cfg.Progress(d, total)
+		}
+		if e.cfg.OnResult != nil {
+			e.cfg.OnResult(idx, res)
 		}
 	}
 
@@ -441,6 +450,9 @@ func (e *Engine) run(ctx context.Context, exps []inject.Experiment,
 						snaps[wave[gi].addr], cfValid, fuel, finish, fail)
 					e.busyNanos.Add(time.Since(begin).Nanoseconds())
 					e.harvestICache(wm)
+					if runCtx.Err() == nil {
+						e.groupsDone.Add(1)
+					}
 				}
 			}()
 		}
@@ -623,6 +635,12 @@ type Metrics struct {
 	NaiveRuns int64 `json:"naiveRuns"`
 	// JournalAdopted is the number of results adopted from a journal.
 	JournalAdopted int64 `json:"journalAdopted"`
+	// GroupsTotal and GroupsDone count the engine's target-address groups
+	// (its internal shards): scheduled for this campaign, and fully
+	// executed so far — the per-shard progress signal surfaced by fleet
+	// workers and GET /metrics.
+	GroupsTotal int64 `json:"groupsTotal"`
+	GroupsDone  int64 `json:"groupsDone"`
 	// SnapshotHitRate is the share of fresh runs that did not re-execute
 	// the golden prefix (snapshot restores plus synthesized NAs).
 	SnapshotHitRate float64 `json:"snapshotHitRate"`
@@ -651,6 +669,8 @@ func (e *Engine) Metrics() Metrics {
 		NaiveRuns:      e.naiveRuns.Load(),
 		PrefixRuns:     e.prefixRuns.Load(),
 		JournalAdopted: e.preloaded.Load(),
+		GroupsTotal:    e.groupsTotal.Load(),
+		GroupsDone:     e.groupsDone.Load(),
 		Workers:        int(e.workers.Load()),
 		ICacheHits:     e.icacheHits.Load(),
 		ICacheMisses:   e.icacheMisses.Load(),

@@ -45,16 +45,18 @@ type journalRecord struct {
 
 	// Run fields.
 	Idx    int         `json:"idx,omitempty"`
-	Result *wireResult `json:"result,omitempty"`
+	Result *WireResult `json:"result,omitempty"`
 
 	// Checkpoint fields.
 	Done   int            `json:"done,omitempty"`
 	Counts map[string]int `json:"counts,omitempty"`
 }
 
-// wireResult is inject.Result minus the Experiment (reconstructed from the
-// deterministic enumeration by index).
-type wireResult struct {
+// WireResult is inject.Result minus the Experiment (reconstructed from the
+// deterministic enumeration by index). It is the one wire form shared by
+// the journal and the fleet's worker/coordinator protocol, so a result is
+// encoded identically whether it crosses a file or a socket.
+type WireResult struct {
 	Outcome            classify.Outcome  `json:"outcome"`
 	Location           classify.Location `json:"location"`
 	Activated          bool              `json:"activated,omitempty"`
@@ -66,8 +68,9 @@ type wireResult struct {
 	DetectedByWatchdog bool              `json:"watchdogHit,omitempty"`
 }
 
-func toWire(r inject.Result) *wireResult {
-	return &wireResult{
+// Wire strips a Result down to its wire form.
+func Wire(r inject.Result) *WireResult {
+	return &WireResult{
 		Outcome:            r.Outcome,
 		Location:           r.Location,
 		Activated:          r.Activated,
@@ -80,7 +83,8 @@ func toWire(r inject.Result) *wireResult {
 	}
 }
 
-func (w *wireResult) toResult(ex inject.Experiment) inject.Result {
+// ToResult rehydrates the wire form against its experiment.
+func (w *WireResult) ToResult(ex inject.Experiment) inject.Result {
 	return inject.Result{
 		Experiment:         ex,
 		Outcome:            w.Outcome,
@@ -185,7 +189,7 @@ func (w *journalWriter) writeHeader(rec journalRecord) error {
 func (w *journalWriter) writeRun(idx int, r inject.Result, done int, counts map[string]int) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if err := w.write(&journalRecord{Type: recordRun, Idx: idx, Result: toWire(r)}); err != nil {
+	if err := w.write(&journalRecord{Type: recordRun, Idx: idx, Result: Wire(r)}); err != nil {
 		return err
 	}
 	w.runsSinceCkpt++
@@ -221,7 +225,7 @@ func (w *journalWriter) abort() {
 // experiment index. A truncated final line (the crash case) is ignored;
 // corruption anywhere else is an error. The header must match want's
 // identity.
-func readJournal(path string, want journalRecord) (map[int]*wireResult, error) {
+func readJournal(path string, want journalRecord) (map[int]*WireResult, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -230,7 +234,7 @@ func readJournal(path string, want journalRecord) (map[int]*wireResult, error) {
 
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	out := make(map[int]*wireResult)
+	out := make(map[int]*WireResult)
 	sawHeader := false
 	lineNo := 0
 	var pendingErr error

@@ -83,7 +83,7 @@ func TestReadJournalTooLongLine(t *testing.T) {
 	sb.Write(hdr)
 	sb.WriteByte('\n')
 	run, err := json.Marshal(journalRecord{Type: recordRun, Idx: 1,
-		Result: &wireResult{Outcome: classify.OutcomeNA, FaultKind: strings.Repeat("x", 5<<20)}})
+		Result: &WireResult{Outcome: classify.OutcomeNA, FaultKind: strings.Repeat("x", 5<<20)}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestReadJournalShortValidJournal(t *testing.T) {
 	want := journalRecord{Type: recordHeader, App: "a", Scenario: "s", Total: 3, Fuel: 1}
 	hdr, _ := json.Marshal(want)
 	run, _ := json.Marshal(journalRecord{Type: recordRun, Idx: 2,
-		Result: &wireResult{Outcome: classify.OutcomeBRK}})
+		Result: &WireResult{Outcome: classify.OutcomeBRK}})
 	content := string(hdr) + "\n" + string(run) + "\n" + `{"type":"run","idx":1,"resu`
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		t.Fatal(err)

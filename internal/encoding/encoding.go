@@ -14,6 +14,7 @@
 package encoding
 
 import (
+	"fmt"
 	"math/bits"
 
 	"faultsec/internal/x86"
@@ -39,6 +40,18 @@ func (s Scheme) String() string {
 		return "parity"
 	}
 	return "unknown"
+}
+
+// Parse resolves a scheme name as produced by Scheme.String — the inverse
+// used by wire protocols (campaignd submissions, fleet shard specs).
+func Parse(name string) (Scheme, error) {
+	switch name {
+	case "x86":
+		return SchemeX86, nil
+	case "parity":
+		return SchemeParity, nil
+	}
+	return 0, fmt.Errorf("encoding: unknown scheme %q (want \"x86\" or \"parity\")", name)
 }
 
 // parityRemap returns the re-encoded byte for an opcode in a 16-opcode

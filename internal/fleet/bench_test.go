@@ -1,0 +1,80 @@
+package fleet_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"faultsec/internal/campaign"
+	"faultsec/internal/encoding"
+	"faultsec/internal/fleet"
+	"faultsec/internal/target"
+)
+
+// BenchmarkEngineP1FTP is the single-process baseline for the fleet
+// benchmarks: the full FTP Client1 campaign on one engine pinned to
+// Parallelism=1, reported in runs/sec. The fleet benchmarks run each
+// worker at Parallelism=1 too, so the comparison measures horizontal
+// scaling plus coordination overhead, not goroutine-pool sizing.
+func BenchmarkEngineP1FTP(b *testing.B) {
+	app, sc := ftpClient1(b)
+	var runs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats, err := campaign.New(campaign.Config{
+			App: app, Scenario: sc, Scheme: encoding.SchemeX86, Parallelism: 1,
+		}).Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		runs += int64(stats.Total)
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(runs)/sec, "runs/sec")
+	}
+}
+
+// benchFleet runs the same campaign across n HTTP worker servers (each a
+// real NDJSON stream over localhost, each at Parallelism=1).
+func benchFleet(b *testing.B, n int) {
+	app, sc := ftpClient1(b)
+	apps := map[string]*target.App{app.Name: app}
+	var pool []fleet.Worker
+	for i := 0; i < n; i++ {
+		mux := http.NewServeMux()
+		mux.Handle(fleet.PathShards, fleet.NewWorkerServer(apps, nil))
+		mux.HandleFunc(fleet.PathHealthz, func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintln(w, `{"status":"ok"}`)
+		})
+		srv := httptest.NewServer(mux)
+		b.Cleanup(srv.Close)
+		pool = append(pool, fleet.NewHTTPWorker(srv.URL, srv.Client()))
+	}
+
+	var runs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats, err := fleet.New(fleet.Config{
+			Campaign: campaign.Config{
+				App: app, Scenario: sc, Scheme: encoding.SchemeX86, Parallelism: 1,
+			},
+			Workers:   pool,
+			ShardRuns: 256,
+		}).Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		runs += int64(stats.Total)
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(runs)/sec, "runs/sec")
+	}
+}
+
+func BenchmarkFleetFTP1Worker(b *testing.B)  { benchFleet(b, 1) }
+func BenchmarkFleetFTP2Workers(b *testing.B) { benchFleet(b, 2) }
+func BenchmarkFleetFTP4Workers(b *testing.B) { benchFleet(b, 4) }

@@ -1,0 +1,53 @@
+package inject
+
+import (
+	"fmt"
+
+	"faultsec/internal/classify"
+)
+
+// Merge folds another aggregate of the same campaign into s. It is the
+// recombination step for partitioned campaigns: split the experiment
+// enumeration into shards, aggregate each shard independently, and merge
+// the shard Stats back together — the additive fields (Total, Counts,
+// ByLocation, Window, WatchdogDetections) equal the single-run aggregate
+// regardless of merge order, because Add only ever increments them.
+//
+// The slice fields (CrashLatencies, Results) are concatenated, so their
+// order reflects merge order: merging contiguous shards in enumeration
+// order reproduces the single-run slices exactly, while any other order
+// yields a permutation of them. Callers that need the canonical order
+// (the fleet coordinator, for byte-identical Stats) merge shards in plan
+// order; callers that only read distributions (internal/report's tables
+// and the Figure 4 latency histogram) may merge in any order.
+//
+// Both aggregates must describe the same app, scenario, and scheme;
+// merging across campaign identities would silently conflate populations.
+func (s *Stats) Merge(o *Stats) error {
+	if s.App != o.App || s.Scenario != o.Scenario || s.Scheme != o.Scheme {
+		return fmt.Errorf("inject: merge of mismatched campaigns: %s/%s/%s vs %s/%s/%s",
+			s.App, s.Scenario, s.Scheme, o.App, o.Scenario, o.Scheme)
+	}
+	s.Total += o.Total
+	for outcome, n := range o.Counts {
+		s.Counts[outcome] += n
+	}
+	for loc, m := range o.ByLocation {
+		locM := s.ByLocation[loc]
+		if locM == nil {
+			locM = make(map[classify.Outcome]int, len(m))
+			s.ByLocation[loc] = locM
+		}
+		for outcome, n := range m {
+			locM[outcome] += n
+		}
+	}
+	s.CrashLatencies = append(s.CrashLatencies, o.CrashLatencies...)
+	s.Window.Crashes += o.Window.Crashes
+	s.Window.LongLatency += o.Window.LongLatency
+	s.Window.WroteInWindow += o.Window.WroteInWindow
+	s.Window.LongAndWrote += o.Window.LongAndWrote
+	s.WatchdogDetections += o.WatchdogDetections
+	s.Results = append(s.Results, o.Results...)
+	return nil
+}
