@@ -12,6 +12,7 @@
 //	campaign -random 30000        # §7 random-injection testbed
 //	campaign -persistent          # §5.4 permanent-window demonstration
 //	campaign -loadimpact          # §5.4 load-diversity experiment
+//	campaign -models              # fault-model matrix (bitflip, doublebit, byteflip, instskip, cmpskip, regflip)
 package main
 
 import (
@@ -40,6 +41,7 @@ func run() error {
 		persistent = flag.Bool("persistent", false, "demonstrate the permanent vulnerability window (§5.4)")
 		watchdog   = flag.Bool("watchdog", false, "run the control-flow watchdog ablation")
 		loadImpact = flag.Bool("loadimpact", false, "run the load-diversity experiment (§5.4)")
+		models     = flag.Bool("models", false, "run every registered fault model over FTP and SSH Client1 and print the BRK/SD/FSV matrix")
 		all        = flag.Bool("all", false, "run everything")
 		jsonOut    = flag.String("json", "", "also write campaign stats as JSON to this file")
 		fuel       = flag.Uint64("fuel", 0, "per-run instruction budget (0 = default)")
@@ -174,7 +176,17 @@ func run() error {
 		}
 		fmt.Println()
 	}
-	if !*all && *tableN == 0 && *figureN == 0 && *randomN == 0 && !*persistent && !*loadImpact && !*watchdog {
+	if *models || *all {
+		start := time.Now()
+		matrix, _, err := study.FaultModelMatrix(ctx, nil, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== fault-model matrix: BRK/SD/FSV per (model x target x location) (%.1fs) ==\n",
+			time.Since(start).Seconds())
+		fmt.Println(matrix)
+	}
+	if !*all && *tableN == 0 && *figureN == 0 && *randomN == 0 && !*persistent && !*loadImpact && !*watchdog && !*models {
 		flag.Usage()
 	}
 	return nil

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"faultsec/internal/faultmodel"
+	"faultsec/internal/ftpd"
+	"faultsec/internal/inject"
+)
+
+// TestSubmitUnknownFaultModel: an unregistered model name is refused at
+// submit time with 400 — before a campaign exists — not discovered later
+// by a failing engine.
+func TestSubmitUnknownFaultModel(t *testing.T) {
+	ts, _ := newTestService(t)
+	code := postStatus(t, ts, `{"app":"ftpd","scenario":"Client1","faultModel":"nosuch"}`)
+	if code != http.StatusBadRequest {
+		t.Errorf("unknown faultModel: status %d, want 400", code)
+	}
+}
+
+// TestSubmitFaultModelEcho: the campaign view reports the canonical model
+// name — the explicit one when submitted, "bitflip" when the field is
+// omitted (legacy submissions).
+func TestSubmitFaultModelEcho(t *testing.T) {
+	ts, _ := newTestService(t)
+	v := postCampaign(t, ts, `{"app":"ftpd","scenario":"Client1","faultModel":"instskip"}`)
+	if v.Model != "instskip" {
+		t.Errorf("explicit model echoes %q, want instskip", v.Model)
+	}
+	legacy := postCampaign(t, ts, `{"app":"ftpd","scenario":"Client2"}`)
+	if legacy.Model != "bitflip" {
+		t.Errorf("omitted model echoes %q, want bitflip", legacy.Model)
+	}
+	waitDone(t, ts, v.ID)
+	waitDone(t, ts, legacy.ID)
+}
+
+// TestFaultModelMatrixSmoke drives a tiny campaign for every registered
+// fault model through the daemon end to end: submit, run to completion on
+// the engine, and check the final summary sized exactly to the model's
+// deterministic enumeration. This is the CI matrix job's entry point.
+func TestFaultModelMatrixSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("a campaign per model is not short")
+	}
+	app, err := ftpd.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets, err := inject.Targets(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ts, _ := newTestService(t)
+	for _, name := range faultmodel.Names() {
+		t.Run(name, func(t *testing.T) {
+			m, err := faultmodel.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body := fmt.Sprintf(`{"app":"ftpd","scenario":"Client1","faultModel":%q}`, name)
+			v := postCampaign(t, ts, body)
+			if v.Model != name {
+				t.Errorf("view model %q, want %q", v.Model, name)
+			}
+			final := waitDone(t, ts, v.ID)
+			if final.State != stateDone {
+				t.Fatalf("campaign ended %q (%s), want done", final.State, final.Error)
+			}
+			if final.Final == nil {
+				t.Fatal("done campaign has no final summary")
+			}
+			if want := faultmodel.Total(targets, m); final.Final.Total != want {
+				t.Errorf("final total %d, want the %s enumeration size %d",
+					final.Final.Total, name, want)
+			}
+		})
+	}
+}
+
+// TestJournalFilenameCarriesModel: journaled campaigns of different
+// models must not collide on one journal file — bitflip keeps the
+// historical name (so pre-fault-model journals still resume), other
+// models get a distinct suffix and therefore a distinct resume identity.
+func TestJournalFilenameCarriesModel(t *testing.T) {
+	dir := t.TempDir()
+	ts, _ := newTestServiceIn(t, dir)
+	v1 := postCampaign(t, ts, `{"app":"ftpd","scenario":"Client1","faultModel":"instskip","journal":true}`)
+	v2 := postCampaign(t, ts, `{"app":"ftpd","scenario":"Client1","journal":true}`)
+	if v1.ID == v2.ID {
+		t.Fatal("model-distinct journaled campaigns collided")
+	}
+	waitDone(t, ts, v1.ID)
+	waitDone(t, ts, v2.ID)
+
+	paths, err := filepath.Glob(filepath.Join(dir, "*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawModel, sawLegacy bool
+	for _, p := range paths {
+		switch {
+		case strings.HasSuffix(p, "ftpd-Client1-x86-instskip.jsonl"):
+			sawModel = true
+		case strings.HasSuffix(p, "ftpd-Client1-x86.jsonl"):
+			sawLegacy = true
+		}
+	}
+	if !sawModel || !sawLegacy {
+		t.Errorf("journal files %v: want both the legacy bitflip name and the -instskip suffix", paths)
+	}
+}

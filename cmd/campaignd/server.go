@@ -14,6 +14,7 @@ import (
 
 	"faultsec/internal/campaign"
 	"faultsec/internal/encoding"
+	"faultsec/internal/faultmodel"
 	"faultsec/internal/fleet"
 	"faultsec/internal/ftpd"
 	"faultsec/internal/inject"
@@ -32,9 +33,12 @@ type submitRequest struct {
 	App      string `json:"app"`      // "ftpd" or "sshd"
 	Scenario string `json:"scenario"` // e.g. "Client1"
 	Scheme   string `json:"scheme"`   // "x86" (default) or "parity"
-	Fuel     uint64 `json:"fuel,omitempty"`
-	Parallel int    `json:"parallelism,omitempty"`
-	Watchdog bool   `json:"watchdog,omitempty"`
+	// FaultModel selects the injection's fault model ("bitflip" when
+	// omitted); unknown names are refused with 400 and the registered list.
+	FaultModel string `json:"faultModel,omitempty"`
+	Fuel       uint64 `json:"fuel,omitempty"`
+	Parallel   int    `json:"parallelism,omitempty"`
+	Watchdog   bool   `json:"watchdog,omitempty"`
 	// NoICache disables the VM's predecoded instruction cache for this
 	// campaign (the perf-ablation knob; outcomes are identical either way).
 	NoICache bool `json:"noICache,omitempty"`
@@ -69,6 +73,8 @@ type campaignView struct {
 	App      string `json:"app"`
 	Scenario string `json:"scenario"`
 	Scheme   string `json:"scheme"`
+	// Model is the canonical fault-model name ("bitflip", "instskip", ...).
+	Model string `json:"model"`
 	// State is "running", "done", "failed", or "canceled". A campaign
 	// stays "running" from DELETE until the engine drains its in-flight
 	// runs and writes the final journal checkpoint.
@@ -156,6 +162,7 @@ func (r *run) view() campaignView {
 		App:      r.req.App,
 		Scenario: r.req.Scenario,
 		Scheme:   r.req.Scheme,
+		Model:    faultmodel.Canonical(r.req.FaultModel),
 		State:    r.state,
 		Resumed:  r.resumed,
 	}
@@ -362,6 +369,13 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req.Scheme = scheme.String()
+	model, err := faultmodel.Get(req.FaultModel)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "unknown fault model %q (have %s)",
+			req.FaultModel, strings.Join(faultmodel.Names(), ", "))
+		return
+	}
+	req.FaultModel = model.Name()
 	if req.ShardRuns < 0 || (req.ShardRuns > 0 && len(req.Workers) == 0) {
 		writeErr(w, http.StatusBadRequest, "shardRuns requires a fleet campaign (non-empty workers)")
 		return
@@ -373,7 +387,7 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	cfg := campaign.Config{
-		App: app, Scenario: sc, Scheme: scheme,
+		App: app, Scenario: sc, Scheme: scheme, Model: req.FaultModel,
 		Fuel: req.Fuel, Parallelism: req.Parallel, Watchdog: req.Watchdog,
 		NoICache: req.NoICache,
 		NoUops:   req.NoUops,
@@ -383,8 +397,14 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, "journaling requested but campaignd runs without -journals")
 			return
 		}
-		cfg.Journal = filepath.Join(s.journalDir,
-			fmt.Sprintf("%s-%s-%s.jsonl", req.App, req.Scenario, scheme))
+		// Bitflip keeps its historical journal name (and with it, resume
+		// compatibility for journals written before fault models existed);
+		// other models get their own file per (app, scenario, scheme).
+		name := fmt.Sprintf("%s-%s-%s.jsonl", req.App, req.Scenario, scheme)
+		if wire := campaign.WireModel(req.FaultModel); wire != "" {
+			name = fmt.Sprintf("%s-%s-%s-%s.jsonl", req.App, req.Scenario, scheme, wire)
+		}
+		cfg.Journal = filepath.Join(s.journalDir, name)
 	}
 
 	s.mu.Lock()
@@ -398,8 +418,8 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 		if holder, busy := s.journals[cfg.Journal]; busy {
 			s.mu.Unlock()
 			writeErr(w, http.StatusConflict,
-				"journal for %s/%s/%s is being written by campaign %s; cancel it or wait",
-				req.App, req.Scenario, req.Scheme, holder)
+				"journal for %s/%s/%s model=%s is being written by campaign %s; cancel it or wait",
+				req.App, req.Scenario, req.Scheme, req.FaultModel, holder)
 			return
 		}
 		if _, err := os.Stat(cfg.Journal); err == nil {

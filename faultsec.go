@@ -22,6 +22,7 @@ import (
 	"faultsec/internal/classify"
 	"faultsec/internal/core"
 	"faultsec/internal/encoding"
+	"faultsec/internal/faultmodel"
 	"faultsec/internal/inject"
 	"faultsec/internal/report"
 	"faultsec/internal/target"
@@ -100,6 +101,14 @@ func RenderTable5(old, new_ []*Stats) string { return report.Table5(old, new_) }
 
 // RenderFigure4 renders the crash-latency histogram (paper Figure 4).
 func RenderFigure4(h *Histogram) string { return report.Figure4(h) }
+
+// RenderModelMatrix renders the per-(fault model × target × location)
+// BRK/SD/FSV matrix for campaigns run under different fault models (see
+// Study.FaultModelMatrix and internal/faultmodel).
+func RenderModelMatrix(stats []*Stats) string { return report.ModelMatrix(stats) }
+
+// FaultModels lists the registered fault-model names.
+func FaultModels() []string { return faultmodel.Names() }
 
 // NewHistogram bins crash latencies on the Figure 4 log-2 scale.
 func NewHistogram(latencies []uint64) *Histogram {

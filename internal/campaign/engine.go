@@ -44,6 +44,7 @@ import (
 
 	"faultsec/internal/classify"
 	"faultsec/internal/encoding"
+	"faultsec/internal/faultmodel"
 	"faultsec/internal/inject"
 	"faultsec/internal/kernel"
 	"faultsec/internal/target"
@@ -56,6 +57,12 @@ type Config struct {
 	App      *target.App
 	Scenario target.Scenario
 	Scheme   encoding.Scheme
+	// Model is the fault-model name resolved through internal/faultmodel;
+	// "" means "bitflip", the paper's single-bit model. The model decides
+	// the campaign's experiment enumeration — and with it the global index
+	// space journals and fleet shards key into — so it is part of the
+	// campaign identity (journal headers, shard specs).
+	Model string
 	// Fuel is the per-run instruction budget; 0 means inject.DefaultFuel.
 	Fuel uint64
 	// Parallelism is the worker count; 0 means GOMAXPROCS.
@@ -192,6 +199,12 @@ func (e *Engine) Run(ctx context.Context) (*inject.Stats, error) {
 func (e *Engine) RunExperiments(ctx context.Context, exps []inject.Experiment) (*inject.Stats, error) {
 	var w *journalWriter
 	if e.cfg.Journal != "" {
+		if got, want := inject.ModelOf(exps), faultmodel.Canonical(e.cfg.Model); got != want {
+			// The journal header records cfg.Model as the index space; an
+			// experiment list from a different model would journal indices
+			// that mean different injections on resume.
+			return nil, fmt.Errorf("campaign: experiment list is fault model %q but config (and journal identity) say %q", got, want)
+		}
 		var err error
 		w, err = newJournalWriter(e.cfg.Journal, true, e.cfg.effectiveCheckpointEvery())
 		if err != nil {
@@ -482,7 +495,7 @@ func (e *Engine) run(ctx context.Context, exps []inject.Experiment,
 		return nil, loopErr
 	}
 
-	stats := inject.NewStats(e.cfg.App.Name, e.cfg.Scenario.Name, e.cfg.Scheme)
+	stats := inject.NewStats(e.cfg.App.Name, e.cfg.Scenario.Name, e.cfg.Scheme, inject.ModelOf(exps))
 	for i := range results {
 		stats.Add(results[i])
 	}
@@ -553,8 +566,13 @@ func (e *Engine) runGroup(ctx context.Context, wm *vm.Machine, g *group,
 		// breakpoints are still armed. The injected run must execute to
 		// its fate without stopping at any of them.
 		wm.ClearBreakpoints()
-		if err := wm.Mem.Poke(ex.Target.Addr, ex.CorruptedBytes()); err != nil {
-			fail(fmt.Errorf("campaign: poke at %#x: %w", ex.Target.Addr, err))
+		// The snapshot IS the breakpoint-stop state (EIP at the target), so
+		// applying the mutation here matches the naive debugger protocol for
+		// every kind: byte corruptions poke memory, transient skip/register
+		// faults perturb the restored machine state directly.
+		mut := ex.Mutation()
+		if err := mut.Apply(wm, &ex.Target); err != nil {
+			fail(fmt.Errorf("campaign: inject at %#x: %w", ex.Target.Addr, err))
 			return wm
 		}
 		endErr := wm.Run()

@@ -11,6 +11,7 @@ import (
 
 	"faultsec/internal/classify"
 	"faultsec/internal/encoding"
+	"faultsec/internal/faultmodel"
 	"faultsec/internal/inject"
 )
 
@@ -35,13 +36,18 @@ type journalRecord struct {
 
 	// Header fields: campaign identity. Resume refuses a journal whose
 	// identity does not match the engine config — a journal from a
-	// different app/scenario/scheme/fuel would corrupt results silently.
+	// different app/scenario/scheme/fuel/fault-model would corrupt results
+	// silently (run indices would mean different injections).
 	App      string          `json:"app,omitempty"`
 	Scenario string          `json:"scenario,omitempty"`
 	Scheme   encoding.Scheme `json:"scheme,omitempty"`
-	Total    int             `json:"total,omitempty"`
-	Fuel     uint64          `json:"fuel,omitempty"`
-	Watchdog bool            `json:"watchdog,omitempty"`
+	// Model is the fault-model name; the wire value for bitflip is ""
+	// (omitted), so journals written before fault models existed — which
+	// were all bitflip — replay under a bitflip config unchanged.
+	Model    string `json:"model,omitempty"`
+	Total    int    `json:"total,omitempty"`
+	Fuel     uint64 `json:"fuel,omitempty"`
+	Watchdog bool   `json:"watchdog,omitempty"`
 
 	// Run fields.
 	Idx    int         `json:"idx,omitempty"`
@@ -106,10 +112,22 @@ func journalIdentity(cfg *Config, total int) journalRecord {
 		App:      cfg.App.Name,
 		Scenario: cfg.Scenario.Name,
 		Scheme:   cfg.Scheme,
+		Model:    WireModel(cfg.Model),
 		Total:    total,
 		Fuel:     cfg.effectiveFuel(),
 		Watchdog: cfg.Watchdog,
 	}
+}
+
+// WireModel is the journal/fleet wire form of a fault-model name: the
+// canonical default ("bitflip") is carried as the empty string so that
+// legacy artifacts, which predate fault models, compare equal to it. It is
+// exported for the fleet's shard specs, which share the convention.
+func WireModel(model string) string {
+	if faultmodel.Canonical(model) == "bitflip" {
+		return ""
+	}
+	return model
 }
 
 // ErrJournalBusy is returned when a journal path already has an active
@@ -255,6 +273,14 @@ func readJournal(path string, want journalRecord) (map[int]*WireResult, error) {
 				return nil, fmt.Errorf("campaign: journal %s: duplicate header", path)
 			}
 			sawHeader = true
+			if rec.Model != want.Model {
+				// Called out separately from the identity mismatch below:
+				// model skew means every run index in this journal names a
+				// different injection than the config would enumerate.
+				return nil, fmt.Errorf("campaign: journal %s is for fault model %q; config wants %q "+
+					"(run indices are model-specific — replaying across models would corrupt results)",
+					path, faultmodel.Canonical(rec.Model), faultmodel.Canonical(want.Model))
+			}
 			if rec.App != want.App || rec.Scenario != want.Scenario ||
 				rec.Scheme != want.Scheme || rec.Total != want.Total ||
 				rec.Fuel != want.Fuel || rec.Watchdog != want.Watchdog {

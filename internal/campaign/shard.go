@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"faultsec/internal/faultmodel"
 	"faultsec/internal/inject"
 )
 
@@ -116,11 +117,18 @@ func ReplayJournal(cfg *Config, exps []inject.Experiment) (map[int]inject.Result
 
 // EnumerateConfig returns the campaign's full deterministic experiment
 // enumeration for cfg — the index space shards, journals, and fleet
-// protocols all key into.
+// protocols all key into. The enumeration is cfg.Model's (resolved through
+// the faultmodel registry; "" means bitflip), so two processes agree on
+// what index i means only if they agree on the model — which is why the
+// model travels in journal headers and fleet shard specs.
 func EnumerateConfig(cfg *Config) ([]inject.Experiment, error) {
+	m, err := faultmodel.Get(cfg.Model)
+	if err != nil {
+		return nil, err
+	}
 	targets, err := inject.Targets(cfg.App)
 	if err != nil {
 		return nil, err
 	}
-	return inject.Enumerate(targets, cfg.Scheme), nil
+	return faultmodel.Enumerate(targets, cfg.Scheme, m), nil
 }

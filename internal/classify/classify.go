@@ -123,6 +123,20 @@ func LocationOf(in *x86.Inst, raw []byte, byteIdx int) Location {
 	return LocMISC
 }
 
+// LocationOfSpan classifies a corruption affecting the byte range
+// [start, end) of the instruction in. Single-byte spans match LocationOf
+// exactly. A multi-byte span is attributed to its lowest byte index: the
+// paper's taxonomy is ordered opcode-before-operand, so a corruption
+// straddling both (an instruction skip, a whole-instruction replacement)
+// counts under the opcode row it destroys first. Empty or out-of-range
+// spans classify as MISC.
+func LocationOfSpan(in *x86.Inst, raw []byte, start, end int) Location {
+	if start < 0 || start >= end || start >= len(raw) {
+		return LocMISC
+	}
+	return LocationOf(in, raw, start)
+}
+
 // Golden is the recorded fault-free behaviour of one scenario.
 type Golden struct {
 	// ServerBytes is the complete server-to-client stream.

@@ -1,0 +1,48 @@
+package classify_test
+
+import (
+	"testing"
+
+	"faultsec/internal/classify"
+	"faultsec/internal/x86"
+)
+
+// TestLocationOfSpan pins multi-byte attribution: a span is charged to
+// its lowest corrupted byte (the convention for corruptions that straddle
+// opcode and operand), and degenerate spans fall back to MISC.
+func TestLocationOfSpan(t *testing.T) {
+	jcc8 := &x86.Inst{Op: x86.OpJcc}
+	jcc32 := &x86.Inst{Op: x86.OpJcc}
+	jmp := &x86.Inst{Op: x86.OpJmp}
+	raw8 := []byte{0x74, 0x06}
+	raw32 := []byte{0x0F, 0x84, 1, 0, 0, 0}
+	tests := []struct {
+		name       string
+		in         *x86.Inst
+		raw        []byte
+		start, end int
+		want       classify.Location
+	}{
+		{"2bc_single", jcc8, raw8, 0, 1, classify.Loc2BC},
+		{"2bo_single", jcc8, raw8, 1, 2, classify.Loc2BO},
+		{"2b_whole_inst_charges_opcode", jcc8, raw8, 0, 2, classify.Loc2BC},
+		{"6bc1_single", jcc32, raw32, 0, 1, classify.Loc6BC1},
+		{"6bc2_single", jcc32, raw32, 1, 2, classify.Loc6BC2},
+		{"6bo_span", jcc32, raw32, 2, 6, classify.Loc6BO},
+		{"6b_whole_inst_charges_escape", jcc32, raw32, 0, 6, classify.Loc6BC1},
+		{"6b_straddle_cc2_operand", jcc32, raw32, 1, 4, classify.Loc6BC2},
+		{"unconditional_is_misc", jmp, []byte{0xEB, 0x06}, 0, 2, classify.LocMISC},
+		{"empty_span_is_misc", jcc8, raw8, 1, 1, classify.LocMISC},
+		{"inverted_span_is_misc", jcc8, raw8, 1, 0, classify.LocMISC},
+		{"negative_start_is_misc", jcc8, raw8, -1, 1, classify.LocMISC},
+		{"start_past_raw_is_misc", jcc8, raw8, 2, 3, classify.LocMISC},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := classify.LocationOfSpan(tt.in, tt.raw, tt.start, tt.end)
+			if got != tt.want {
+				t.Errorf("LocationOfSpan(%v, [%d,%d)) = %v, want %v", tt.raw, tt.start, tt.end, got, tt.want)
+			}
+		})
+	}
+}

@@ -10,9 +10,10 @@ import (
 	"errors"
 	"fmt"
 
-	_ "faultsec/internal/campaign" // registers the snapshot campaign engine as the inject backend
+	"faultsec/internal/campaign" // importing registers the snapshot campaign engine as the inject backend
 	"faultsec/internal/classify"
 	"faultsec/internal/encoding"
+	"faultsec/internal/faultmodel"
 	"faultsec/internal/ftpd"
 	"faultsec/internal/inject"
 	"faultsec/internal/kernel"
@@ -119,6 +120,46 @@ func (s *Study) Figure4(ctx context.Context, opts Options) (*report.Histogram, e
 		return nil, err
 	}
 	return report.NewHistogram(stats.CrashLatencies), nil
+}
+
+// CampaignModel runs one selective-exhaustive campaign under an explicit
+// fault model (internal/faultmodel registry name; "" or "bitflip" is the
+// paper's single-bit model). It drives the campaign engine directly, since
+// the fault model decides the experiment enumeration itself.
+func (s *Study) CampaignModel(ctx context.Context, app *target.App, scenario string,
+	scheme encoding.Scheme, model string, opts Options) (*inject.Stats, error) {
+	sc, ok := app.Scenario(scenario)
+	if !ok {
+		return nil, fmt.Errorf("core: app %s has no scenario %q", app.Name, scenario)
+	}
+	if _, err := faultmodel.Get(model); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	cfg := campaign.FromInjectConfig(opts.config(app, sc, scheme))
+	cfg.Model = model
+	return campaign.New(cfg).Run(ctx)
+}
+
+// FaultModelMatrix runs one Client1 campaign per (fault model × target
+// application) under the stock encoding and renders the per-(model ×
+// target × location) BRK/SD/FSV matrix. models nil or empty means every
+// registered model.
+func (s *Study) FaultModelMatrix(ctx context.Context, models []string,
+	opts Options) (string, []*inject.Stats, error) {
+	if len(models) == 0 {
+		models = faultmodel.Names()
+	}
+	var out []*inject.Stats
+	for _, name := range models {
+		for _, app := range []*target.App{s.FTPD, s.SSHD} {
+			stats, err := s.CampaignModel(ctx, app, "Client1", encoding.SchemeX86, name, opts)
+			if err != nil {
+				return "", nil, err
+			}
+			out = append(out, stats)
+		}
+	}
+	return report.ModelMatrix(out), out, nil
 }
 
 // RandomTestbed runs the paper's §7 random-injection experiment: n random

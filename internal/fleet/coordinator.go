@@ -228,16 +228,17 @@ func (c *Coordinator) runnersDone(ctx context.Context) <-chan struct{} {
 // engine builds.
 func (c *Coordinator) assemble() (*inject.Stats, error) {
 	cc := &c.cfg.Campaign
-	stats := inject.NewStats(cc.App.Name, cc.Scenario.Name, cc.Scheme)
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	model := inject.ModelOf(c.exps)
+	stats := inject.NewStats(cc.App.Name, cc.Scenario.Name, cc.Scheme, model)
 	for i, ok := range c.have {
 		if !ok {
 			return nil, fmt.Errorf("fleet: internal: experiment %d has no result after completion", i)
 		}
 	}
 	for _, sh := range c.shards {
-		ss := inject.NewStats(cc.App.Name, cc.Scenario.Name, cc.Scheme)
+		ss := inject.NewStats(cc.App.Name, cc.Scenario.Name, cc.Scheme, model)
 		for i := sh.start; i < sh.end; i++ {
 			ss.Add(c.results[i])
 		}
@@ -493,7 +494,8 @@ func (c *Coordinator) specFor(sh *shardState) ShardSpec {
 	cc := &c.cfg.Campaign
 	return ShardSpec{
 		App: cc.App.Name, Scenario: cc.Scenario.Name, Scheme: cc.Scheme.String(),
-		Fuel: cc.Fuel, Parallelism: cc.Parallelism, Watchdog: cc.Watchdog,
+		Model: campaign.WireModel(cc.Model),
+		Fuel:  cc.Fuel, Parallelism: cc.Parallelism, Watchdog: cc.Watchdog,
 		NoICache: cc.NoICache, NoUops: cc.NoUops, NoSnapshot: cc.NoSnapshot,
 		Total: len(c.exps), Shard: sh.id, Indices: sh.pending,
 	}

@@ -67,9 +67,14 @@ type Worker interface {
 // coordinator and worker built from diverging trees fail loudly instead
 // of mixing index spaces.
 type ShardSpec struct {
-	App         string `json:"app"`
-	Scenario    string `json:"scenario"`
-	Scheme      string `json:"scheme"`
+	App      string `json:"app"`
+	Scenario string `json:"scenario"`
+	Scheme   string `json:"scheme"`
+	// Model is the fault-model name; "" is the wire form of bitflip
+	// (campaign.WireModel), matching the journal-header convention. A
+	// worker that does not recognize the model refuses the shard loudly —
+	// a model-skewed fleet must not mix index spaces.
+	Model       string `json:"model,omitempty"`
 	Fuel        uint64 `json:"fuel,omitempty"`
 	Parallelism int    `json:"parallelism,omitempty"`
 	Watchdog    bool   `json:"watchdog,omitempty"`

@@ -50,17 +50,22 @@ func prepareShard(apps map[string]*target.App, spec *ShardSpec) (func(ctx contex
 		return nil, fmt.Errorf("fleet: %w", err)
 	}
 	cfg := campaign.Config{
-		App: app, Scenario: sc, Scheme: scheme,
+		App: app, Scenario: sc, Scheme: scheme, Model: spec.Model,
 		Fuel: spec.Fuel, Parallelism: spec.Parallelism, Watchdog: spec.Watchdog,
 		NoICache: spec.NoICache, NoUops: spec.NoUops, NoSnapshot: spec.NoSnapshot,
 	}
+	// EnumerateConfig resolves spec.Model through the worker's own
+	// faultmodel registry: a model this build does not know is refused
+	// here (400 on the HTTP path), and a model whose enumeration size
+	// disagrees with the coordinator's trips the Total check below — the
+	// two loud failure modes for a model-skewed fleet.
 	exps, err := campaign.EnumerateConfig(&cfg)
 	if err != nil {
 		return nil, err
 	}
 	if len(exps) != spec.Total {
-		return nil, fmt.Errorf("fleet: enumeration mismatch for %s/%s/%s: worker has %d experiments, coordinator %d (version skew?)",
-			spec.App, spec.Scenario, spec.Scheme, len(exps), spec.Total)
+		return nil, fmt.Errorf("fleet: enumeration mismatch for %s/%s/%s model=%s: worker has %d experiments, coordinator %d (version skew?)",
+			spec.App, spec.Scenario, spec.Scheme, inject.ModelOf(exps), len(exps), spec.Total)
 	}
 	shard := make([]inject.Experiment, len(spec.Indices))
 	globals := make([]int, len(spec.Indices))

@@ -43,6 +43,10 @@ type Stats struct {
 	App      string
 	Scenario string
 	Scheme   encoding.Scheme
+	// Model is the canonical fault-model name ("bitflip" for the paper's
+	// single-bit model). Executors derive it from the experiment list via
+	// ModelOf, so every backend stamps it identically.
+	Model string
 
 	// Total is the number of runs (one per injected bit).
 	Total int
@@ -105,13 +109,18 @@ func (s *Stats) ManifestedBreakdown() map[classify.Location]int {
 }
 
 // NewStats returns an empty aggregate for one campaign. It is exported so
-// alternative execution backends (internal/campaign) aggregate through the
-// exact same code path as the naive runner.
-func NewStats(app, scenario string, scheme encoding.Scheme) *Stats {
+// alternative execution backends (internal/campaign, internal/fleet)
+// aggregate through the exact same code path as the naive runner. model is
+// the canonical fault-model name; "" means bitflip.
+func NewStats(app, scenario string, scheme encoding.Scheme, model string) *Stats {
+	if model == "" {
+		model = "bitflip"
+	}
 	return &Stats{
 		App:        app,
 		Scenario:   scenario,
 		Scheme:     scheme,
+		Model:      model,
 		Counts:     make(map[classify.Outcome]int),
 		ByLocation: make(map[classify.Location]map[classify.Outcome]int),
 	}
@@ -260,7 +269,7 @@ feed:
 		}
 	}
 
-	stats := NewStats(cfg.App.Name, cfg.Scenario.Name, cfg.Scheme)
+	stats := NewStats(cfg.App.Name, cfg.Scenario.Name, cfg.Scheme, ModelOf(experiments))
 	for _, r := range results {
 		stats.Add(r)
 	}

@@ -120,17 +120,153 @@ func GoldenRun(app *target.App, sc target.Scenario, fuel uint64) (*classify.Gold
 	}, nil
 }
 
-// Experiment identifies one single-bit injection.
+// MutationKind selects what the injector does at the breakpoint.
+type MutationKind int
+
+// Mutation kinds.
+const (
+	// MutBytes replaces the target instruction's bytes in memory (the
+	// paper's debugger protocol). The corruption is persistent: every
+	// subsequent execution of the instruction runs the corrupted bytes.
+	MutBytes MutationKind = iota
+	// MutSkip advances EIP past the target instruction without executing
+	// it — the standard instruction-skip fault-attack model. The skip is
+	// transient: only the breakpointed execution is skipped; later
+	// executions run the pristine instruction.
+	MutSkip
+	// MutReg XORs a mask into a general-purpose register at the
+	// breakpoint — a transient register corruption. Memory is untouched.
+	MutReg
+)
+
+// Mutation describes one injection action, produced by a fault model
+// (internal/faultmodel) and applied by the injector when the run reaches
+// the target instruction.
+type Mutation struct {
+	// Kind selects which of the fields below are meaningful.
+	Kind MutationKind
+	// Bytes is the full replacement encoding of the target instruction
+	// (MutBytes).
+	Bytes []byte
+	// SkipLen is the EIP advance in bytes (MutSkip); normally the target
+	// instruction's length.
+	SkipLen int
+	// Reg and RegXor are the register index and XOR mask (MutReg).
+	Reg    uint8
+	RegXor uint32
+	// SpanStart and SpanEnd delimit the instruction bytes the mutation is
+	// attributed to, [SpanStart, SpanEnd), for Table 2/3 error-location
+	// accounting. For MutBytes this is the intended corruption span (set
+	// even when the replacement happens to equal the original bytes); for
+	// MutSkip it is the whole instruction; MutReg corruptions carry no
+	// byte span and classify as MISC.
+	SpanStart int
+	SpanEnd   int
+}
+
+// Apply performs the mutation on a machine stopped at the target
+// instruction (EIP == t.Addr).
+func (mu *Mutation) Apply(m *vm.Machine, t *Target) error {
+	switch mu.Kind {
+	case MutSkip:
+		m.EIP += uint32(mu.SkipLen)
+		return nil
+	case MutReg:
+		m.SetReg(mu.Reg, m.Reg(mu.Reg)^mu.RegXor)
+		return nil
+	default:
+		if err := m.Mem.Poke(t.Addr, mu.Bytes); err != nil {
+			return fmt.Errorf("inject: poke: %w", err)
+		}
+		return nil
+	}
+}
+
+// Experiment identifies one injection. The zero model ("" = the paper's
+// bitflip model) is fully described by (Target, ByteIdx, Bit, Scheme),
+// exactly as before fault models existed, so bitflip experiment values —
+// and the journal/fleet index spaces derived from their enumeration order
+// — are unchanged. Other models carry their registry name, their
+// model-local mutation index within the target, and the resolved Mutation.
 type Experiment struct {
 	Target  Target
 	ByteIdx int
 	Bit     int
 	Scheme  encoding.Scheme
+
+	// Model is the fault-model name; "" means bitflip (wire-compatible
+	// with pre-fault-model enumerations and journals).
+	Model string
+	// ModelIdx is the mutation index within the target under Model
+	// (0 <= ModelIdx < Count(Target)). Bitflip experiments leave it zero
+	// and carry the equivalent index as (ByteIdx, Bit).
+	ModelIdx int
+	// Mut is the resolved mutation for non-bitflip models (bitflip
+	// derives its mutation from ByteIdx/Bit/Scheme on demand).
+	Mut Mutation
+}
+
+// ModelName returns the experiment's fault-model registry name,
+// canonicalizing the wire-compatible zero value to "bitflip".
+func (e Experiment) ModelName() string {
+	if e.Model == "" {
+		return "bitflip"
+	}
+	return e.Model
+}
+
+// ModelOf returns the canonical fault-model name of an experiment list
+// ("bitflip" for an empty list — the zero model).
+func ModelOf(exps []Experiment) string {
+	if len(exps) == 0 {
+		return "bitflip"
+	}
+	return exps[0].ModelName()
 }
 
 // CorruptedBytes returns the instruction bytes this experiment executes.
+// Valid for byte-replacement mutations (the bitflip family); skip and
+// register mutations leave the instruction bytes pristine and return them
+// unchanged.
 func (e Experiment) CorruptedBytes() []byte {
+	if e.Model != "" {
+		if e.Mut.Kind != MutBytes {
+			out := make([]byte, len(e.Target.Raw))
+			copy(out, e.Target.Raw)
+			return out
+		}
+		return e.Mut.Bytes
+	}
 	return encoding.Corrupt(e.Target.Raw, e.ByteIdx, e.Bit, e.Scheme)
+}
+
+// Mutation resolves the experiment's injection action.
+func (e Experiment) Mutation() Mutation {
+	if e.Model != "" {
+		return e.Mut
+	}
+	return Mutation{
+		Kind:      MutBytes,
+		Bytes:     e.CorruptedBytes(),
+		SpanStart: e.ByteIdx,
+		SpanEnd:   e.ByteIdx + 1,
+	}
+}
+
+// Location classifies the experiment for the paper's Table 2/3 error-
+// location breakdown. Bitflip attributes the flipped byte exactly as the
+// original study; byte-span mutations are attributed to their span (the
+// lowest corrupted byte decides when a span straddles opcode and
+// operand), and register corruptions — which touch no instruction byte —
+// count under MISC.
+func (e Experiment) Location() classify.Location {
+	if e.Model == "" {
+		return classify.LocationOf(&e.Target.Inst, e.Target.Raw, e.ByteIdx)
+	}
+	if e.Mut.Kind == MutReg {
+		return classify.LocMISC
+	}
+	return classify.LocationOfSpan(&e.Target.Inst, e.Target.Raw, e.Mut.SpanStart, e.Mut.SpanEnd)
 }
 
 // Result is the classified outcome of one experiment.
@@ -186,7 +322,8 @@ func RunOneWatched(app *target.App, sc target.Scenario, golden *classify.Golden,
 	}
 	m.CFValid = cfValid
 
-	// Debugger protocol: run to the target instruction, corrupt it, resume.
+	// Debugger protocol: run to the target instruction, apply the fault
+	// model's mutation (corrupt bytes, skip, or register flip), resume.
 	m.SetBreakpoint(ex.Target.Addr)
 	runErr := m.Run()
 	activated := false
@@ -197,8 +334,9 @@ func RunOneWatched(app *target.App, sc target.Scenario, golden *classify.Golden,
 		activated = true
 		activationSteps = m.Steps
 		bytesAtActivation = len(k.Transcript.ServerBytes())
-		if pokeErr := m.Mem.Poke(ex.Target.Addr, ex.CorruptedBytes()); pokeErr != nil {
-			return Result{}, fmt.Errorf("inject: poke: %w", pokeErr)
+		mut := ex.Mutation()
+		if applyErr := mut.Apply(m, &ex.Target); applyErr != nil {
+			return Result{}, applyErr
 		}
 		m.ClearBreakpoint(ex.Target.Addr)
 		runErr = m.Run()
@@ -227,7 +365,7 @@ func ResultFromRun(golden *classify.Golden, ex Experiment, run *classify.Run,
 	res := Result{
 		Experiment: ex,
 		Outcome:    outcome,
-		Location:   classify.LocationOf(&ex.Target.Inst, ex.Target.Raw, ex.ByteIdx),
+		Location:   ex.Location(),
 		Activated:  run.Activated,
 		Granted:    run.Granted,
 	}
@@ -244,9 +382,11 @@ func ResultFromRun(golden *classify.Golden, ex Experiment, run *classify.Run,
 }
 
 // Enumerate lists every single-bit experiment for the target set under the
-// given scheme, in deterministic order.
+// given scheme, in deterministic order. It is the bitflip fault model's
+// shared implementation: faultmodel's "bitflip" delegates here, so the
+// model's enumeration is byte-for-byte the pre-fault-model one.
 func Enumerate(targets []Target, scheme encoding.Scheme) []Experiment {
-	var out []Experiment
+	out := make([]Experiment, 0, TotalBits(targets))
 	for _, t := range targets {
 		for byteIdx := 0; byteIdx < len(t.Raw); byteIdx++ {
 			for bit := 0; bit < 8; bit++ {

@@ -21,12 +21,13 @@ import (
 // order; callers that only read distributions (internal/report's tables
 // and the Figure 4 latency histogram) may merge in any order.
 //
-// Both aggregates must describe the same app, scenario, and scheme;
-// merging across campaign identities would silently conflate populations.
+// Both aggregates must describe the same app, scenario, scheme, and fault
+// model; merging across campaign identities would silently conflate
+// populations.
 func (s *Stats) Merge(o *Stats) error {
-	if s.App != o.App || s.Scenario != o.Scenario || s.Scheme != o.Scheme {
-		return fmt.Errorf("inject: merge of mismatched campaigns: %s/%s/%s vs %s/%s/%s",
-			s.App, s.Scenario, s.Scheme, o.App, o.Scenario, o.Scheme)
+	if s.App != o.App || s.Scenario != o.Scenario || s.Scheme != o.Scheme || s.Model != o.Model {
+		return fmt.Errorf("inject: merge of mismatched campaigns: %s/%s/%s model=%s vs %s/%s/%s model=%s",
+			s.App, s.Scenario, s.Scheme, s.Model, o.App, o.Scenario, o.Scheme, o.Model)
 	}
 	s.Total += o.Total
 	for outcome, n := range o.Counts {

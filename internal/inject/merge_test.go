@@ -24,7 +24,7 @@ func shardStats(t *testing.T, full *inject.Stats, k int) []*inject.Stats {
 	n := len(full.Results)
 	for i := 0; i < k; i++ {
 		lo, hi := i*n/k, (i+1)*n/k
-		s := inject.NewStats(full.App, full.Scenario, full.Scheme)
+		s := inject.NewStats(full.App, full.Scenario, full.Scheme, full.Model)
 		for _, r := range full.Results[lo:hi] {
 			s.Add(r)
 		}
@@ -64,7 +64,7 @@ func TestStatsMergeProperty(t *testing.T) {
 		shards := shardStats(t, full, k)
 
 		// In-order merge: byte-identical to the single-run aggregate.
-		ordered := inject.NewStats(full.App, full.Scenario, full.Scheme)
+		ordered := inject.NewStats(full.App, full.Scenario, full.Scheme, full.Model)
 		for _, sh := range shards {
 			if err := ordered.Merge(sh); err != nil {
 				t.Fatalf("k=%d: %v", k, err)
@@ -77,7 +77,7 @@ func TestStatsMergeProperty(t *testing.T) {
 		// Shuffled merges: additive fields identical, slices as multisets.
 		for trial := 0; trial < 4; trial++ {
 			perm := rng.Perm(k)
-			merged := inject.NewStats(full.App, full.Scenario, full.Scheme)
+			merged := inject.NewStats(full.App, full.Scenario, full.Scheme, full.Model)
 			for _, i := range perm {
 				if err := merged.Merge(shards[i]); err != nil {
 					t.Fatalf("k=%d perm=%v: %v", k, perm, err)
@@ -116,17 +116,21 @@ func sameUint64Multiset(a, b []uint64) bool {
 // aggregates from different apps, scenarios, or schemes is an error, not a
 // silent conflation.
 func TestStatsMergeRejectsForeignCampaign(t *testing.T) {
-	base := inject.NewStats("ftpd", "Client1", encoding.SchemeX86)
+	base := inject.NewStats("ftpd", "Client1", encoding.SchemeX86, "")
 	for _, o := range []*inject.Stats{
-		inject.NewStats("sshd", "Client1", encoding.SchemeX86),
-		inject.NewStats("ftpd", "Client2", encoding.SchemeX86),
-		inject.NewStats("ftpd", "Client1", encoding.SchemeParity),
+		inject.NewStats("sshd", "Client1", encoding.SchemeX86, ""),
+		inject.NewStats("ftpd", "Client2", encoding.SchemeX86, ""),
+		inject.NewStats("ftpd", "Client1", encoding.SchemeParity, ""),
+		inject.NewStats("ftpd", "Client1", encoding.SchemeX86, "instskip"),
 	} {
 		if err := base.Merge(o); err == nil {
-			t.Errorf("merge of %s/%s/%s into ftpd/Client1/x86 succeeded", o.App, o.Scenario, o.Scheme)
+			t.Errorf("merge of %s/%s/%s model=%s into ftpd/Client1/x86 bitflip succeeded",
+				o.App, o.Scenario, o.Scheme, o.Model)
 		}
 	}
-	if err := base.Merge(inject.NewStats("ftpd", "Client1", encoding.SchemeX86)); err != nil {
+	// "" and "bitflip" are the same model: both canonicalize, so explicit
+	// naming merges with the legacy zero value.
+	if err := base.Merge(inject.NewStats("ftpd", "Client1", encoding.SchemeX86, "bitflip")); err != nil {
 		t.Errorf("merge of matching empty stats failed: %v", err)
 	}
 }

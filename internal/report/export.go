@@ -10,11 +10,14 @@ import (
 // Export is the JSON-serializable form of campaign results, for downstream
 // analysis outside this repository (plotting, aggregation across runs).
 type Export struct {
-	App      string         `json:"app"`
-	Scenario string         `json:"scenario"`
-	Scheme   string         `json:"scheme"`
-	Total    int            `json:"total_runs"`
-	Counts   map[string]int `json:"outcomes"`
+	App      string `json:"app"`
+	Scenario string `json:"scenario"`
+	Scheme   string `json:"scheme"`
+	// Model is the canonical fault-model name ("bitflip" for the paper's
+	// single-bit model).
+	Model  string         `json:"fault_model"`
+	Total  int            `json:"total_runs"`
+	Counts map[string]int `json:"outcomes"`
 	// ByLocation maps location -> outcome -> count.
 	ByLocation map[string]map[string]int `json:"by_location"`
 	// CrashLatencyBins is the Figure 4 histogram (log-2 bins).
@@ -35,6 +38,7 @@ func NewExport(s *inject.Stats) *Export {
 		App:        s.App,
 		Scenario:   s.Scenario,
 		Scheme:     s.Scheme.String(),
+		Model:      s.Model,
 		Total:      s.Total,
 		Counts:     make(map[string]int, len(s.Counts)),
 		ByLocation: make(map[string]map[string]int, len(s.ByLocation)),

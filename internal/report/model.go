@@ -1,0 +1,48 @@
+package report
+
+import (
+	"fmt"
+
+	"faultsec/internal/classify"
+	"faultsec/internal/inject"
+)
+
+// ModelMatrix renders the fault-model comparison matrix: one row per
+// (fault model × target campaign × error location), with the counts of the
+// three manifested severities — security break-ins (BRK), system
+// detections (SD), and fail silence violations (FSV). It is the
+// cross-model analogue of Table 3: where the paper asks "where inside a
+// branch does a single bit flip do damage", this asks the same question
+// for every error model at once, making the models' damage profiles
+// directly comparable (e.g. whether branch-outcome inversion concentrates
+// break-ins the way opcode-byte flips do).
+//
+// Location rows with no BRK/SD/FSV are elided; every campaign keeps a
+// "total" row (even when all-zero) so each (model, target) pair is visible
+// in the matrix.
+func ModelMatrix(stats []*inject.Stats) string {
+	t := &table{}
+	t.add("Model", "Target", "Location", "BRK", "SD", "FSV")
+	severities := []classify.Outcome{classify.OutcomeBRK, classify.OutcomeSD, classify.OutcomeFSV}
+	for _, s := range stats {
+		totals := make(map[classify.Outcome]int, len(severities))
+		for _, loc := range classify.Locations() {
+			m := s.ByLocation[loc]
+			n := 0
+			row := []string{s.Model, colName(s), loc.String()}
+			for _, o := range severities {
+				n += m[o]
+				totals[o] += m[o]
+				row = append(row, fmt.Sprintf("%d", m[o]))
+			}
+			if n > 0 {
+				t.add(row...)
+			}
+		}
+		t.add(s.Model, colName(s), "total",
+			fmt.Sprintf("%d", totals[classify.OutcomeBRK]),
+			fmt.Sprintf("%d", totals[classify.OutcomeSD]),
+			fmt.Sprintf("%d", totals[classify.OutcomeFSV]))
+	}
+	return t.String()
+}
