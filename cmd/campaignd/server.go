@@ -46,6 +46,14 @@ type submitRequest struct {
 	// instead of bound micro-op handlers (the other perf-ablation knob;
 	// outcomes are identical either way).
 	NoUops bool `json:"noUops,omitempty"`
+	// NoDirtyTracking forces full-image snapshot restores instead of
+	// O(dirty) page copies (perf-ablation knob; outcomes are identical
+	// either way).
+	NoDirtyTracking bool `json:"noDirtyTracking,omitempty"`
+	// NoTraces disables superblock trace fusion, dispatching every
+	// instruction individually (perf-ablation knob; outcomes are identical
+	// either way).
+	NoTraces bool `json:"noTraces,omitempty"`
 	// Journal enables crash-safe journaling (requires -journals). A
 	// resubmission of the same app/scenario/scheme resumes the journal.
 	Journal bool `json:"journal,omitempty"`
@@ -389,8 +397,10 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 	cfg := campaign.Config{
 		App: app, Scenario: sc, Scheme: scheme, Model: req.FaultModel,
 		Fuel: req.Fuel, Parallelism: req.Parallel, Watchdog: req.Watchdog,
-		NoICache: req.NoICache,
-		NoUops:   req.NoUops,
+		NoICache:        req.NoICache,
+		NoUops:          req.NoUops,
+		NoDirtyTracking: req.NoDirtyTracking,
+		NoTraces:        req.NoTraces,
 	}
 	if req.Journal {
 		if s.journalDir == "" {
@@ -581,6 +591,13 @@ type metricsView struct {
 	// instruction cache counters.
 	ICacheHits   int64 `json:"icacheHits"`
 	ICacheMisses int64 `json:"icacheMisses"`
+	// TraceHits and TraceExits sum the per-campaign superblock trace
+	// counters; DirtyBytesCopied and FullRestores sum the per-campaign
+	// snapshot-restore counters.
+	TraceHits        int64 `json:"traceHits"`
+	TraceExits       int64 `json:"traceExits"`
+	DirtyBytesCopied int64 `json:"dirtyBytesCopied"`
+	FullRestores     int64 `json:"fullRestores"`
 	// Running is the number of campaigns still executing.
 	Running int `json:"running"`
 	// WorkerShardsServed and WorkerRunsServed count work this daemon
@@ -610,6 +627,10 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			v.TotalRuns += m.RunsTotal
 			v.ICacheHits += m.ICacheHits
 			v.ICacheMisses += m.ICacheMisses
+			v.TraceHits += m.TraceHits
+			v.TraceExits += m.TraceExits
+			v.DirtyBytesCopied += m.DirtyBytesCopied
+			v.FullRestores += m.FullRestores
 		}
 		if !rn.terminal() {
 			v.Running++

@@ -100,6 +100,14 @@ type Config struct {
 	// an ablation/differential-testing knob; outcomes must be
 	// bit-identical either way.
 	NoUops bool
+	// NoDirtyTracking disables the VM's dirty-page bitmaps, forcing every
+	// snapshot restore to copy the full address space. Ablation knob;
+	// outcomes must be bit-identical either way.
+	NoDirtyTracking bool
+	// NoTraces disables superblock trace fusion, dispatching every
+	// retirement individually. Ablation knob; outcomes must be
+	// bit-identical either way.
+	NoTraces bool
 }
 
 // DefaultCheckpointEvery is the journal checkpoint cadence.
@@ -173,6 +181,11 @@ type Engine struct {
 
 	icacheHits   atomic.Int64 // VM retirements served by the predecoded icache
 	icacheMisses atomic.Int64 // VM retirements that decoded on an icache miss
+
+	traceHits        atomic.Int64 // fused-trace executions
+	traceExits       atomic.Int64 // fused traces that exited early
+	dirtyBytesCopied atomic.Int64 // bytes copied by O(dirty) restores
+	fullRestores     atomic.Int64 // full-image snapshot restores
 
 	workers    atomic.Int64
 	busyNanos  atomic.Int64
@@ -313,6 +326,8 @@ func (e *Engine) captureSnapshots(wave []group, cfValid map[uint32]struct{},
 	m.CFValid = cfValid
 	m.NoICache = e.cfg.NoICache
 	m.NoUops = e.cfg.NoUops
+	m.NoDirtyTracking = e.cfg.NoDirtyTracking
+	m.NoTraces = e.cfg.NoTraces
 	for i := range wave {
 		m.SetBreakpoint(wave[i].addr)
 	}
@@ -335,19 +350,26 @@ func (e *Engine) captureSnapshots(wave []group, cfValid map[uint32]struct{},
 		}
 		m.ClearBreakpoint(bp.Addr)
 	}
-	e.harvestICache(m)
+	e.harvestCounters(m)
 	return snaps, nil
 }
 
-// harvestICache folds a machine's icache counters into the engine's
-// metrics and zeroes them, so pooled machines are not double-counted.
-func (e *Engine) harvestICache(m *vm.Machine) {
+// harvestCounters folds a machine's icache, trace, and restore counters
+// into the engine's metrics and zeroes them, so pooled machines are not
+// double-counted.
+func (e *Engine) harvestCounters(m *vm.Machine) {
 	if m == nil {
 		return
 	}
 	e.icacheHits.Add(int64(m.ICacheHits))
 	e.icacheMisses.Add(int64(m.ICacheMisses))
+	e.traceHits.Add(int64(m.TraceHits))
+	e.traceExits.Add(int64(m.TraceExits))
+	e.dirtyBytesCopied.Add(int64(m.DirtyBytesCopied))
+	e.fullRestores.Add(int64(m.FullRestores))
 	m.ICacheHits, m.ICacheMisses = 0, 0
+	m.TraceHits, m.TraceExits = 0, 0
+	m.DirtyBytesCopied, m.FullRestores = 0, 0
 }
 
 // run is the engine core: shard by target, sweep-capture snapshots in
@@ -462,7 +484,7 @@ func (e *Engine) run(ctx context.Context, exps []inject.Experiment,
 					wm = e.runGroup(runCtx, wm, &wave[gi], exps, golden, naRun,
 						snaps[wave[gi].addr], cfValid, fuel, finish, fail)
 					e.busyNanos.Add(time.Since(begin).Nanoseconds())
-					e.harvestICache(wm)
+					e.harvestCounters(wm)
 					if runCtx.Err() == nil {
 						e.groupsDone.Add(1)
 					}
@@ -555,6 +577,8 @@ func (e *Engine) runGroup(ctx context.Context, wm *vm.Machine, g *group,
 			wm = snap.m.NewMachine(k2)
 			wm.NoICache = e.cfg.NoICache
 			wm.NoUops = e.cfg.NoUops
+			wm.NoDirtyTracking = e.cfg.NoDirtyTracking
+			wm.NoTraces = e.cfg.NoTraces
 		} else {
 			if err := wm.Restore(snap.m); err != nil {
 				fail(fmt.Errorf("campaign: restore at %#x: %w", g.addr, err))
@@ -670,6 +694,17 @@ type Metrics struct {
 	// ICacheHitRate is ICacheHits / (ICacheHits + ICacheMisses); 0 when
 	// the cache is disabled (Config.NoICache) or nothing has retired yet.
 	ICacheHitRate float64 `json:"icacheHitRate"`
+	// TraceHits counts fused superblock trace executions; TraceExits
+	// counts the subset that left the trace early (fault, fuel, or an
+	// invalidating store mid-trace). Both are 0 with Config.NoTraces.
+	TraceHits  int64 `json:"traceHits"`
+	TraceExits int64 `json:"traceExits"`
+	// DirtyBytesCopied is the bytes copied back by O(dirty) snapshot
+	// restores; FullRestores counts restores that copied whole images
+	// (first restore per machine/snapshot pair, or all restores with
+	// Config.NoDirtyTracking).
+	DirtyBytesCopied int64 `json:"dirtyBytesCopied"`
+	FullRestores     int64 `json:"fullRestores"`
 	// RunsPerSec is fresh-run throughput over the campaign wall time.
 	RunsPerSec float64 `json:"runsPerSec"`
 	// Workers is the worker pool size.
@@ -682,16 +717,20 @@ type Metrics struct {
 // Metrics reports operational counters. Safe to call concurrently with Run.
 func (e *Engine) Metrics() Metrics {
 	m := Metrics{
-		SnapshotRuns:   e.snapshotRuns.Load(),
-		SynthesizedNA:  e.synthesizedRuns.Load(),
-		NaiveRuns:      e.naiveRuns.Load(),
-		PrefixRuns:     e.prefixRuns.Load(),
-		JournalAdopted: e.preloaded.Load(),
-		GroupsTotal:    e.groupsTotal.Load(),
-		GroupsDone:     e.groupsDone.Load(),
-		Workers:        int(e.workers.Load()),
-		ICacheHits:     e.icacheHits.Load(),
-		ICacheMisses:   e.icacheMisses.Load(),
+		SnapshotRuns:     e.snapshotRuns.Load(),
+		SynthesizedNA:    e.synthesizedRuns.Load(),
+		NaiveRuns:        e.naiveRuns.Load(),
+		PrefixRuns:       e.prefixRuns.Load(),
+		JournalAdopted:   e.preloaded.Load(),
+		GroupsTotal:      e.groupsTotal.Load(),
+		GroupsDone:       e.groupsDone.Load(),
+		Workers:          int(e.workers.Load()),
+		ICacheHits:       e.icacheHits.Load(),
+		ICacheMisses:     e.icacheMisses.Load(),
+		TraceHits:        e.traceHits.Load(),
+		TraceExits:       e.traceExits.Load(),
+		DirtyBytesCopied: e.dirtyBytesCopied.Load(),
+		FullRestores:     e.fullRestores.Load(),
 	}
 	m.RunsTotal = m.SnapshotRuns + m.SynthesizedNA + m.NaiveRuns
 	if m.RunsTotal > 0 {

@@ -497,6 +497,7 @@ func (c *Coordinator) specFor(sh *shardState) ShardSpec {
 		Model: campaign.WireModel(cc.Model),
 		Fuel:  cc.Fuel, Parallelism: cc.Parallelism, Watchdog: cc.Watchdog,
 		NoICache: cc.NoICache, NoUops: cc.NoUops, NoSnapshot: cc.NoSnapshot,
+		NoDirtyTracking: cc.NoDirtyTracking, NoTraces: cc.NoTraces,
 		Total: len(c.exps), Shard: sh.id, Indices: sh.pending,
 	}
 }

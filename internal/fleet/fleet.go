@@ -81,6 +81,9 @@ type ShardSpec struct {
 	NoICache    bool   `json:"noICache,omitempty"`
 	NoUops      bool   `json:"noUops,omitempty"`
 	NoSnapshot  bool   `json:"noSnapshot,omitempty"`
+
+	NoDirtyTracking bool `json:"noDirtyTracking,omitempty"`
+	NoTraces        bool `json:"noTraces,omitempty"`
 	// Total is the size of the full campaign enumeration.
 	Total int `json:"total"`
 	// Shard is the coordinator's shard id (diagnostics only).

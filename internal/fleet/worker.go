@@ -53,6 +53,7 @@ func prepareShard(apps map[string]*target.App, spec *ShardSpec) (func(ctx contex
 		App: app, Scenario: sc, Scheme: scheme, Model: spec.Model,
 		Fuel: spec.Fuel, Parallelism: spec.Parallelism, Watchdog: spec.Watchdog,
 		NoICache: spec.NoICache, NoUops: spec.NoUops, NoSnapshot: spec.NoSnapshot,
+		NoDirtyTracking: spec.NoDirtyTracking, NoTraces: spec.NoTraces,
 	}
 	// EnumerateConfig resolves spec.Model through the worker's own
 	// faultmodel registry: a model this build does not know is refused

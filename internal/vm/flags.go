@@ -2,6 +2,10 @@ package vm
 
 import "faultsec/internal/x86"
 
+// statusFlags are the six arithmetic status flags rewritten wholesale by
+// ADD/SUB-family retirements.
+const statusFlags = x86.FlagCF | x86.FlagPF | x86.FlagAF | x86.FlagZF | x86.FlagSF | x86.FlagOF
+
 // parityEven[b] is true when byte b has an even number of set bits (PF=1).
 var parityEven = computeParityTable()
 
@@ -41,13 +45,27 @@ func (m *Machine) GetFlag(f uint32) bool { return m.Flags&f != 0 }
 // wrappers derive mask and sign bit via the shared x86 helpers and are used
 // by the legacy interpreter switch and the slow paths.
 
+// szpBits returns the SF/ZF/PF bits for a masked result — the *MS cores
+// accumulate the status word locally and merge into m.Flags once, instead
+// of six separate read-modify-writes per ALU retirement.
+func szpBits(v, sb uint32) uint32 {
+	var fl uint32
+	if v == 0 {
+		fl |= x86.FlagZF
+	}
+	if v&sb != 0 {
+		fl |= x86.FlagSF
+	}
+	if parityEven[byte(v)] {
+		fl |= x86.FlagPF
+	}
+	return fl
+}
+
 // setSZPMS sets the sign, zero and parity flags from a result under the
 // given width mask and sign bit.
 func (m *Machine) setSZPMS(v, mask, sb uint32) {
-	v &= mask
-	m.setFlag(x86.FlagZF, v == 0)
-	m.setFlag(x86.FlagSF, v&sb != 0)
-	m.setFlag(x86.FlagPF, parityEven[byte(v)])
+	m.Flags = m.Flags&^(x86.FlagZF|x86.FlagSF|x86.FlagPF) | szpBits(v&mask, sb)
 }
 
 // setSZP sets the sign, zero and parity flags from a result of width w.
@@ -62,10 +80,17 @@ func (m *Machine) addFlagsMS(a, b, carry, mask, sb uint32) uint32 {
 	b &= mask
 	r64 := uint64(a) + uint64(b) + uint64(carry)
 	r := uint32(r64) & mask
-	m.setFlag(x86.FlagCF, r64 > uint64(mask))
-	m.setFlag(x86.FlagOF, (a^r)&(b^r)&sb != 0)
-	m.setFlag(x86.FlagAF, (a^b^r)&0x10 != 0)
-	m.setSZPMS(r, mask, sb)
+	fl := szpBits(r, sb)
+	if r64 > uint64(mask) {
+		fl |= x86.FlagCF
+	}
+	if (a^r)&(b^r)&sb != 0 {
+		fl |= x86.FlagOF
+	}
+	if (a^b^r)&0x10 != 0 {
+		fl |= x86.FlagAF
+	}
+	m.Flags = m.Flags&^statusFlags | fl
 	return r
 }
 
@@ -82,10 +107,17 @@ func (m *Machine) subFlagsMS(a, b, borrow, mask, sb uint32) uint32 {
 	b &= mask
 	r64 := uint64(a) - uint64(b) - uint64(borrow)
 	r := uint32(r64) & mask
-	m.setFlag(x86.FlagCF, uint64(a) < uint64(b)+uint64(borrow))
-	m.setFlag(x86.FlagOF, (a^b)&(a^r)&sb != 0)
-	m.setFlag(x86.FlagAF, (a^b^r)&0x10 != 0)
-	m.setSZPMS(r, mask, sb)
+	fl := szpBits(r, sb)
+	if uint64(a) < uint64(b)+uint64(borrow) {
+		fl |= x86.FlagCF
+	}
+	if (a^b)&(a^r)&sb != 0 {
+		fl |= x86.FlagOF
+	}
+	if (a^b^r)&0x10 != 0 {
+		fl |= x86.FlagAF
+	}
+	m.Flags = m.Flags&^statusFlags | fl
 	return r
 }
 
@@ -100,9 +132,7 @@ func (m *Machine) subFlags(a, b, borrow uint32, w uint8) uint32 {
 // rule).
 func (m *Machine) logicFlagsMS(v, mask, sb uint32) uint32 {
 	v &= mask
-	m.setFlag(x86.FlagCF, false)
-	m.setFlag(x86.FlagOF, false)
-	m.setSZPMS(v, mask, sb)
+	m.Flags = m.Flags&^(x86.FlagCF|x86.FlagOF|x86.FlagZF|x86.FlagSF|x86.FlagPF) | szpBits(v, sb)
 	return v
 }
 

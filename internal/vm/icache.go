@@ -65,6 +65,12 @@ type icacheRegion struct {
 	// the first fill after the base went shared. It always reflects the
 	// region's current bytes: invalidation zeroes it in place.
 	local []islot
+	// traces holds the fused superblock traces (trace.go), indexed like
+	// entries by start address. Always private to this machine — a
+	// Snapshot never shares them — and allocated on the first fuse.
+	// Invalidation zeroes trace pointers with a back-span widened to
+	// maxTraceBytes-1, since a trace may extend that far past its start.
+	traces []*trace
 }
 
 func (rt *icacheRegion) contains(pc uint32) bool {
@@ -89,6 +95,26 @@ func (rt *icacheRegion) zeroLocal(spans []icacheSpan) {
 	for _, sp := range spans {
 		for a := sp.lo; a < sp.hi; a++ {
 			rt.local[a-rt.base] = islot{}
+		}
+	}
+}
+
+// zeroTraces drops fused traces that could overlap the given spans. The
+// spans carry only the islot back-span (MaxInstLen-1); a trace starting up
+// to maxTraceBytes-1 bytes before a written byte can extend across it, so
+// each span's low edge is widened by the difference (conservatively by the
+// full maxTraceBytes) and re-clamped to the region.
+func (rt *icacheRegion) zeroTraces(spans []icacheSpan) {
+	if rt.traces == nil {
+		return
+	}
+	for _, sp := range spans {
+		lo := sp.lo - maxTraceBytes
+		if lo > sp.lo || lo < rt.base { // underflow or region edge
+			lo = rt.base
+		}
+		for a := lo; a < sp.hi; a++ {
+			rt.traces[a-rt.base] = nil
 		}
 	}
 }
@@ -183,8 +209,15 @@ func (m *Memory) icacheFill(pc uint32, s *islot) {
 // overlay decodes under the span are zeroed either way, so the overlay
 // always reflects the region's current bytes.
 func (m *Memory) icacheInvalidate(addr uint32, n int) {
+	if n <= 0 {
+		return
+	}
+	// Bump the invalidation generation before anything else: an in-flight
+	// fused trace polls it between micro-ops and must see the change even
+	// when the write lands outside every cached table.
+	m.invalGen++
 	c := m.icache
-	if c == nil || n <= 0 {
+	if c == nil {
 		return
 	}
 	lo := addr - (x86.MaxInstLen - 1)
@@ -212,6 +245,7 @@ func (m *Memory) icacheInvalidate(addr uint32, n int) {
 				rt.entries[a-rt.base] = islot{}
 			}
 		}
+		rt.zeroTraces([]icacheSpan{sp})
 	}
 }
 
@@ -280,9 +314,16 @@ func (m *Memory) icacheInstall(snap *icacheSnap) {
 			// the previous run (rt.dirty) or differ between the snapshot
 			// this cache last served and the one being installed — the
 			// latter is always inside the installed snapshot's spans,
-			// since the golden run only appends to its dirty list.
+			// since the golden run only appends to its dirty list. Fused
+			// traces follow the same rule (pokes already zeroed the spans
+			// under rt.dirty at poke time, but a trace fused *after* the
+			// poke from the poked bytes starts inside the widened span and
+			// is dropped here); traces over pristine bytes survive the
+			// restore, which is what makes cross-run trace reuse work.
 			rt.zeroLocal(rt.dirty)
 			rt.zeroLocal(sr.dirty)
+			rt.zeroTraces(rt.dirty)
+			rt.zeroTraces(sr.dirty)
 			rt.dirty = append(rt.dirty[:0], sr.dirty...)
 		}
 		return

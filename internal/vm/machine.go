@@ -55,12 +55,49 @@ type Machine struct {
 	// knob exists to measure what decode-time handler binding buys.
 	NoUops bool
 
+	// NoTraces disables superblock trace fusion (the ablation knob): Step
+	// then dispatches every retirement individually through the micro-op
+	// table instead of executing fused straight-line traces (trace.go).
+	// Architectural behavior is identical either way.
+	NoTraces bool
+
+	// NoDirtyTracking disables dirty-page write tracking (the ablation
+	// knob): Restore then copies every region's full bytes back from the
+	// snapshot instead of only the pages written since the last restore.
+	NoDirtyTracking bool
+
+	// ParanoidRestore enables the dirty-restore self-check: after an
+	// O(dirty) restore, every region is compared byte-for-byte against the
+	// snapshot and any divergence — a write that escaped the tracking
+	// bitmap — is returned as an error. Debug aid; costs a full image
+	// compare per restore.
+	ParanoidRestore bool
+
 	// ICacheHits and ICacheMisses count retirements served from the
 	// predecoded instruction cache versus decoded on a miss. They are
 	// measurement state, not architectural state: Restore leaves them
 	// alone, so they accumulate across snapshot-restored runs.
 	ICacheHits   uint64
 	ICacheMisses uint64
+
+	// TraceHits counts fused-trace executions started by Step; TraceExits
+	// counts the ones that ended early (a fault, exit or kernel error
+	// mid-trace, or a self-modifying write aborting the remainder).
+	// Measurement state, like the icache counters.
+	TraceHits  uint64
+	TraceExits uint64
+
+	// DirtyBytesCopied accumulates bytes copied back by O(dirty) restores;
+	// FullRestores counts restores that fell back to (or started from) a
+	// full-image copy. Measurement state, like the icache counters.
+	DirtyBytesCopied uint64
+	FullRestores     uint64
+
+	// lastSnap remembers which snapshot the machine was last restored
+	// from. The O(dirty) restore is only sound when rewinding to that very
+	// snapshot (pointer identity): the dirty bitmap records what diverged
+	// from it, not from any other checkpoint.
+	lastSnap *Snapshot
 
 	breakpoints map[uint32]struct{}
 
@@ -252,6 +289,31 @@ func (m *Machine) Step() error {
 	return uopTable[s.uop.H&(uopTableSize-1)](m, &s.uop)
 }
 
+// stepFused is Run's inner step: like Step, except that hot straight-line
+// code executes as a fused superblock trace (trace.go), retiring every
+// instruction up to and including the next branch in one call with no
+// per-instruction dispatch. Architectural state after each retirement is
+// identical to single-stepping (the Step contract of one instruction per
+// call is why trace execution lives here and not in Step itself). Falls
+// back to Step whenever traces are gated off — ablation knob, legacy
+// dispatch, watchdog, armed breakpoints — or when the trace at EIP would
+// outrun the remaining fuel, so OutOfFuel still fires at the exact step
+// it would under single-stepping.
+func (m *Machine) stepFused() error {
+	if !m.NoICache && !m.NoUops && !m.NoTraces &&
+		m.CFValid == nil && len(m.breakpoints) == 0 {
+		pc := m.EIP
+		tr := m.Mem.traceLookup(pc)
+		if tr == nil {
+			tr = m.buildTrace(pc)
+		}
+		if tr != nil && len(tr.ops) > 0 && m.Steps+uint64(len(tr.ops)) <= m.fuel() {
+			return m.runTrace(tr)
+		}
+	}
+	return m.Step()
+}
+
 // Run executes until the program exits, faults, runs out of fuel, hits an
 // armed breakpoint, or the kernel aborts the run. The returned error is
 // never nil and is one of *ExitStatus, *Fault, *OutOfFuel, *BreakpointHit,
@@ -270,7 +332,7 @@ func (m *Machine) Run() error {
 		}
 	}
 	for {
-		if err := m.Step(); err != nil {
+		if err := m.stepFused(); err != nil {
 			return err
 		}
 	}

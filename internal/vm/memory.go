@@ -9,6 +9,7 @@ package vm
 import (
 	"bytes"
 	"fmt"
+	"math/bits"
 	"sort"
 )
 
@@ -37,12 +38,87 @@ func (p Perm) String() string {
 	return string(b)
 }
 
+// Dirty-page geometry: writes are tracked at 64-byte granularity, one bit
+// per page, 64 pages per bitmap word. Coarse enough that a word of bitmap
+// covers 4 KiB of region, fine enough that a run touching a few stack and
+// data cells restores a few hundred bytes instead of the whole image.
+const (
+	dirtyPageShift = 6 // log2(page size)
+	dirtyPageSize  = 1 << dirtyPageShift
+)
+
 // Region is a contiguous mapped range of the 32-bit address space.
 type Region struct {
 	Name string
 	Base uint32
 	Perm Perm
 	Data []byte
+
+	// dirty, when non-nil, is the write-tracking bitmap: bit p set means
+	// page p (bytes [p*64, p*64+64) of Data) was written since the bitmap
+	// was last cleared. Armed by Restore when dirty tracking is on;
+	// maintained by every guest store and by Poke. nil means untracked.
+	dirty []uint64
+}
+
+// armDirty allocates the region's dirty bitmap, or clears it in place when
+// already sized for the region.
+func (r *Region) armDirty() {
+	pages := (len(r.Data) + dirtyPageSize - 1) >> dirtyPageShift
+	words := (pages + 63) >> 6
+	if len(r.dirty) == words {
+		for i := range r.dirty {
+			r.dirty[i] = 0
+		}
+		return
+	}
+	r.dirty = make([]uint64, words)
+}
+
+// markDirty records an n-byte write at offset off into the bitmap. The
+// caller has already bounds-checked the write; n >= 1.
+func (r *Region) markDirty(off uint32, n int) {
+	lo := off >> dirtyPageShift
+	hi := (off + uint32(n) - 1) >> dirtyPageShift
+	// Almost every store fits one page; mark it without loop setup.
+	r.dirty[lo>>6] |= 1 << (lo & 63)
+	for p := lo + 1; p <= hi; p++ {
+		r.dirty[p>>6] |= 1 << (p & 63)
+	}
+}
+
+// copyDirtyFrom copies the dirty pages of the region back from src (the
+// snapshot's pristine bytes, same length as Data), clearing the bitmap as
+// it goes, and returns the number of bytes copied.
+func (r *Region) copyDirtyFrom(src []byte) int {
+	n := 0
+	for wi, w := range r.dirty {
+		if w == 0 {
+			continue
+		}
+		r.dirty[wi] = 0
+		base := uint32(wi) << (dirtyPageShift + 6)
+		for w != 0 {
+			b := uint32(bits.TrailingZeros64(w))
+			w &^= 1 << b
+			lo := base + b<<dirtyPageShift
+			hi := lo + dirtyPageSize
+			if hi > uint32(len(r.Data)) {
+				hi = uint32(len(r.Data))
+			}
+			n += copy(r.Data[lo:hi], src[lo:hi])
+		}
+	}
+	return n
+}
+
+// dirtyPageCount returns the number of pages currently marked dirty.
+func (r *Region) dirtyPageCount() int {
+	n := 0
+	for _, w := range r.dirty {
+		n += bits.OnesCount64(w)
+	}
+	return n
 }
 
 // End returns the first address past the region.
@@ -60,6 +136,18 @@ type Memory struct {
 	// icache is the lazily built predecoded instruction cache (see
 	// icache.go); nil until the machine first decodes an instruction.
 	icache *ICache
+
+	// invalGen counts icache invalidations. A fused trace (trace.go) reads
+	// it before executing each micro-op: a change mid-trace means a store
+	// just landed in an executable region, so the rest of the trace may
+	// have been decoded from bytes that no longer exist — the trace aborts
+	// and execution resumes through the per-step path.
+	invalGen uint64
+
+	// hot is the region that served the last access: a search hint, never
+	// consulted without revalidation. Cleared whenever the region set is
+	// replaced (fresh-mapping Restore).
+	hot *Region
 }
 
 // NewMemory returns an empty address space.
@@ -112,21 +200,49 @@ func (m *Memory) FindByName(name string) *Region {
 }
 
 // access validates an n-byte access at addr with permission p and returns
-// the backing slice.
+// the backing slice. This is the VM's hottest memory path (every load,
+// store, push and pop), so the region resolution is inlined — unsigned
+// wrap folds the two range compares into one — and the last region served
+// is tried first: guest accesses run in bursts against one region (stack
+// frames, buffer fills), and the hot-region probe skips the scan for
+// them. The cache is only a search hint; every hit revalidates bounds and
+// permissions.
 func (m *Memory) access(addr uint32, n int, p Perm) ([]byte, *Fault) {
-	r := m.Find(addr)
-	if r == nil || r.Perm&p != p {
+	r := m.hot
+	if r != nil {
+		if off := addr - r.Base; off < uint32(len(r.Data)) {
+			return m.accessIn(r, addr, off, n, p)
+		}
+	}
+	for _, r := range m.regions {
+		off := addr - r.Base
+		if off >= uint32(len(r.Data)) {
+			continue
+		}
+		m.hot = r
+		return m.accessIn(r, addr, off, n, p)
+	}
+	return nil, &Fault{Kind: faultKindForPerm(p), Addr: addr}
+}
+
+// accessIn validates and serves an access known to start inside r.
+func (m *Memory) accessIn(r *Region, addr, off uint32, n int, p Perm) ([]byte, *Fault) {
+	if r.Perm&p != p {
 		return nil, &Fault{Kind: faultKindForPerm(p), Addr: addr}
 	}
-	off := addr - r.Base
 	if int(off)+n > len(r.Data) {
 		// Access straddles the end of the region: fault at first bad byte.
 		return nil, &Fault{Kind: faultKindForPerm(p), Addr: r.End()}
 	}
-	if p&PermWrite != 0 && r.Perm&PermExec != 0 {
-		// Self-modifying code: a successful store into an executable
-		// region voids the covering predecoded cache lines.
-		m.icacheInvalidate(addr, n)
+	if p&PermWrite != 0 {
+		if r.dirty != nil {
+			r.markDirty(off, n)
+		}
+		if r.Perm&PermExec != 0 {
+			// Self-modifying code: a successful store into an executable
+			// region voids the covering predecoded cache lines.
+			m.icacheInvalidate(addr, n)
+		}
 	}
 	return r.Data[off : off+uint32(n)], nil
 }
@@ -143,8 +259,21 @@ func (m *Memory) Read(addr uint32, n int) ([]byte, *Fault) {
 	return m.access(addr, n, PermRead)
 }
 
+// The width-specific Read/Write methods below open-code the hot-region
+// probe before falling back to access: loads and stores are the VM's
+// dominant operation and the extra call layers measurably cost. The fast
+// path serves only plain in-bounds accesses against the hinted region
+// with exactly the permissions required — writes additionally require the
+// region non-executable (so self-modifying stores always take the slow
+// path and invalidate the icache) — and performs the same dirty marking.
+
 // Read8 reads one byte.
 func (m *Memory) Read8(addr uint32) (uint32, *Fault) {
+	if r := m.hot; r != nil && r.Perm&PermRead != 0 {
+		if off := addr - r.Base; off < uint32(len(r.Data)) {
+			return uint32(r.Data[off]), nil
+		}
+	}
 	b, f := m.access(addr, 1, PermRead)
 	if f != nil {
 		return 0, f
@@ -163,6 +292,12 @@ func (m *Memory) Read16(addr uint32) (uint32, *Fault) {
 
 // Read32 reads a little-endian 32-bit value.
 func (m *Memory) Read32(addr uint32) (uint32, *Fault) {
+	if r := m.hot; r != nil && r.Perm&PermRead != 0 {
+		if off := addr - r.Base; off < uint32(len(r.Data)) && int(off)+4 <= len(r.Data) {
+			b := r.Data[off : off+4 : off+4]
+			return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil
+		}
+	}
 	b, f := m.access(addr, 4, PermRead)
 	if f != nil {
 		return 0, f
@@ -184,6 +319,15 @@ func (m *Memory) ReadW(addr uint32, w uint8) (uint32, *Fault) {
 
 // Write8 writes one byte, checking write permission.
 func (m *Memory) Write8(addr uint32, v uint32) *Fault {
+	if r := m.hot; r != nil && r.Perm&(PermWrite|PermExec) == PermWrite {
+		if off := addr - r.Base; off < uint32(len(r.Data)) {
+			if r.dirty != nil {
+				r.markDirty(off, 1)
+			}
+			r.Data[off] = byte(v)
+			return nil
+		}
+	}
 	b, f := m.access(addr, 1, PermWrite)
 	if f != nil {
 		return f
@@ -204,6 +348,16 @@ func (m *Memory) Write16(addr uint32, v uint32) *Fault {
 
 // Write32 writes a little-endian 32-bit value.
 func (m *Memory) Write32(addr uint32, v uint32) *Fault {
+	if r := m.hot; r != nil && r.Perm&(PermWrite|PermExec) == PermWrite {
+		if off := addr - r.Base; off < uint32(len(r.Data)) && int(off)+4 <= len(r.Data) {
+			if r.dirty != nil {
+				r.markDirty(off, 4)
+			}
+			b := r.Data[off : off+4 : off+4]
+			b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+			return nil
+		}
+	}
 	b, f := m.access(addr, 4, PermWrite)
 	if f != nil {
 		return f
@@ -250,6 +404,9 @@ func (m *Memory) Poke(addr uint32, data []byte) error {
 		return fmt.Errorf("vm: poke at %#x: not mapped", addr)
 	}
 	copy(r.Data[addr-r.Base:], data)
+	if r.dirty != nil && len(data) > 0 {
+		r.markDirty(addr-r.Base, len(data))
+	}
 	m.icacheInvalidate(addr, len(data))
 	return nil
 }

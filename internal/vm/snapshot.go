@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"bytes"
 	"fmt"
 
 	"faultsec/internal/x86"
@@ -58,6 +59,7 @@ func (m *Machine) Snapshot() *Snapshot {
 		cfValid: m.CFValid,
 		icache:  m.Mem.icacheFreeze(),
 	}
+	s.regions = make([]Region, 0, len(m.Mem.Regions()))
 	for _, r := range m.Mem.Regions() {
 		s.regions = append(s.regions, Region{
 			Name: r.Name,
@@ -66,6 +68,7 @@ func (m *Machine) Snapshot() *Snapshot {
 			Data: append([]byte(nil), r.Data...),
 		})
 	}
+	s.breakpoints = make([]uint32, 0, len(m.breakpoints))
 	for addr := range m.breakpoints {
 		s.breakpoints = append(s.breakpoints, addr)
 	}
@@ -96,8 +99,17 @@ func (s *Snapshot) NewMachine(sys SyscallHandler) *Machine {
 // machine was loaded from the same image, or previously restored from this
 // snapshot), region bytes are copied in place and no allocation happens —
 // this is the engine's hot path, run once per bit-flip experiment. A
-// machine with an empty address space gets fresh region mappings. Any
-// other layout is an error.
+// machine with an empty address space gets fresh region mappings; that
+// path is all-or-nothing: on error the address space is left empty, never
+// partially populated. Any other layout is an error.
+//
+// With dirty tracking on (the default), a re-restore from the very
+// snapshot the machine last restored from copies back only the pages
+// written since — by guest stores, string ops, kernel writes, or injector
+// pokes, all of which maintain the per-region dirty bitmap — making
+// restore cost proportional to what the run actually changed. Restoring
+// from any other snapshot, or with NoDirtyTracking set, falls back to the
+// full-image copy.
 //
 // The syscall handler is left untouched: callers pair each Restore with
 // the kernel restored for the same run.
@@ -105,9 +117,12 @@ func (m *Machine) Restore(s *Snapshot) error {
 	existing := m.Mem.Regions()
 	switch {
 	case len(existing) == 0:
+		// Stage the fresh mappings in a scratch address space and adopt
+		// them only once every region mapped cleanly.
+		staged := NewMemory()
 		for i := range s.regions {
 			src := &s.regions[i]
-			if err := m.Mem.Map(&Region{
+			if err := staged.Map(&Region{
 				Name: src.Name,
 				Base: src.Base,
 				Perm: src.Perm,
@@ -116,19 +131,59 @@ func (m *Machine) Restore(s *Snapshot) error {
 				return err
 			}
 		}
+		m.Mem.regions = staged.regions
+		m.Mem.hot = nil
+		m.FullRestores++
+		if !m.NoDirtyTracking {
+			for _, r := range m.Mem.regions {
+				r.armDirty()
+			}
+		}
 	case len(existing) == len(s.regions):
+		// Validate the whole layout before touching any bytes, so a
+		// mismatch never leaves a half-restored address space.
 		for i, r := range existing {
 			src := &s.regions[i]
 			if r.Name != src.Name || r.Base != src.Base || len(r.Data) != len(src.Data) {
 				return fmt.Errorf("vm: restore: region %d is %s@%#x+%d, snapshot has %s@%#x+%d",
 					i, r.Name, r.Base, len(r.Data), src.Name, src.Base, len(src.Data))
 			}
-			r.Perm = src.Perm
-			copy(r.Data, src.Data)
+		}
+		if !m.NoDirtyTracking && m.lastSnap == s {
+			// O(dirty) path: rewinding to the snapshot the dirty bitmaps
+			// diverge from, so only the written pages need copying.
+			for i, r := range existing {
+				r.Perm = s.regions[i].Perm
+				m.DirtyBytesCopied += uint64(r.copyDirtyFrom(s.regions[i].Data))
+			}
+			if m.ParanoidRestore {
+				for i, r := range existing {
+					if !bytes.Equal(r.Data, s.regions[i].Data) {
+						return fmt.Errorf("vm: paranoid restore: region %q diverges from snapshot after dirty-page restore (untracked write)", r.Name)
+					}
+				}
+			}
+		} else {
+			m.FullRestores++
+			for i, r := range existing {
+				src := &s.regions[i]
+				r.Perm = src.Perm
+				copy(r.Data, src.Data)
+				if m.NoDirtyTracking {
+					r.dirty = nil
+				} else {
+					r.armDirty()
+				}
+			}
 		}
 	default:
 		return fmt.Errorf("vm: restore: machine has %d regions, snapshot has %d",
 			len(existing), len(s.regions))
+	}
+	if m.NoDirtyTracking {
+		m.lastSnap = nil
+	} else {
+		m.lastSnap = s
 	}
 
 	// The restored bytes match the snapshot, so the snapshot's frozen

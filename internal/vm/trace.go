@@ -1,0 +1,370 @@
+package vm
+
+import "faultsec/internal/x86"
+
+// This file implements superblock trace fusion: straight-line runs of
+// predecoded micro-ops are fused, once, into a trace that Machine.Run's
+// fused step executes end to end without per-instruction dispatch — no
+// per-step icache lookup, no fuel/watchdog/breakpoint probing, no Run-loop
+// round-trip. (Machine.Step keeps its one-instruction-per-call contract
+// and never runs traces.) A trace extends from its head instruction to the first
+// control-flow instruction (included, as the final op), the containing
+// region's edge, an unfuseable op, or the size caps, whichever comes
+// first.
+//
+// Correctness invariants:
+//
+//   - Traces fuse only micro-ops whose EIP effect is plain fall-through
+//     (control flow terminates the trace), so the pre-advanced EIP each op
+//     sees is exactly what the per-step path would have set.
+//   - Per-op bookkeeping (m.pc, m.EIP, Steps, TSC) is identical to Step's,
+//     so a fault, exit or kernel error raised mid-trace observes the same
+//     machine state as single-stepping would.
+//   - Run only enters a trace when no per-step check can fire: fuel is
+//     pre-checked for the whole trace (otherwise it single-steps to the
+//     OutOfFuel point), and traces are gated off entirely while
+//     breakpoints are armed or the control-flow watchdog is on.
+//   - Self-modifying writes: Memory.invalGen is polled after every fused
+//     op; a change means a store just invalidated cached decodes, so the
+//     remainder of the trace may be stale and the trace aborts (EIP
+//     already points at the next instruction, so execution resumes
+//     seamlessly through the per-step path, which re-decodes from the
+//     current bytes).
+//   - REP string ops never fuse: their handler runs an internal
+//     per-iteration loop with its own Steps/fuel accounting. RDTSC never
+//     fuses so that a fused TSC update scheme never becomes observable.
+//   - Traces are always private to one machine. Snapshots neither capture
+//     nor share them; Restore keeps traces over pristine bytes and drops
+//     the ones over poked spans (icacheInstall), which is what lets decode
+//     and fuse work survive across a whole experiment group.
+//
+// Dead-flag elision rides on the fused form: when a trace proves that
+// every EFLAGS bit an op writes is overwritten before anything can
+// observe it — observers being flag-reading ops, any op that can fault or
+// write memory (a mid-trace abort exposes EFLAGS), and the trace end —
+// the op's handler is swapped for a flag-free variant (uopNFTable). The
+// liveness pass (elideDeadFlags) treats every non-pure op as a full
+// barrier, so elision only ever spans register-only instructions.
+
+const (
+	// maxTraceUops caps the fused ops per trace; maxTraceBytes caps the
+	// byte span, bounding the invalidation back-span a poke must widen to.
+	maxTraceUops  = 32
+	maxTraceBytes = 128
+)
+
+// traceOp is one fused micro-op: the resolved handler (possibly a
+// flag-free variant), the bound micro-op, and the instruction address
+// with its precomputed fall-through successor.
+type traceOp struct {
+	fn   uopFn
+	pc   uint32
+	next uint32
+	u    x86.Uop
+}
+
+// trace is a fused superblock. A trace with no ops is the "don't fuse
+// here" sentinel: the head instruction is unfuseable (string/rdtsc op, or
+// undecodable), and Run falls through to the single-step path without
+// re-attempting the fuse.
+type trace struct {
+	ops []traceOp
+}
+
+// traceLookup returns the fused trace headed at pc, nil when none has
+// been built (or the slot was invalidated).
+func (m *Memory) traceLookup(pc uint32) *trace {
+	c := m.icache
+	if c == nil {
+		return nil
+	}
+	for _, rt := range c.regions {
+		i := pc - rt.base
+		if i >= uint32(len(rt.entries)) {
+			continue
+		}
+		if rt.traces == nil {
+			return nil
+		}
+		return rt.traces[i]
+	}
+	return nil
+}
+
+// buildTrace fuses and caches the trace headed at pc. Returns nil when pc
+// is not in an executable region (the caller's fetch will fault).
+func (m *Machine) buildTrace(pc uint32) *trace {
+	c := m.Mem.icache
+	if c == nil {
+		c = &ICache{}
+		m.Mem.icache = c
+	}
+	rt := c.findRegion(pc)
+	if rt == nil {
+		r := m.Mem.Find(pc)
+		if r == nil || r.Perm&PermExec == 0 {
+			return nil
+		}
+		rt = &icacheRegion{base: r.Base, entries: make([]islot, len(r.Data))}
+		c.regions = append(c.regions, rt)
+	}
+	tr := m.fuseTrace(pc, rt.base+uint32(len(rt.entries)))
+	if rt.traces == nil {
+		rt.traces = make([]*trace, len(rt.entries))
+	}
+	rt.traces[pc-rt.base] = tr
+	return tr
+}
+
+// fuseTrace walks the instruction stream from pc, reusing cached decodes
+// and filling the icache for new ones, and fuses ops until a terminator
+// (included), the region end, an unfuseable op, or a size cap. Traces
+// never cross end (the region edge): invalidation is per-region, so a
+// trace must live entirely inside the region that indexes it.
+func (m *Machine) fuseTrace(pc, end uint32) *trace {
+	tr := &trace{}
+	addr := pc
+	for len(tr.ops) < maxTraceUops {
+		s := m.Mem.icacheLookup(addr)
+		if s == nil {
+			code, f := m.Mem.Fetch(addr, x86.MaxInstLen)
+			if f != nil {
+				break
+			}
+			var tmp islot
+			if err := x86.DecodeInto(&tmp.inst, code); err != nil {
+				break
+			}
+			tmp.inst.Bind(&tmp.uop)
+			m.ICacheMisses++
+			m.Mem.icacheFill(addr, &tmp)
+			s = &tmp
+		}
+		h := s.uop.H
+		if h == x86.UString || h == x86.URdtsc {
+			break
+		}
+		next := addr + uint32(s.uop.Len)
+		if next > end || next-pc > maxTraceBytes {
+			break
+		}
+		tr.ops = append(tr.ops, traceOp{
+			fn:   uopTable[h&(uopTableSize-1)],
+			pc:   addr,
+			next: next,
+			u:    s.uop,
+		})
+		if traceTerminator(h) {
+			break
+		}
+		addr = next
+	}
+	elideDeadFlags(tr.ops)
+	return tr
+}
+
+// traceTerminator reports whether handler h ends a trace: anything that
+// redirects EIP, enters the kernel, or unconditionally faults. Such an op
+// fuses as the trace's final op and the next Step starts a new trace at
+// wherever it went.
+func traceTerminator(h uint16) bool {
+	switch h {
+	case x86.UJcc, x86.UJmpRel, x86.UJmpRM, x86.UJCXZ,
+		x86.ULoop, x86.ULoopE, x86.ULoopNE,
+		x86.UCallRel, x86.UCallRM, x86.URet,
+		x86.UInt3, x86.UInto, x86.USyscall, x86.UBadInt, x86.UBound,
+		x86.UPrivileged, x86.UUD, x86.UInvalid:
+		return true
+	}
+	return false
+}
+
+// runTrace executes a fused trace. The caller (stepFused) has verified
+// fuel for the whole trace, no armed breakpoints, and no watchdog.
+//
+// Steps, TSC and EIP are batched: inside the trace only m.pc (fault
+// stamping) is maintained per op, and the architectural counters are
+// materialized at every exit point — before the final op (the only place
+// a kernel entry can observe them: syscalls are terminators, so they are
+// always last, and RDTSC never fuses) and on the early-exit paths, where
+// they land on exactly the values per-step execution would have produced
+// at that instruction.
+func (m *Machine) runTrace(tr *trace) error {
+	m.TraceHits++
+	gen := m.Mem.invalGen
+	ops := tr.ops
+	last := len(ops) - 1
+	for i := range ops {
+		e := &ops[i]
+		m.pc = e.pc
+		if i == last {
+			m.flushTrace(e, i)
+			if err := e.fn(m, &e.u); err != nil {
+				m.TraceExits++
+				return err
+			}
+			return nil
+		}
+		if err := e.fn(m, &e.u); err != nil {
+			m.flushTrace(e, i)
+			m.TraceExits++
+			return err
+		}
+		if m.Mem.invalGen != gen {
+			// A store just landed in an executable region: the rest of
+			// the trace may be decoded from dead bytes. Materialize the
+			// counters and fall back to single-stepping, which
+			// re-decodes from the current bytes.
+			m.flushTrace(e, i)
+			m.TraceExits++
+			return nil
+		}
+	}
+	return nil
+}
+
+// flushTrace materializes the batched per-step state as of having retired
+// ops[0..i] of the current trace, with e = &ops[i]: EIP points past e
+// exactly as Step would have left it.
+func (m *Machine) flushTrace(e *traceOp, i int) {
+	m.EIP = e.next
+	m.Steps += uint64(i + 1)
+	m.TSC += 3 * uint64(i+1) // deterministic pseudo cycle count, as in Step
+}
+
+// elideDeadFlags is the backward liveness pass over a fused trace: ops
+// whose written flags are all provably overwritten before any observer
+// swap their handler for the flag-free variant. Non-pure ops (anything
+// that can fault, touch memory, or whose flag behavior is not exactly
+// described) force full liveness on both sides — a mid-trace fault or
+// abort exposes EFLAGS, so elision never crosses them.
+func elideDeadFlags(ops []traceOp) {
+	const allFlags = x86.FlagCF | x86.FlagPF | x86.FlagAF | x86.FlagZF |
+		x86.FlagSF | x86.FlagDF | x86.FlagOF
+	live := uint32(allFlags)
+	for i := len(ops) - 1; i >= 0; i-- {
+		e := &ops[i]
+		ef := x86.UopEffectsOf(e.u.H)
+		if !ef.Pure || (ef.UsesRM && !e.u.RM.IsReg) {
+			live = allFlags
+			continue
+		}
+		if ef.Writes != 0 && ef.Writes&live == 0 {
+			if nf := uopNFTable[e.u.H&(uopTableSize-1)]; nf != nil {
+				e.fn = nf
+			}
+		}
+		live = ef.Reads | (live &^ ef.Writes)
+	}
+}
+
+// Flag-free handler variants. These run only inside fused traces, only
+// when elideDeadFlags proved the op's flag writes dead, and only for
+// register operands (the purity gate), so they skip the flag cores and
+// every fault check. Results are width-masked by regWrite exactly like
+// the full handlers' flag cores mask theirs.
+
+func nfBinRMReg(op func(m *Machine, a, b uint32) uint32) uopFn {
+	return func(m *Machine, u *x86.Uop) error {
+		m.regWrite(u.RM.Reg, u.W, op(m, m.regRead(u.RM.Reg, u.W), m.regRead(u.Reg, u.W)))
+		return nil
+	}
+}
+
+func nfBinRegRM(op func(m *Machine, a, b uint32) uint32) uopFn {
+	return func(m *Machine, u *x86.Uop) error {
+		m.regWrite(u.Reg, u.W, op(m, m.regRead(u.Reg, u.W), m.regRead(u.RM.Reg, u.W)))
+		return nil
+	}
+}
+
+func nfBinRMImm(op func(m *Machine, a, b uint32) uint32) uopFn {
+	return func(m *Machine, u *x86.Uop) error {
+		m.regWrite(u.RM.Reg, u.W, op(m, m.regRead(u.RM.Reg, u.W), uint32(u.Imm)))
+		return nil
+	}
+}
+
+func nfAdd(_ *Machine, a, b uint32) uint32 { return a + b }
+func nfSub(_ *Machine, a, b uint32) uint32 { return a - b }
+func nfAnd(_ *Machine, a, b uint32) uint32 { return a & b }
+func nfOr(_ *Machine, a, b uint32) uint32  { return a | b }
+func nfXor(_ *Machine, a, b uint32) uint32 { return a ^ b }
+func nfAdc(m *Machine, a, b uint32) uint32 { return a + b + b2u(m.GetFlag(x86.FlagCF)) }
+func nfSbb(m *Machine, a, b uint32) uint32 { return a - b - b2u(m.GetFlag(x86.FlagCF)) }
+
+// nfNop is the variant for ops whose only architectural effect is the
+// (dead) flag write: CMP, TEST, CLC/STC/CMC, CLD/STD, SAHF.
+func nfNop(_ *Machine, _ *x86.Uop) error { return nil }
+
+func nfIncReg(m *Machine, u *x86.Uop) error {
+	m.regWrite(u.Reg, u.W, m.regRead(u.Reg, u.W)+1)
+	return nil
+}
+
+func nfDecReg(m *Machine, u *x86.Uop) error {
+	m.regWrite(u.Reg, u.W, m.regRead(u.Reg, u.W)-1)
+	return nil
+}
+
+func nfIncRM(m *Machine, u *x86.Uop) error {
+	m.regWrite(u.RM.Reg, u.W, m.regRead(u.RM.Reg, u.W)+1)
+	return nil
+}
+
+func nfDecRM(m *Machine, u *x86.Uop) error {
+	m.regWrite(u.RM.Reg, u.W, m.regRead(u.RM.Reg, u.W)-1)
+	return nil
+}
+
+func nfNeg(m *Machine, u *x86.Uop) error {
+	m.regWrite(u.RM.Reg, u.W, -m.regRead(u.RM.Reg, u.W))
+	return nil
+}
+
+// uopNFTable maps handler indices to their flag-free variants. A nil
+// entry means the op has no variant and executes in full even when its
+// flag writes are dead.
+var uopNFTable = [uopTableSize]uopFn{
+	x86.UAddRMReg: nfBinRMReg(nfAdd),
+	x86.UAddRegRM: nfBinRegRM(nfAdd),
+	x86.UAddRMImm: nfBinRMImm(nfAdd),
+	x86.UOrRMReg:  nfBinRMReg(nfOr),
+	x86.UOrRegRM:  nfBinRegRM(nfOr),
+	x86.UOrRMImm:  nfBinRMImm(nfOr),
+	x86.UAdcRMReg: nfBinRMReg(nfAdc),
+	x86.UAdcRegRM: nfBinRegRM(nfAdc),
+	x86.UAdcRMImm: nfBinRMImm(nfAdc),
+	x86.USbbRMReg: nfBinRMReg(nfSbb),
+	x86.USbbRegRM: nfBinRegRM(nfSbb),
+	x86.USbbRMImm: nfBinRMImm(nfSbb),
+	x86.UAndRMReg: nfBinRMReg(nfAnd),
+	x86.UAndRegRM: nfBinRegRM(nfAnd),
+	x86.UAndRMImm: nfBinRMImm(nfAnd),
+	x86.USubRMReg: nfBinRMReg(nfSub),
+	x86.USubRegRM: nfBinRegRM(nfSub),
+	x86.USubRMImm: nfBinRMImm(nfSub),
+	x86.UXorRMReg: nfBinRMReg(nfXor),
+	x86.UXorRegRM: nfBinRegRM(nfXor),
+	x86.UXorRMImm: nfBinRMImm(nfXor),
+
+	x86.UCmpRMReg:  nfNop,
+	x86.UCmpRegRM:  nfNop,
+	x86.UCmpRMImm:  nfNop,
+	x86.UTestRMReg: nfNop,
+	x86.UTestRegRM: nfNop,
+	x86.UTestRMImm: nfNop,
+
+	x86.UIncReg: nfIncReg,
+	x86.UIncRM:  nfIncRM,
+	x86.UDecReg: nfDecReg,
+	x86.UDecRM:  nfDecRM,
+	x86.UNeg:    nfNeg,
+
+	x86.UClc:  nfNop,
+	x86.UStc:  nfNop,
+	x86.UCmc:  nfNop,
+	x86.UCld:  nfNop,
+	x86.UStd:  nfNop,
+	x86.USahf: nfNop,
+}

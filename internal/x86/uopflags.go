@@ -1,0 +1,125 @@
+package x86
+
+// This file carries the EFLAGS read/write metadata the VM's trace fuser
+// uses for dead-flag elision: when a fused straight-line trace proves that
+// every flag an instruction writes is overwritten before anything can read
+// it — a later flag-writing instruction, a potentially faulting operation
+// (a fault exposes EFLAGS to the injector's classifier), or the end of the
+// trace — the VM may execute a flag-free variant of the handler.
+//
+// The metadata is deliberately conservative: only handlers whose flag
+// behavior is exact and operand-independent are described. Everything else
+// (shifts and rotates, whose flag writes depend on the runtime count;
+// multiplies and divides; string ops; anything that touches memory, the
+// stack, EIP, or the kernel) keeps the zero value, which the liveness pass
+// treats as "reads and clobbers everything and may fault" — a full
+// barrier.
+
+// UopEffects describes the EFLAGS behavior of one uop handler.
+type UopEffects struct {
+	// Reads and Writes are the EFLAGS bits the handler's result depends
+	// on and the bits it assigns, as Flag* masks.
+	Reads  uint32
+	Writes uint32
+	// Pure marks the handler register-only and fault-free: no memory
+	// access, no EIP/counter side effects, no kernel involvement —
+	// provided the RM operand (when UsesRM is set) resolves to a
+	// register. A non-pure handler is a liveness barrier.
+	Pure bool
+	// UsesRM marks handlers that dereference the RM operand; purity then
+	// additionally requires RM.IsReg at the call site.
+	UsesRM bool
+}
+
+// Flag groups as the VM's flag cores actually write them.
+const (
+	// arithFlags: ADD/ADC/SUB/SBB/CMP/NEG set all six status flags.
+	arithFlags = FlagCF | FlagPF | FlagAF | FlagZF | FlagSF | FlagOF
+	// logicFlags: AND/OR/XOR/TEST clear CF/OF and set SF/ZF/PF; AF is
+	// left untouched.
+	logicFlags = FlagCF | FlagPF | FlagZF | FlagSF | FlagOF
+	// incFlags: INC/DEC set everything but CF, which they preserve.
+	incFlags = FlagPF | FlagAF | FlagZF | FlagSF | FlagOF
+	// lahfFlags: the five status flags LAHF/SAHF move through AH.
+	lahfFlags = FlagCF | FlagPF | FlagAF | FlagZF | FlagSF
+	// condFlags: the superset any condition code can consult.
+	condFlags = FlagCF | FlagPF | FlagZF | FlagSF | FlagOF
+)
+
+var uopEffects = [NumUopHandlers]UopEffects{
+	UAddRMReg: {Writes: arithFlags, Pure: true, UsesRM: true},
+	UAddRegRM: {Writes: arithFlags, Pure: true, UsesRM: true},
+	UAddRMImm: {Writes: arithFlags, Pure: true, UsesRM: true},
+	UOrRMReg:  {Writes: logicFlags, Pure: true, UsesRM: true},
+	UOrRegRM:  {Writes: logicFlags, Pure: true, UsesRM: true},
+	UOrRMImm:  {Writes: logicFlags, Pure: true, UsesRM: true},
+	UAdcRMReg: {Reads: FlagCF, Writes: arithFlags, Pure: true, UsesRM: true},
+	UAdcRegRM: {Reads: FlagCF, Writes: arithFlags, Pure: true, UsesRM: true},
+	UAdcRMImm: {Reads: FlagCF, Writes: arithFlags, Pure: true, UsesRM: true},
+	USbbRMReg: {Reads: FlagCF, Writes: arithFlags, Pure: true, UsesRM: true},
+	USbbRegRM: {Reads: FlagCF, Writes: arithFlags, Pure: true, UsesRM: true},
+	USbbRMImm: {Reads: FlagCF, Writes: arithFlags, Pure: true, UsesRM: true},
+	UAndRMReg: {Writes: logicFlags, Pure: true, UsesRM: true},
+	UAndRegRM: {Writes: logicFlags, Pure: true, UsesRM: true},
+	UAndRMImm: {Writes: logicFlags, Pure: true, UsesRM: true},
+	USubRMReg: {Writes: arithFlags, Pure: true, UsesRM: true},
+	USubRegRM: {Writes: arithFlags, Pure: true, UsesRM: true},
+	USubRMImm: {Writes: arithFlags, Pure: true, UsesRM: true},
+	UXorRMReg: {Writes: logicFlags, Pure: true, UsesRM: true},
+	UXorRegRM: {Writes: logicFlags, Pure: true, UsesRM: true},
+	UXorRMImm: {Writes: logicFlags, Pure: true, UsesRM: true},
+
+	UCmpRMReg:  {Writes: arithFlags, Pure: true, UsesRM: true},
+	UCmpRegRM:  {Writes: arithFlags, Pure: true, UsesRM: true},
+	UCmpRMImm:  {Writes: arithFlags, Pure: true, UsesRM: true},
+	UTestRMReg: {Writes: logicFlags, Pure: true, UsesRM: true},
+	UTestRegRM: {Writes: logicFlags, Pure: true, UsesRM: true},
+	UTestRMImm: {Writes: logicFlags, Pure: true, UsesRM: true},
+
+	UIncReg: {Writes: incFlags, Pure: true},
+	UIncRM:  {Writes: incFlags, Pure: true, UsesRM: true},
+	UDecReg: {Writes: incFlags, Pure: true},
+	UDecRM:  {Writes: incFlags, Pure: true, UsesRM: true},
+	UNot:    {Pure: true, UsesRM: true},
+	UNeg:    {Writes: arithFlags, Pure: true, UsesRM: true},
+
+	UMovRMReg:  {Pure: true, UsesRM: true},
+	UMovRegRM:  {Pure: true, UsesRM: true},
+	UMovRMImm:  {Pure: true, UsesRM: true},
+	UMovRegImm: {Pure: true},
+	UMovZX:     {Pure: true, UsesRM: true},
+	UMovSX8:    {Pure: true, UsesRM: true},
+	UMovSX16:   {Pure: true, UsesRM: true},
+	// LEA only evaluates the address arithmetic of its memory operand —
+	// registers in, register out, no dereference — so it is pure even
+	// though its RM is a memory form.
+	ULea:     {Pure: true},
+	UXchgAcc: {Pure: true},
+	UXchgRM:  {Pure: true, UsesRM: true},
+	UBswap:   {Pure: true},
+	USetcc:   {Reads: condFlags, Pure: true, UsesRM: true},
+	UCMov:    {Reads: condFlags, Pure: true, UsesRM: true},
+
+	UNop:  {Pure: true},
+	UCbw:  {Pure: true},
+	UCwde: {Pure: true},
+	UCwd:  {Pure: true},
+	UCdq:  {Pure: true},
+	UClc:  {Writes: FlagCF, Pure: true},
+	UStc:  {Writes: FlagCF, Pure: true},
+	UCmc:  {Reads: FlagCF, Writes: FlagCF, Pure: true},
+	UCld:  {Writes: FlagDF, Pure: true},
+	UStd:  {Writes: FlagDF, Pure: true},
+	USahf: {Writes: lahfFlags, Pure: true},
+	ULahf: {Reads: lahfFlags, Pure: true},
+	USalc: {Reads: FlagCF, Pure: true},
+}
+
+// UopEffectsOf returns the flag metadata for handler index h. Unknown or
+// out-of-range indices return the zero value (a full barrier).
+func UopEffectsOf(h uint16) UopEffects {
+	if int(h) < len(uopEffects) {
+		return uopEffects[h]
+	}
+	return UopEffects{}
+}
