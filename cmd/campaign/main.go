@@ -13,6 +13,7 @@
 //	campaign -persistent          # §5.4 permanent-window demonstration
 //	campaign -loadimpact          # §5.4 load-diversity experiment
 //	campaign -models              # fault-model matrix (bitflip, doublebit, byteflip, instskip, cmpskip, regflip)
+//	campaign -schemes             # hardening-scheme reduction matrix (x86, parity, dupcmp, encbranch)
 package main
 
 import (
@@ -42,6 +43,7 @@ func run() error {
 		watchdog   = flag.Bool("watchdog", false, "run the control-flow watchdog ablation")
 		loadImpact = flag.Bool("loadimpact", false, "run the load-diversity experiment (§5.4)")
 		models     = flag.Bool("models", false, "run every registered fault model over FTP and SSH Client1 and print the BRK/SD/FSV matrix")
+		schemes    = flag.Bool("schemes", false, "run every registered hardening scheme x fault model over FTP and SSH Client1 and print the reduction matrix")
 		all        = flag.Bool("all", false, "run everything")
 		jsonOut    = flag.String("json", "", "also write campaign stats as JSON to this file")
 		fuel       = flag.Uint64("fuel", 0, "per-run instruction budget (0 = default)")
@@ -186,7 +188,17 @@ func run() error {
 			time.Since(start).Seconds())
 		fmt.Println(matrix)
 	}
-	if !*all && *tableN == 0 && *figureN == 0 && *randomN == 0 && !*persistent && !*loadImpact && !*watchdog && !*models {
+	if *schemes || *all {
+		start := time.Now()
+		matrix, _, err := study.SchemeMatrix(ctx, nil, nil, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== hardening-scheme matrix: BRK/SD/FSV reduction per (scheme x model x target) (%.1fs) ==\n",
+			time.Since(start).Seconds())
+		fmt.Println(matrix)
+	}
+	if !*all && *tableN == 0 && *figureN == 0 && *randomN == 0 && !*persistent && !*loadImpact && !*watchdog && !*models && !*schemes {
 		flag.Usage()
 	}
 	return nil

@@ -32,7 +32,9 @@ const maxSubmitBytes = 1 << 20
 type submitRequest struct {
 	App      string `json:"app"`      // "ftpd" or "sshd"
 	Scenario string `json:"scenario"` // e.g. "Client1"
-	Scheme   string `json:"scheme"`   // "x86" (default) or "parity"
+	// Scheme selects the hardening scheme ("x86" when omitted); unknown
+	// names are refused with 400 and the registered list.
+	Scheme string `json:"scheme"`
 	// FaultModel selects the injection's fault model ("bitflip" when
 	// omitted); unknown names are refused with 400 and the registered list.
 	FaultModel string `json:"faultModel,omitempty"`
@@ -320,16 +322,6 @@ func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-func parseScheme(s string) (encoding.Scheme, error) {
-	switch s {
-	case "", "x86":
-		return encoding.SchemeX86, nil
-	case "parity":
-		return encoding.SchemeParity, nil
-	}
-	return 0, fmt.Errorf("unknown scheme %q (want \"x86\" or \"parity\")", s)
-}
-
 func (s *server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodPost:
@@ -371,12 +363,13 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "app %s has no scenario %q", req.App, req.Scenario)
 		return
 	}
-	scheme, err := parseScheme(req.Scheme)
+	scheme, err := encoding.Parse(req.Scheme)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, http.StatusBadRequest, "unknown scheme %q (have %s)",
+			req.Scheme, strings.Join(encoding.Names(), ", "))
 		return
 	}
-	req.Scheme = scheme.String()
+	req.Scheme = scheme.Name()
 	model, err := faultmodel.Get(req.FaultModel)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "unknown fault model %q (have %s)",

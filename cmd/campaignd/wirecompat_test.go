@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// updateMetricsFixture regenerates the GET /metrics wire fixture under
+// testdata. The fixture was captured before the scheme registry refactor;
+// regenerate only when the wire format changes deliberately.
+var updateMetricsFixture = flag.Bool("update-metrics-fixture", false,
+	"rewrite the testdata GET /metrics fixture from the current service")
+
+// TestMetricsWireCompat pins the GET /metrics response shape and counter
+// values to a fixture captured before the pluggable-scheme refactor. Two
+// sequential journaled campaigns (x86 then parity, FTP Client1, one
+// worker so every engine counter is deterministic) are driven to
+// completion, then the metrics body is normalized — the two wall-clock
+// derived rates are zeroed, everything else is byte-compared.
+func TestMetricsWireCompat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full campaigns are not short")
+	}
+	ts, _ := newTestServiceIn(t, t.TempDir())
+	for _, scheme := range []string{"x86", "parity"} {
+		v := postCampaign(t, ts,
+			`{"app":"ftpd","scenario":"Client1","scheme":"`+scheme+`","parallelism":1,"journal":true}`)
+		if got := waitDone(t, ts, v.ID); got.State != "done" {
+			t.Fatalf("campaign %s (%s): state %s, error %q", v.ID, scheme, got.State, got.Error)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close() //nolint:errcheck // test
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	var raw map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	// Zero the wall-clock derived rates; every other field is a
+	// deterministic counter under parallelism 1.
+	if campaigns, ok := raw["campaigns"].(map[string]any); ok {
+		for _, c := range campaigns {
+			if m, ok := c.(map[string]any); ok {
+				m["runsPerSec"] = 0
+				m["workerUtilization"] = 0
+			}
+		}
+	}
+	got, err := json.MarshalIndent(raw, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	fixture := filepath.Join("testdata", "metrics-x86-parity.json")
+	if *updateMetricsFixture {
+		if err := os.MkdirAll(filepath.Dir(fixture), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(fixture, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", fixture, len(got))
+		return
+	}
+	want, err := os.ReadFile(fixture)
+	if err != nil {
+		t.Fatalf("read fixture (run with -update-metrics-fixture to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("GET /metrics differs from pre-refactor fixture:\n got: %s\nwant: %s", got, want)
+	}
+}

@@ -1,19 +1,65 @@
-// Command encmap prints the branch re-encoding map (the paper's Table 4)
-// and the Hamming-distance analysis motivating it.
+// Command encmap lists the registered hardening schemes and prints the
+// branch re-encoding map (the paper's Table 4) and the Hamming-distance
+// analysis motivating it for schemes that define a byte remap.
+//
+// Usage:
+//
+//	encmap             # list registered schemes, then render the parity map
+//	encmap -scheme S   # render scheme S's encoding table (error if S has none)
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
+	"strings"
 
-	"faultsec"
+	"faultsec/internal/cc"
 	"faultsec/internal/encoding"
 	"faultsec/internal/x86"
 )
 
 func main() {
-	fmt.Println("x86 Conditional Branch Instruction Encoding Mapping (paper Table 4)")
+	scheme := flag.String("scheme", "parity",
+		"hardening scheme whose encoding table to render")
+	flag.Parse()
+	if err := run(*scheme); err != nil {
+		fmt.Fprintln(os.Stderr, "encmap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name string) error {
+	fmt.Println("Registered hardening schemes:")
+	for _, n := range encoding.Names() {
+		s, err := encoding.Parse(n)
+		if err != nil {
+			return err
+		}
+		kind := "corruption-time"
+		if s.CCOptions() != (cc.Options{}) {
+			kind = "compile-time (cc options)"
+		}
+		remap := ""
+		if _, ok := s.(encoding.Remapper); ok {
+			remap = ", byte remap"
+		}
+		fmt.Printf("  %-10s %s%s\n", n, kind, remap)
+	}
 	fmt.Println()
-	fmt.Print(faultsec.RenderTable4())
+
+	s, err := encoding.Parse(name)
+	if err != nil {
+		return err
+	}
+	r, ok := s.(encoding.Remapper)
+	if !ok {
+		return fmt.Errorf("scheme %q defines no byte remap — no encoding table to render (byte-remap schemes: %s)",
+			name, strings.Join(remapperNames(), ", "))
+	}
+
+	fmt.Printf("%s Conditional Branch Instruction Encoding Mapping (paper Table 4)\n\n", name)
+	fmt.Print(renderTable4(r))
 	fmt.Println()
 
 	fmt.Println("Hamming analysis:")
@@ -21,8 +67,8 @@ func main() {
 		x86.MinPairwiseHamming(x86.Jcc8Opcodes()))
 	fmt.Printf("  stock 6-byte jcc 2nd opcode bytes (0x0F 0x80..0x8F): min pairwise distance %d\n",
 		x86.MinPairwiseHamming(x86.Jcc32SecondOpcodes()))
-	d2, d6 := encoding.MinHammingWithinBranchBlocks()
-	fmt.Printf("  parity re-encoding: min distance %d (2-byte set), %d (6-byte set)\n", d2, d6)
+	d2, d6 := r.MinHammingWithinBranchBlocks()
+	fmt.Printf("  %s re-encoding: min distance %d (2-byte set), %d (6-byte set)\n", name, d2, d6)
 	fmt.Println()
 
 	fmt.Println("Dangerous single-bit pairs under the stock encoding (condition vs negation):")
@@ -32,4 +78,28 @@ func main() {
 		fmt.Printf("  j%-3s (%#02x) <-> j%-3s (%#02x): one bit flip reverses the branch\n",
 			x86.CondName(uint8(cc)), a, x86.CondName(uint8(cc+1)), b)
 	}
+	return nil
+}
+
+// renderTable4 renders a remapper's encoding table in the paper's layout.
+func renderTable4(r encoding.Remapper) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s  %-12s  %-12s\n", "Mnem", "2-byte", "6-byte (0F _)")
+	for _, row := range r.Table4() {
+		fmt.Fprintf(&b, "%-8s  %#02x -> %#02x  %#02x -> %#02x\n",
+			row.Mnemonic, row.Old2, row.New2, row.Old6Byte2, row.New6Byte2)
+	}
+	return b.String()
+}
+
+func remapperNames() []string {
+	var out []string
+	for _, n := range encoding.Names() {
+		if s, err := encoding.Parse(n); err == nil {
+			if _, ok := s.(encoding.Remapper); ok {
+				out = append(out, n)
+			}
+		}
+	}
+	return out
 }

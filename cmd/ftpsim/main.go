@@ -20,6 +20,7 @@ import (
 	"strconv"
 	"strings"
 
+	"faultsec/internal/encoding"
 	"faultsec/internal/ftpd"
 	"faultsec/internal/inject"
 	"faultsec/internal/kernel"
@@ -106,7 +107,7 @@ func corruptedText(app *target.App, spec string) ([]byte, error) {
 			idx, len(inFunc), parts[0])
 	}
 	tgt := inFunc[idx]
-	ex := inject.Experiment{Target: tgt, ByteIdx: byteIdx, Bit: bit, Scheme: 1}
+	ex := inject.Experiment{Target: tgt, ByteIdx: byteIdx, Bit: bit, Scheme: encoding.SchemeX86}
 	text := make([]byte, len(app.Image.Text))
 	copy(text, app.Image.Text)
 	copy(text[tgt.Addr-app.Image.TextBase:], ex.CorruptedBytes())

@@ -75,10 +75,14 @@ const (
 	OutcomeBRK = classify.OutcomeBRK
 )
 
-// Encoding scheme constants.
-const (
-	SchemeX86    = encoding.SchemeX86
-	SchemeParity = encoding.SchemeParity
+// Registered hardening schemes. SchemeX86 and SchemeParity are the
+// paper's pair; SchemeDupCompare and SchemeEncodedBranch are the
+// cc-emitted branch countermeasures of arXiv 1803.08359.
+var (
+	SchemeX86           = encoding.SchemeX86
+	SchemeParity        = encoding.SchemeParity
+	SchemeDupCompare    = encoding.SchemeDupCompare
+	SchemeEncodedBranch = encoding.SchemeEncodedBranch
 )
 
 // NewStudy compiles and links both target servers (ftpd and sshd).
@@ -109,6 +113,17 @@ func RenderModelMatrix(stats []*Stats) string { return report.ModelMatrix(stats)
 
 // FaultModels lists the registered fault-model names.
 func FaultModels() []string { return faultmodel.Names() }
+
+// RenderSchemeMatrix renders the per-(hardening scheme × fault model ×
+// target) BRK/SD/FSV reduction matrix (internal/report.SchemeMatrix).
+func RenderSchemeMatrix(stats []*Stats) string { return report.SchemeMatrix(stats) }
+
+// Schemes lists the registered hardening-scheme names.
+func Schemes() []string { return encoding.Names() }
+
+// ParseScheme resolves a hardening scheme by its registered name ("" is
+// the x86 baseline).
+func ParseScheme(name string) (Scheme, error) { return encoding.Parse(name) }
 
 // NewHistogram bins crash latencies on the Figure 4 log-2 scale.
 func NewHistogram(latencies []uint64) *Histogram {

@@ -59,7 +59,7 @@ func TestDifferentialFTPClient1(t *testing.T) {
 	app, sc := ftpClient1(t)
 	for _, scheme := range []encoding.Scheme{encoding.SchemeX86, encoding.SchemeParity} {
 		scheme := scheme
-		t.Run(scheme.String(), func(t *testing.T) {
+		t.Run(scheme.Name(), func(t *testing.T) {
 			want := naiveStats(t, app, sc, scheme)
 			if want.Total == 0 || want.Activated() == 0 {
 				t.Fatalf("degenerate campaign: total=%d activated=%d", want.Total, want.Activated())

@@ -38,9 +38,16 @@ type journalRecord struct {
 	// identity does not match the engine config — a journal from a
 	// different app/scenario/scheme/fuel/fault-model would corrupt results
 	// silently (run indices would mean different injections).
-	App      string          `json:"app,omitempty"`
-	Scenario string          `json:"scenario,omitempty"`
-	Scheme   encoding.Scheme `json:"scheme,omitempty"`
+	App      string `json:"app,omitempty"`
+	Scenario string `json:"scenario,omitempty"`
+	// Scheme and SchemeName together carry the hardening scheme. The
+	// paper's pair keeps its pre-registry integer wire form (1 = x86,
+	// 2 = parity) so old journals replay and new x86/parity journals are
+	// byte-identical to them; registry schemes beyond the pair are carried
+	// by name. A header with neither (both zero) predates the scheme field
+	// and means x86.
+	Scheme     int    `json:"scheme,omitempty"`
+	SchemeName string `json:"schemeName,omitempty"`
 	// Model is the fault-model name; the wire value for bitflip is ""
 	// (omitted), so journals written before fault models existed — which
 	// were all bitflip — replay under a bitflip config unchanged.
@@ -107,16 +114,46 @@ func (w *WireResult) ToResult(ex inject.Experiment) inject.Result {
 
 // journalIdentity derives the header record for an engine config.
 func journalIdentity(cfg *Config, total int) journalRecord {
+	code, name := wireScheme(cfg.Scheme)
 	return journalRecord{
-		Type:     recordHeader,
-		App:      cfg.App.Name,
-		Scenario: cfg.Scenario.Name,
-		Scheme:   cfg.Scheme,
-		Model:    WireModel(cfg.Model),
-		Total:    total,
-		Fuel:     cfg.effectiveFuel(),
-		Watchdog: cfg.Watchdog,
+		Type:       recordHeader,
+		App:        cfg.App.Name,
+		Scenario:   cfg.Scenario.Name,
+		Scheme:     code,
+		SchemeName: name,
+		Model:      WireModel(cfg.Model),
+		Total:      total,
+		Fuel:       cfg.effectiveFuel(),
+		Watchdog:   cfg.Watchdog,
 	}
+}
+
+// wireScheme splits a scheme into its journal wire form: the paper's pair
+// keeps its legacy integer code (and no name), every other scheme is
+// carried by name alone.
+func wireScheme(s encoding.Scheme) (code int, name string) {
+	switch n := encoding.SchemeName(s); n {
+	case "x86":
+		return 1, ""
+	case "parity":
+		return 2, ""
+	default:
+		return 0, n
+	}
+}
+
+// wireSchemeName resolves a header's scheme fields to the canonical scheme
+// name. The name wins when present; otherwise the legacy code decides,
+// with 0 — a journal written before the scheme field existed — meaning
+// x86, the only scheme of that era.
+func wireSchemeName(code int, name string) string {
+	if name != "" {
+		return name
+	}
+	if code == 2 {
+		return "parity"
+	}
+	return "x86"
 }
 
 // WireModel is the journal/fleet wire form of a fault-model name: the
@@ -281,13 +318,24 @@ func readJournal(path string, want journalRecord) (map[int]*WireResult, error) {
 					"(run indices are model-specific — replaying across models would corrupt results)",
 					path, faultmodel.Canonical(rec.Model), faultmodel.Canonical(want.Model))
 			}
+			gotScheme := wireSchemeName(rec.Scheme, rec.SchemeName)
+			wantScheme := wireSchemeName(want.Scheme, want.SchemeName)
+			if gotScheme != wantScheme {
+				// Called out separately for the same reason as model skew:
+				// the experiment tree is scheme-specific (codegen schemes
+				// even enumerate different targets), so a cross-scheme
+				// replay would silently mean different injections.
+				return nil, fmt.Errorf("campaign: journal %s is for scheme %q; config wants %q "+
+					"(run indices are scheme-specific — replaying across schemes would corrupt results)",
+					path, gotScheme, wantScheme)
+			}
 			if rec.App != want.App || rec.Scenario != want.Scenario ||
-				rec.Scheme != want.Scheme || rec.Total != want.Total ||
+				rec.Total != want.Total ||
 				rec.Fuel != want.Fuel || rec.Watchdog != want.Watchdog {
-				return nil, fmt.Errorf("campaign: journal %s is for %s/%s scheme=%d total=%d fuel=%d watchdog=%v; "+
-					"config wants %s/%s scheme=%d total=%d fuel=%d watchdog=%v",
-					path, rec.App, rec.Scenario, rec.Scheme, rec.Total, rec.Fuel, rec.Watchdog,
-					want.App, want.Scenario, want.Scheme, want.Total, want.Fuel, want.Watchdog)
+				return nil, fmt.Errorf("campaign: journal %s is for %s/%s scheme=%s total=%d fuel=%d watchdog=%v; "+
+					"config wants %s/%s scheme=%s total=%d fuel=%d watchdog=%v",
+					path, rec.App, rec.Scenario, gotScheme, rec.Total, rec.Fuel, rec.Watchdog,
+					want.App, want.Scenario, wantScheme, want.Total, want.Fuel, want.Watchdog)
 			}
 		case recordRun:
 			if !sawHeader {

@@ -1,0 +1,175 @@
+package campaign_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"faultsec/internal/campaign"
+	"faultsec/internal/encoding"
+)
+
+// TestJournalLegacySchemeHeader pins backward compatibility: a journal
+// whose header omits the scheme entirely (the pre-scheme wire format; all
+// such journals were x86) must resume under an x86 config, and must be
+// refused under any other scheme.
+func TestJournalLegacySchemeHeader(t *testing.T) {
+	app, sc := ftpClient1(t)
+	cfg := campaign.Config{
+		App: app, Scenario: sc, Scheme: encoding.SchemeX86, Parallelism: 2,
+	}
+	exps, err := campaign.EnumerateConfig(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal := filepath.Join(t.TempDir(), "legacy.jsonl")
+	header := fmt.Sprintf(`{"type":"header","app":%q,"scenario":%q,"total":%d,"fuel":400000}`+"\n",
+		app.Name, sc.Name, len(exps))
+	if err := os.WriteFile(journal, []byte(header), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Journal = journal
+	got, err := campaign.Resume(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("resume of a legacy (scheme-omitted) journal under x86: %v", err)
+	}
+	want, err := campaign.New(campaign.Config{
+		App: app, Scenario: sc, Scheme: encoding.SchemeX86, Parallelism: 2,
+	}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Error("legacy-journal resume differs from an uninterrupted x86 run")
+	}
+
+	// The same legacy journal must not seed a parity campaign, and the
+	// refusal must name both schemes.
+	if err := os.WriteFile(journal, []byte(header), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wrong := campaign.Config{
+		App: app, Scenario: sc, Scheme: encoding.SchemeParity, Parallelism: 2,
+		Journal: journal,
+	}
+	_, err = campaign.Resume(context.Background(), wrong)
+	if err == nil {
+		t.Fatal("legacy journal accepted under parity")
+	}
+	for _, name := range []string{"x86", "parity"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("cross-scheme refusal does not name %q: %v", name, err)
+		}
+	}
+}
+
+// TestJournalCrossSchemeRefusal pins the refusal shape for registry
+// schemes: a journal written under one scheme is refused under another,
+// with both scheme names in the error, on both Resume and ReplayJournal.
+func TestJournalCrossSchemeRefusal(t *testing.T) {
+	app, sc := ftpClient1(t)
+	journal := filepath.Join(t.TempDir(), "dupcmp.jsonl")
+	cfg := campaign.Config{
+		App: app, Scenario: sc, Scheme: encoding.SchemeDupCompare, Parallelism: 2,
+		Journal: journal,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg.Progress = func(done, total int) {
+		if done > 8 {
+			cancel()
+		}
+	}
+	_, _ = campaign.New(cfg).Run(ctx)
+
+	// The header of a registry scheme travels by name, not by a legacy
+	// integer code.
+	firstLine := readFirstLine(t, journal)
+	var header map[string]any
+	if err := json.Unmarshal([]byte(firstLine), &header); err != nil {
+		t.Fatal(err)
+	}
+	if got := header["schemeName"]; got != "dupcmp" {
+		t.Errorf("header schemeName = %v, want dupcmp (line: %s)", got, firstLine)
+	}
+	if _, hasCode := header["scheme"]; hasCode {
+		t.Errorf("registry-scheme header carries a legacy integer code: %s", firstLine)
+	}
+
+	for _, wrongScheme := range []encoding.Scheme{encoding.SchemeX86, encoding.SchemeEncodedBranch} {
+		wrong := cfg
+		wrong.Progress = nil
+		wrong.Scheme = wrongScheme
+		_, err := campaign.Resume(context.Background(), wrong)
+		if err == nil {
+			t.Fatalf("dupcmp journal accepted under %s", wrongScheme.Name())
+		}
+		for _, name := range []string{"dupcmp", wrongScheme.Name()} {
+			if !strings.Contains(err.Error(), name) {
+				t.Errorf("refusal under %s does not name %q: %v", wrongScheme.Name(), name, err)
+			}
+		}
+		wrongExps, err := campaign.EnumerateConfig(&wrong)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := campaign.ReplayJournal(&wrong, wrongExps); err == nil {
+			t.Fatalf("ReplayJournal accepted a dupcmp journal under %s", wrongScheme.Name())
+		}
+	}
+}
+
+// TestSchemeResumeRoundTrip pins cancel→resume determinism under a
+// compile-time scheme: a dupcmp campaign canceled mid-flight and resumed
+// must produce Stats identical to an uninterrupted run — the journal's
+// index space holds for hardened images exactly as it does for x86.
+func TestSchemeResumeRoundTrip(t *testing.T) {
+	app, sc := ftpClient1(t)
+	journal := filepath.Join(t.TempDir(), "dupcmp.jsonl")
+	cfg := campaign.Config{
+		App: app, Scenario: sc, Scheme: encoding.SchemeDupCompare, Parallelism: 2,
+		Journal: journal,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg.Progress = func(done, total int) {
+		if done > 32 {
+			cancel()
+		}
+	}
+	if _, err := campaign.New(cfg).Run(ctx); err == nil {
+		t.Fatal("canceled campaign reported success")
+	}
+
+	cfg.Progress = nil
+	resumed, err := campaign.Resume(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := campaign.New(campaign.Config{
+		App: app, Scenario: sc, Scheme: encoding.SchemeDupCompare, Parallelism: 2,
+	}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, resumed) {
+		t.Errorf("resumed dupcmp stats differ from uninterrupted run:\n got: %+v\nwant: %+v", resumed, want)
+	}
+}
+
+func readFirstLine(t *testing.T, path string) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := strings.IndexByte(string(data), '\n')
+	if i < 0 {
+		t.Fatalf("journal %s has no complete line", path)
+	}
+	return string(data[:i])
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"faultsec/internal/encoding"
 	"faultsec/internal/faultmodel"
 	"faultsec/internal/inject"
 )
@@ -126,6 +127,15 @@ func EnumerateConfig(cfg *Config) ([]inject.Experiment, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Resolve the scheme's image first: compile-time schemes rebuild the
+	// app, and the hardened image has its own target set (the enumeration
+	// below and every later engine stage — golden run, snapshots — must
+	// see the same app, which is why cfg is mutated in place).
+	app, err := cfg.App.ForScheme(cfg.Scheme)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: resolve scheme %s: %w", encoding.SchemeName(cfg.Scheme), err)
+	}
+	cfg.App = app
 	targets, err := inject.Targets(cfg.App)
 	if err != nil {
 		return nil, err

@@ -22,7 +22,7 @@ func runUopsAblation(t *testing.T, app *target.App, sc target.Scenario) {
 	t.Helper()
 	for _, scheme := range []encoding.Scheme{encoding.SchemeX86, encoding.SchemeParity} {
 		scheme := scheme
-		t.Run(scheme.String(), func(t *testing.T) {
+		t.Run(scheme.Name(), func(t *testing.T) {
 			uops := campaign.New(campaign.Config{
 				App: app, Scenario: sc, Scheme: scheme, KeepResults: true,
 			})

@@ -1,0 +1,89 @@
+package campaign_test
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"faultsec/internal/campaign"
+	"faultsec/internal/encoding"
+)
+
+// updateWireFixtures regenerates the journal wire-format fixtures under
+// testdata/wirecompat. The fixtures were captured before the scheme
+// registry refactor; regenerating them is only legitimate when the wire
+// format changes deliberately.
+var updateWireFixtures = flag.Bool("update-wire-fixtures", false,
+	"rewrite testdata/wirecompat journal fixtures from the current engine")
+
+// TestJournalWireCompat pins the x86 and parity journal byte streams to
+// fixtures captured before the pluggable-scheme refactor: a journaled FTP
+// Client1 bitflip campaign at Parallelism 1 (deterministic record order)
+// must reproduce the pre-refactor JSONL byte-for-byte — header identity
+// (scheme carried as its legacy integer code), run records, and periodic
+// checkpoints included.
+func TestJournalWireCompat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full journaled campaign is not short")
+	}
+	app, sc := ftpClient1(t)
+	for _, tc := range []struct {
+		name   string
+		scheme encoding.Scheme
+	}{
+		{"x86", encoding.SchemeX86},
+		{"parity", encoding.SchemeParity},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			journal := filepath.Join(dir, "wire.jsonl")
+			cfg := campaign.Config{
+				App: app, Scenario: sc, Scheme: tc.scheme,
+				Parallelism: 1, Journal: journal, CheckpointEvery: 64,
+			}
+			if _, err := campaign.New(cfg).Run(context.Background()); err != nil {
+				t.Fatalf("campaign: %v", err)
+			}
+			got, err := os.ReadFile(journal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fixture := filepath.Join("testdata", "wirecompat",
+				"ftpd-Client1-"+tc.name+".jsonl")
+			if *updateWireFixtures {
+				if err := os.MkdirAll(filepath.Dir(fixture), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(fixture, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", fixture, len(got))
+				return
+			}
+			want, err := os.ReadFile(fixture)
+			if err != nil {
+				t.Fatalf("read fixture (run with -update-wire-fixtures to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("journal bytes differ from pre-refactor fixture %s:\n got %d bytes\nwant %d bytes\nfirst divergence at byte %d",
+					fixture, len(got), len(want), firstDiff(got, want))
+			}
+		})
+	}
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

@@ -15,7 +15,33 @@ type Options struct {
 	// conditional-branch density of the authentication section; setcc
 	// materialization (gcc 3+ style) reduces it.
 	SetccBooleans bool
+	// DupCompares hardens every conditional branch with a duplicated
+	// comparison (arXiv 1803.08359 §4.1): after the branch decides, the
+	// landed path re-executes the compare and jumps to a trap (int3) if
+	// the second evaluation disagrees with the direction taken. A fault
+	// that corrupts the first cmp/jcc — flipping the condition, turning
+	// the jcc into another instruction, or redirecting it — lands on a
+	// path whose recheck contradicts it and converts the silent wrong
+	// turn into a detected crash.
+	DupCompares bool
+	// EncodedBranches hardens every conditional branch by carrying the
+	// condition as a redundantly encoded constant (arXiv 1803.08359
+	// §4.2): the comparison result is widened to a 0/0xFFFFFFFF mask and
+	// XORed with EncFalse, so a healthy condition is exactly EncFalse or
+	// EncTrue (bitwise complements, Hamming distance 32). The branch
+	// dispatches on the encoded value and any third value — the result
+	// of a corrupted compare, setcc, mask, or immediate — traps.
+	EncodedBranches bool
 }
+
+// EncFalse and EncTrue are the two valid states of an encoded branch
+// condition under Options.EncodedBranches. They are bitwise complements,
+// so no single-bit (or anything short of 32-bit) corruption of one yields
+// the other.
+const (
+	EncFalse = 0x3CC3A55A
+	EncTrue  = ^EncFalse & 0xFFFFFFFF
+)
 
 // Compile parses MiniC source and generates assembly for internal/asm.
 // The output contains .text with one .func block per function, .rodata
@@ -64,6 +90,9 @@ type gen struct {
 	breaks []string
 	conts  []string
 	retLbl string
+	// trapUsed records that a hardened branch referenced the current
+	// function's trap label, so the epilogue emits the trap block.
+	trapUsed bool
 }
 
 // Generate emits assembly for a parsed program with default options.
@@ -140,6 +169,7 @@ func (g *gen) genFunc(f *FuncDecl) error {
 	g.locals = make(map[string]localVar)
 	g.frame = 0
 	g.retLbl = fmt.Sprintf(".Lret_%s", f.Name)
+	g.trapUsed = false
 
 	// Parameters: [ebp+8], [ebp+12], ... Char parameters are promoted.
 	off := 8
@@ -173,8 +203,22 @@ func (g *gen) genFunc(f *FuncDecl) error {
 	g.emit("%s:", g.retLbl)
 	g.emit("\tleave")
 	g.emit("\tret")
+	if g.trapUsed {
+		// The countermeasure trap: a detected-disagreement branch lands
+		// here and raises #BP (SIGTRAP), converting the silent wrong turn
+		// into a system detection.
+		g.emit("%s:", g.trapLabel())
+		g.emit("\tint3")
+	}
 	g.emit(".endfunc")
 	return nil
+}
+
+// trapLabel names the current function's countermeasure trap block and
+// marks it referenced, so genFunc emits it after the epilogue.
+func (g *gen) trapLabel() string {
+	g.trapUsed = true
+	return fmt.Sprintf(".Ltrap_%s", g.fn.Name)
 }
 
 func (g *gen) collectLocals(s Stmt) error {
@@ -393,6 +437,55 @@ var negJcc = map[string]string{
 	"jb": "jae", "jae": "jb", "ja": "jbe", "jbe": "ja",
 }
 
+// condBranch emits the final compare-and-branch of a condition: jump to
+// label when the flag-setting instruction cmp (a "cmp eax, ecx" or "test
+// eax, eax" line) satisfies jcc, fall through otherwise. The plain shape
+// is the two-instruction cmp+jcc; Options.DupCompares and
+// Options.EncodedBranches substitute the hardened shapes from arXiv
+// 1803.08359 (DupCompares wins if both are set). Both hardened shapes may
+// clobber eax/ecx — condition consumers never rely on them afterwards.
+func (g *gen) condBranch(cmp, jcc, label string) {
+	switch {
+	case g.opts.DupCompares:
+		// Branch, then re-evaluate the compare on whichever path was
+		// taken; a disagreement between the two evaluations traps.
+		ftLbl := g.label()
+		trap := g.trapLabel()
+		g.emit("\t%s", cmp)
+		g.emit("\t%s %s", negJcc[jcc], ftLbl)
+		g.emit("\t%s", cmp) // taken path: condition must still hold
+		g.emit("\t%s %s", negJcc[jcc], trap)
+		g.emit("\tjmp %s", label)
+		g.emit("%s:", ftLbl)
+		g.emit("\t%s", cmp) // fall-through path: must still not hold
+		g.emit("\t%s %s", jcc, trap)
+	case g.opts.EncodedBranches:
+		// Widen the condition to a 0/0xFFFFFFFF mask and XOR it into the
+		// {EncFalse, EncTrue} code space; dispatch on the encoded value
+		// and trap on anything outside it.
+		trap := g.trapLabel()
+		g.emit("\t%s", cmp)
+		g.emit("\tset%s al", jcc[1:])
+		g.emit("\tmovzx eax, al")
+		g.emit("\tneg eax")
+		g.emit("\txor eax, %d", encFalse)
+		g.emit("\tcmp eax, %d", encTrue)
+		g.emit("\tje %s", label)
+		g.emit("\tcmp eax, %d", encFalse)
+		g.emit("\tjne %s", trap)
+	default:
+		g.emit("\t%s", cmp)
+		g.emit("\t%s %s", jcc, label)
+	}
+}
+
+// encFalse and encTrue are the EncodedBranches constants as the int32
+// immediates the assembler takes.
+var (
+	encFalse = int32(EncFalse)
+	encTrue  = ^encFalse
+)
+
 // genCondJump emits code that jumps to label when the truth value of e
 // equals whenTrue, and falls through otherwise. Comparisons compile to
 // cmp+jcc; other expressions compile to the classic test eax,eax idiom.
@@ -422,8 +515,7 @@ func (g *gen) genCondJump(e Expr, label string, whenTrue bool) error {
 			if !whenTrue {
 				jcc = negJcc[jcc]
 			}
-			g.emit("\tcmp eax, ecx")
-			g.emit("\t%s %s", jcc, label)
+			g.condBranch("cmp eax, ecx", jcc, label)
 			return nil
 		}
 		switch ex.Op {
@@ -471,12 +563,11 @@ func (g *gen) genCondJump(e Expr, label string, whenTrue bool) error {
 	if _, err := g.genExpr(e); err != nil {
 		return err
 	}
-	g.emit("\ttest eax, eax")
+	jcc := "je"
 	if whenTrue {
-		g.emit("\tjne %s", label)
-	} else {
-		g.emit("\tje %s", label)
+		jcc = "jne"
 	}
+	g.condBranch("test eax, eax", jcc, label)
 	return nil
 }
 

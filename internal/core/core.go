@@ -162,6 +162,41 @@ func (s *Study) FaultModelMatrix(ctx context.Context, models []string,
 	return report.ModelMatrix(out), out, nil
 }
 
+// SchemeMatrix runs one Client1 campaign per (hardening scheme × fault
+// model × target application) and renders the scheme reduction matrix —
+// per-campaign BRK/SD/FSV rates plus each rate's reduction against the
+// x86 baseline of the same (model, target). schemes nil or empty means
+// every registered scheme; models nil or empty means every registered
+// fault model. Compile-time schemes (dupcmp, encbranch) rebuild the
+// target through its Rebuild hook; the hardened image is compiled once
+// and shared across that scheme's campaigns.
+func (s *Study) SchemeMatrix(ctx context.Context, schemes, models []string,
+	opts Options) (string, []*inject.Stats, error) {
+	if len(schemes) == 0 {
+		schemes = encoding.Names()
+	}
+	if len(models) == 0 {
+		models = faultmodel.Names()
+	}
+	var out []*inject.Stats
+	for _, sn := range schemes {
+		scheme, err := encoding.Parse(sn)
+		if err != nil {
+			return "", nil, fmt.Errorf("core: %w", err)
+		}
+		for _, mn := range models {
+			for _, app := range []*target.App{s.FTPD, s.SSHD} {
+				stats, err := s.CampaignModel(ctx, app, "Client1", scheme, mn, opts)
+				if err != nil {
+					return "", nil, err
+				}
+				out = append(out, stats)
+			}
+		}
+	}
+	return report.SchemeMatrix(out), out, nil
+}
+
 // RandomTestbed runs the paper's §7 random-injection experiment: n random
 // single-bit errors over the whole ftpd text segment under Client1 attack
 // load. The paper reports roughly 1 security violation per 3,000 errors.

@@ -1,0 +1,85 @@
+package core_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"faultsec/internal/classify"
+	"faultsec/internal/core"
+	"faultsec/internal/encoding"
+	"faultsec/internal/inject"
+)
+
+// TestSchemeMatrixSmallGrid runs the qualitative small grid — every
+// registered scheme under bitflip and instskip — and pins the
+// countermeasure story the matrix exists to tell:
+//
+//   - under bitflip, every hardening scheme lowers the break-in rate on
+//     both targets (the cc schemes via traps, parity via re-encoding);
+//   - under instskip, the branch countermeasures of arXiv 1803.08359
+//     eliminate break-ins outright (a skipped branch lands in the
+//     duplicated check) and convert the damage into detections, while the
+//     parity re-encoding is a no-op — its campaigns are identical to x86,
+//     the blind spot that motivates compile-time schemes.
+//
+// This is also the CI scheme-matrix grid run under -race.
+func TestSchemeMatrixSmallGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sixteen campaigns in -short mode")
+	}
+	s := study(t)
+	ctx := context.Background()
+
+	_, stats, err := s.SchemeMatrix(ctx, nil, []string{"bitflip", "instskip"}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCell := make(map[string]*inject.Stats, len(stats))
+	for _, st := range stats {
+		byCell[encoding.SchemeName(st.Scheme)+"|"+st.Model+"|"+st.App] = st
+	}
+	cell := func(scheme, model, app string) *inject.Stats {
+		t.Helper()
+		st := byCell[scheme+"|"+model+"|"+app]
+		if st == nil {
+			t.Fatalf("matrix missing cell %s/%s/%s", scheme, model, app)
+		}
+		return st
+	}
+	brkRate := func(st *inject.Stats) float64 {
+		return float64(st.Counts[classify.OutcomeBRK]) / float64(st.Total)
+	}
+
+	for _, app := range []string{"ftpd", "sshd"} {
+		baseline := cell("x86", "bitflip", app)
+		if baseline.Counts[classify.OutcomeBRK] == 0 {
+			t.Fatalf("%s: x86 bitflip baseline has no break-ins — nothing to reduce", app)
+		}
+		for _, scheme := range []string{"parity", "dupcmp", "encbranch"} {
+			if got, base := brkRate(cell(scheme, "bitflip", app)), brkRate(baseline); got >= base {
+				t.Errorf("%s: %s bitflip BRK rate %.4f did not improve on x86's %.4f",
+					app, scheme, got, base)
+			}
+		}
+
+		skipBase := cell("x86", "instskip", app)
+		for _, scheme := range []string{"dupcmp", "encbranch"} {
+			st := cell(scheme, "instskip", app)
+			if n := st.Counts[classify.OutcomeBRK]; n != 0 {
+				t.Errorf("%s: %s under instskip still breaks in %d times — "+
+					"the duplicated check should catch every skipped branch", app, scheme, n)
+			}
+			if st.Counts[classify.OutcomeSD] <= skipBase.Counts[classify.OutcomeSD] {
+				t.Errorf("%s: %s under instskip detects no more than x86 — traps missing", app, scheme)
+			}
+		}
+		// Parity only re-encodes how bit flips land; an instruction skip
+		// never consults the encoding, so the campaigns must be identical.
+		parity := cell("parity", "instskip", app)
+		if !reflect.DeepEqual(parity.Counts, skipBase.Counts) ||
+			!reflect.DeepEqual(parity.ByLocation, skipBase.ByLocation) {
+			t.Errorf("%s: parity instskip campaign differs from x86 — parity should be a no-op for skips", app)
+		}
+	}
+}

@@ -1,57 +1,233 @@
-// Package encoding implements the paper's new instruction-set encoding for
-// conditional branches (Section 6). The scheme re-encodes the sixteen
-// conditional branch opcodes so that the last bit of the most significant
-// nibble acts as an odd-parity bit over the least significant four bits,
-// raising the minimum Hamming distance within the branch block from one to
-// two — no single-bit error can turn one conditional branch into another.
-// Displaced non-branch opcodes are swapped into the vacated code points
-// (e.g. popa 0x61 <-> jno 0x71), making each map a byte-level involution.
+// Package encoding implements the study's hardening schemes as a registry
+// of pluggable countermeasures, the scheme-side mirror of the fault-model
+// registry in internal/faultmodel.
 //
-// Evaluation uses the paper's emulation procedure (§6.2): an instruction
-// picked for injection is mapped old->new, one bit of the mapped bytes is
-// flipped, and the result is mapped new->old and executed on the
-// (unmodified) processor.
+// The paper evaluates exactly one countermeasure (Section 6): a new
+// instruction-set encoding for conditional branches. The scheme re-encodes
+// the sixteen conditional branch opcodes so that the last bit of the most
+// significant nibble acts as an odd-parity bit over the least significant
+// four bits, raising the minimum Hamming distance within the branch block
+// from one to two — no single-bit error can turn one conditional branch
+// into another. Displaced non-branch opcodes are swapped into the vacated
+// code points (e.g. popa 0x61 <-> jno 0x71), making each map a byte-level
+// involution. Evaluation uses the paper's emulation procedure (§6.2): an
+// instruction picked for injection is mapped old->new, one bit of the
+// mapped bytes is flipped, and the result is mapped new->old and executed
+// on the (unmodified) processor. That countermeasure is the "parity"
+// scheme here.
+//
+// A Scheme hardens a target at one of two points:
+//
+//   - corruption time (Corrupt): the scheme transforms how an injected
+//     bit flip lands on the instruction bytes. "parity" is this kind —
+//     the target image is unchanged and only the fault emulation differs.
+//   - compile time (CCOptions): the scheme asks the compiler to emit
+//     hardened code, so the campaign runs against a genuinely different
+//     image. The branch countermeasures of "Securing Conditional Branches
+//     in the Presence of Fault Attacks" (arXiv 1803.08359) — duplicated
+//     comparisons ("dupcmp") and encoded branch conditions ("encbranch")
+//     — are this kind.
+//
+// Every scheme defines both hooks; each is free to be the identity.
 package encoding
 
 import (
 	"fmt"
 	"math/bits"
+	"sort"
+	"sync"
 
+	"faultsec/internal/cc"
 	"faultsec/internal/x86"
 )
 
-// Scheme selects the instruction encoding under evaluation.
-type Scheme int
-
-// Encoding schemes.
-const (
-	// SchemeX86 is the stock Intel encoding (the paper's baseline).
-	SchemeX86 Scheme = iota + 1
-	// SchemeParity is the paper's proposed re-encoding.
-	SchemeParity
-)
-
-// String names the scheme.
-func (s Scheme) String() string {
-	switch s {
-	case SchemeX86:
-		return "x86"
-	case SchemeParity:
-		return "parity"
-	}
-	return "unknown"
+// Scheme is one hardening scheme under evaluation.
+type Scheme interface {
+	// Name is the registry key ("x86", "parity", ...), also the wire name
+	// in journal headers, fleet shard specs, and campaignd submit bodies.
+	Name() string
+	// Corrupt returns the instruction bytes after flipping bit
+	// (byteIdx, bit) under the scheme's encoding. The input is not
+	// modified; out-of-range positions return an unmodified copy. It must
+	// be pure: the same (inst, byteIdx, bit) yields the same corruption in
+	// every process, because the campaign-global experiment index space is
+	// derived from it.
+	Corrupt(inst []byte, byteIdx, bit int) []byte
+	// CCOptions returns the code-generation passes the scheme requires.
+	// The zero Options means the scheme runs against the baseline image.
+	CCOptions() cc.Options
 }
 
-// Parse resolves a scheme name as produced by Scheme.String — the inverse
-// used by wire protocols (campaignd submissions, fleet shard specs).
-func Parse(name string) (Scheme, error) {
-	switch name {
-	case "x86":
-		return SchemeX86, nil
-	case "parity":
-		return SchemeParity, nil
+// Remapper is the optional interface of schemes whose hardening is a
+// byte-level re-encoding of the branch opcodes. Only such schemes have a
+// Table 4 to render (cmd/encmap).
+type Remapper interface {
+	Scheme
+	// Table4 returns the scheme's (mnemonic, old, new) encoding table in
+	// condition-code order.
+	Table4() []Table4Row
+	// MinHammingWithinBranchBlocks returns the minimum pairwise Hamming
+	// distance among the 16 re-encoded opcodes of the 2-byte and 6-byte
+	// branch blocks.
+	MinHammingWithinBranchBlocks() (int, int)
+}
+
+var (
+	mu       sync.RWMutex
+	registry = make(map[string]Scheme)
+)
+
+// Register adds a scheme to the registry. It panics on a duplicate or
+// empty name — schemes register at package init time, and a collision is a
+// programming error, not a runtime condition.
+func Register(s Scheme) {
+	mu.Lock()
+	defer mu.Unlock()
+	name := s.Name()
+	if name == "" {
+		panic("encoding: Register with empty name")
 	}
-	return 0, fmt.Errorf("encoding: unknown scheme %q (want \"x86\" or \"parity\")", name)
+	if _, dup := registry[name]; dup {
+		panic("encoding: duplicate scheme " + name)
+	}
+	registry[name] = s
+}
+
+// Parse resolves a scheme by its wire name — the inverse of Scheme.Name,
+// used by wire protocols (campaignd submissions, fleet shard specs). The
+// empty string canonicalizes to "x86", the paper's baseline, so configs
+// that predate the registry keep working unchanged.
+func Parse(name string) (Scheme, error) {
+	if name == "" {
+		name = "x86"
+	}
+	mu.RLock()
+	s, ok := registry[name]
+	mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("encoding: unknown scheme %q (have %v)", name, Names())
+	}
+	return s, nil
+}
+
+// Names lists the registered schemes, sorted.
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SchemeName canonicalizes a scheme for identity comparisons: a nil Scheme
+// is the baseline ("x86"), so configs and journal headers that omit the
+// scheme mean the paper's stock encoding.
+func SchemeName(s Scheme) string {
+	if s == nil {
+		return "x86"
+	}
+	return s.Name()
+}
+
+// Registered schemes. SchemeX86 and SchemeParity are the paper's pair;
+// SchemeDupCompare and SchemeEncodedBranch are the cc-emitted branch
+// countermeasures of arXiv 1803.08359.
+var (
+	// SchemeX86 is the stock Intel encoding (the paper's baseline).
+	SchemeX86 Scheme = x86Scheme{}
+	// SchemeParity is the paper's proposed re-encoding (Section 6).
+	SchemeParity Scheme = parityScheme{}
+	// SchemeDupCompare duplicates every comparison and traps when the two
+	// evaluations disagree (arXiv 1803.08359 §4.1).
+	SchemeDupCompare Scheme = codegenScheme{name: "dupcmp", opts: cc.Options{DupCompares: true}}
+	// SchemeEncodedBranch carries each branch condition as a redundantly
+	// encoded constant and traps on invalid states (arXiv 1803.08359 §4.2).
+	SchemeEncodedBranch Scheme = codegenScheme{name: "encbranch", opts: cc.Options{EncodedBranches: true}}
+)
+
+func init() {
+	Register(SchemeX86)
+	Register(SchemeParity)
+	Register(SchemeDupCompare)
+	Register(SchemeEncodedBranch)
+}
+
+// x86Scheme is the baseline: faults land directly on the stock encoding.
+type x86Scheme struct{}
+
+func (x86Scheme) Name() string   { return "x86" }
+func (x86Scheme) String() string { return "x86" }
+
+func (x86Scheme) Corrupt(inst []byte, byteIdx, bit int) []byte {
+	return directFlip(inst, byteIdx, bit)
+}
+
+func (x86Scheme) CCOptions() cc.Options { return cc.Options{} }
+
+// parityScheme is the paper's re-encoding, emulated per §6.2 at corruption
+// time: map old->new, flip, map new->old.
+type parityScheme struct{}
+
+func (parityScheme) Name() string   { return "parity" }
+func (parityScheme) String() string { return "parity" }
+
+func (parityScheme) Corrupt(inst []byte, byteIdx, bit int) []byte {
+	out := make([]byte, len(inst))
+	copy(out, inst)
+	if byteIdx < 0 || byteIdx >= len(out) || bit < 0 || bit > 7 {
+		return out
+	}
+	MapInstruction(out)
+	out[byteIdx] ^= 1 << bit
+	MapInstruction(out)
+	return out
+}
+
+func (parityScheme) CCOptions() cc.Options { return cc.Options{} }
+
+func (parityScheme) Table4() []Table4Row { return Table4() }
+
+func (parityScheme) MinHammingWithinBranchBlocks() (int, int) {
+	return MinHammingWithinBranchBlocks()
+}
+
+// codegenScheme is a compile-time countermeasure: the fault emulation is
+// the baseline direct flip, but the target image is rebuilt with the
+// scheme's code-generation passes enabled.
+type codegenScheme struct {
+	name string
+	opts cc.Options
+}
+
+func (s codegenScheme) Name() string          { return s.name }
+func (s codegenScheme) String() string        { return s.name }
+func (s codegenScheme) CCOptions() cc.Options { return s.opts }
+
+func (s codegenScheme) Corrupt(inst []byte, byteIdx, bit int) []byte {
+	return directFlip(inst, byteIdx, bit)
+}
+
+func directFlip(inst []byte, byteIdx, bit int) []byte {
+	out := make([]byte, len(inst))
+	copy(out, inst)
+	if byteIdx < 0 || byteIdx >= len(out) || bit < 0 || bit > 7 {
+		return out
+	}
+	out[byteIdx] ^= 1 << bit
+	return out
+}
+
+// Corrupt returns the instruction bytes after flipping bit (byteIdx, bit)
+// under the given scheme. A nil scheme is the baseline. The input is not
+// modified.
+func Corrupt(inst []byte, byteIdx, bit int, scheme Scheme) []byte {
+	if scheme == nil {
+		scheme = SchemeX86
+	}
+	return scheme.Corrupt(inst, byteIdx, bit)
 }
 
 // parityRemap returns the re-encoded byte for an opcode in a 16-opcode
@@ -113,27 +289,6 @@ func MapInstruction(b []byte) {
 		return
 	}
 	b[0] = map2[b[0]]
-}
-
-// Corrupt returns the instruction bytes after flipping bit (byteIdx, bit)
-// under the given scheme. For SchemeX86 the flip applies directly; for
-// SchemeParity the paper's map->flip->map-back emulation is applied. The
-// input is not modified.
-func Corrupt(inst []byte, byteIdx, bit int, scheme Scheme) []byte {
-	out := make([]byte, len(inst))
-	copy(out, inst)
-	if byteIdx < 0 || byteIdx >= len(out) || bit < 0 || bit > 7 {
-		return out
-	}
-	switch scheme {
-	case SchemeParity:
-		MapInstruction(out)
-		out[byteIdx] ^= 1 << bit
-		MapInstruction(out)
-	default:
-		out[byteIdx] ^= 1 << bit
-	}
-	return out
 }
 
 // PaperTable4 reproduces the paper's Table 4 as (mnemonic, old, new) rows

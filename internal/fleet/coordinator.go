@@ -11,6 +11,7 @@ import (
 
 	"faultsec/internal/campaign"
 	"faultsec/internal/classify"
+	"faultsec/internal/encoding"
 	"faultsec/internal/inject"
 )
 
@@ -493,7 +494,7 @@ func (c *Coordinator) setAttemptCancel(ws *workerState, cancel context.CancelFun
 func (c *Coordinator) specFor(sh *shardState) ShardSpec {
 	cc := &c.cfg.Campaign
 	return ShardSpec{
-		App: cc.App.Name, Scenario: cc.Scenario.Name, Scheme: cc.Scheme.String(),
+		App: cc.App.Name, Scenario: cc.Scenario.Name, Scheme: encoding.SchemeName(cc.Scheme),
 		Model: campaign.WireModel(cc.Model),
 		Fuel:  cc.Fuel, Parallelism: cc.Parallelism, Watchdog: cc.Watchdog,
 		NoICache: cc.NoICache, NoUops: cc.NoUops, NoSnapshot: cc.NoSnapshot,

@@ -466,6 +466,7 @@ var buildOnce = sync.OnceValues(func() (*target.App, error) {
 		Image:     img,
 		AuthFuncs: AuthFuncs,
 		Scenarios: Scenarios(),
+		Rebuild:   BuildWithCodegen,
 	}, nil
 })
 
@@ -473,8 +474,9 @@ var buildOnce = sync.OnceValues(func() (*target.App, error) {
 // bundle. The result is cached; callers share the immutable image.
 func Build() (*target.App, error) { return buildOnce() }
 
-// BuildWithCodegen builds the daemon with explicit codegen options (used
-// by the codegen-style ablation; not cached).
+// BuildWithCodegen builds the daemon with explicit codegen options (the
+// hook hardening schemes and the codegen-style ablation rebuild through;
+// not cached here — target.App.ForCodegen caches per option set).
 func BuildWithCodegen(opts cc.Options) (*target.App, error) {
 	img, err := rt.BuildImageWithOptions(opts, Source())
 	if err != nil {
@@ -485,6 +487,7 @@ func BuildWithCodegen(opts cc.Options) (*target.App, error) {
 		Image:     img,
 		AuthFuncs: AuthFuncs,
 		Scenarios: Scenarios(),
+		Rebuild:   BuildWithCodegen,
 	}, nil
 }
 

@@ -186,6 +186,11 @@ func SetBackend(b Backend) { backend = b }
 
 // Run executes the full selective-exhaustive campaign described by cfg.
 func Run(ctx context.Context, cfg Config) (*Stats, error) {
+	app, err := cfg.App.ForScheme(cfg.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	cfg.App = app
 	targets, err := Targets(cfg.App)
 	if err != nil {
 		return nil, err
@@ -212,6 +217,14 @@ func RunExperimentsNaive(ctx context.Context, cfg Config, experiments []Experime
 	if fuel == 0 {
 		fuel = DefaultFuel
 	}
+	// Resolve the scheme's image so every run executes the same hardened
+	// app the experiment list was enumerated against (ForScheme caches, so
+	// a caller that already resolved gets the identical *App back).
+	app, err := cfg.App.ForScheme(cfg.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	cfg.App = app
 	golden, err := GoldenRun(cfg.App, cfg.Scenario, fuel)
 	if err != nil {
 		return nil, err

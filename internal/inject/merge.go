@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"faultsec/internal/classify"
+	"faultsec/internal/encoding"
 )
 
 // Merge folds another aggregate of the same campaign into s. It is the
@@ -25,9 +26,11 @@ import (
 // model; merging across campaign identities would silently conflate
 // populations.
 func (s *Stats) Merge(o *Stats) error {
-	if s.App != o.App || s.Scenario != o.Scenario || s.Scheme != o.Scheme || s.Model != o.Model {
+	if s.App != o.App || s.Scenario != o.Scenario ||
+		encoding.SchemeName(s.Scheme) != encoding.SchemeName(o.Scheme) || s.Model != o.Model {
 		return fmt.Errorf("inject: merge of mismatched campaigns: %s/%s/%s model=%s vs %s/%s/%s model=%s",
-			s.App, s.Scenario, s.Scheme, s.Model, o.App, o.Scenario, o.Scheme, o.Model)
+			s.App, s.Scenario, encoding.SchemeName(s.Scheme), s.Model,
+			o.App, o.Scenario, encoding.SchemeName(o.Scheme), o.Model)
 	}
 	s.Total += o.Total
 	for outcome, n := range o.Counts {

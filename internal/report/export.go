@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 
 	"faultsec/internal/classify"
+	"faultsec/internal/encoding"
 	"faultsec/internal/inject"
 )
 
@@ -37,7 +38,7 @@ func NewExport(s *inject.Stats) *Export {
 	e := &Export{
 		App:        s.App,
 		Scenario:   s.Scenario,
-		Scheme:     s.Scheme.String(),
+		Scheme:     encoding.SchemeName(s.Scheme),
 		Model:      s.Model,
 		Total:      s.Total,
 		Counts:     make(map[string]int, len(s.Counts)),

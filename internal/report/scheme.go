@@ -1,0 +1,83 @@
+package report
+
+import (
+	"fmt"
+
+	"faultsec/internal/classify"
+	"faultsec/internal/encoding"
+	"faultsec/internal/inject"
+)
+
+// SchemeMatrix renders the hardening-scheme reduction matrix: one row per
+// (scheme × fault model × target campaign) with the counts and rates of
+// the three manifested severities — security break-ins (BRK), system
+// detections (SD), and fail silence violations (FSV) — and each rate's
+// reduction against the baseline ("x86") campaign of the same (model,
+// target). It is the scheme-side extension of the paper's Table 5: where
+// the paper compares one countermeasure (the parity re-encoding) against
+// the stock encoding under one fault model, this compares every registered
+// scheme under every fault model at once.
+//
+// Rates are percentages of the campaign's runs, not raw counts, because
+// compile-time schemes change the target set (a hardened image has more
+// branch instructions), so campaigns under different schemes differ in
+// size. Reduction is relative: 100 × (baseRate − rate) / baseRate, so
+// "100.0%" means the scheme eliminated the severity and a negative value
+// means the scheme made it worse (detection schemes routinely trade FSV
+// reduction for an SD increase). Rows without a baseline campaign in the
+// input, and the baseline rows themselves, print a dash.
+func SchemeMatrix(stats []*inject.Stats) string {
+	severities := []classify.Outcome{classify.OutcomeBRK, classify.OutcomeSD, classify.OutcomeFSV}
+
+	// Baseline rates per (model, target), from the x86 campaigns present
+	// in the input.
+	base := make(map[string][]float64)
+	key := func(s *inject.Stats) string { return s.Model + "|" + colName(s) }
+	for _, s := range stats {
+		if encoding.SchemeName(s.Scheme) != "x86" {
+			continue
+		}
+		rates := make([]float64, len(severities))
+		for i, o := range severities {
+			rates[i] = rate(s, o)
+		}
+		base[key(s)] = rates
+	}
+
+	t := &table{}
+	t.add("Scheme", "Model", "Target", "Runs",
+		"BRK", "SD", "FSV", "BRK red", "SD red", "FSV red")
+	for _, s := range stats {
+		name := encoding.SchemeName(s.Scheme)
+		row := []string{name, s.Model, colName(s), fmt.Sprintf("%d", s.Total)}
+		for _, o := range severities {
+			row = append(row, fmt.Sprintf("%d (%.2f%%)", s.Counts[o], rate(s, o)))
+		}
+		baseline, ok := base[key(s)]
+		for i, o := range severities {
+			switch {
+			case name == "x86" || !ok:
+				row = append(row, "-")
+			case baseline[i] == 0:
+				// Nothing to reduce; call out a regression from zero.
+				if rate(s, o) > 0 {
+					row = append(row, "worse")
+				} else {
+					row = append(row, "-")
+				}
+			default:
+				row = append(row, fmt.Sprintf("%.1f%%", 100*(baseline[i]-rate(s, o))/baseline[i]))
+			}
+		}
+		t.add(row...)
+	}
+	return t.String()
+}
+
+// rate is a severity's share of the campaign's runs, in percent.
+func rate(s *inject.Stats, o classify.Outcome) float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return 100 * float64(s.Counts[o]) / float64(s.Total)
+}

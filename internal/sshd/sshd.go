@@ -15,6 +15,7 @@ import (
 	"strings"
 	"sync"
 
+	"faultsec/internal/cc"
 	"faultsec/internal/rt"
 	"faultsec/internal/target"
 )
@@ -373,12 +374,30 @@ var buildOnce = sync.OnceValues(func() (*target.App, error) {
 		Image:     img,
 		AuthFuncs: AuthFuncs,
 		Scenarios: Scenarios(),
+		Rebuild:   BuildWithCodegen,
 	}, nil
 })
 
 // Build compiles and links the SSH daemon and returns the application
 // bundle. The result is cached; callers share the immutable image.
 func Build() (*target.App, error) { return buildOnce() }
+
+// BuildWithCodegen builds the daemon with explicit codegen options (the
+// hook hardening schemes rebuild through; not cached here —
+// target.App.ForCodegen caches per option set).
+func BuildWithCodegen(opts cc.Options) (*target.App, error) {
+	img, err := rt.BuildImageWithOptions(opts, Source())
+	if err != nil {
+		return nil, fmt.Errorf("sshd: build: %w", err)
+	}
+	return &target.App{
+		Name:      "sshd",
+		Image:     img,
+		AuthFuncs: AuthFuncs,
+		Scenarios: Scenarios(),
+		Rebuild:   BuildWithCodegen,
+	}, nil
+}
 
 // Scenarios returns the paper's two SSH client access patterns.
 func Scenarios() []target.Scenario {

@@ -1,0 +1,97 @@
+package target_test
+
+import (
+	"testing"
+
+	"faultsec/internal/cc"
+	"faultsec/internal/encoding"
+	"faultsec/internal/ftpd"
+	"faultsec/internal/inject"
+	"faultsec/internal/sshd"
+	"faultsec/internal/target"
+)
+
+// TestForSchemeGoldenRuns proves every registered hardening scheme yields
+// a functionally correct image for both target applications: the resolved
+// app passes a golden (fault-free) run for every scenario. GoldenRun
+// itself fails when the client's access result deviates from the
+// scenario's ShouldGrant, so a countermeasure that broke the program —
+// e.g. a trap reachable without a fault — fails here.
+func TestForSchemeGoldenRuns(t *testing.T) {
+	apps := buildApps(t)
+	for _, name := range encoding.Names() {
+		scheme, err := encoding.Parse(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, base := range apps {
+			t.Run(name+"/"+base.Name, func(t *testing.T) {
+				app, err := base.ForScheme(scheme)
+				if err != nil {
+					t.Fatalf("ForScheme(%s): %v", name, err)
+				}
+				if scheme.CCOptions() == (cc.Options{}) && app != base {
+					t.Fatalf("corruption-time scheme %s rebuilt the app", name)
+				}
+				for _, sc := range app.Scenarios {
+					if _, err := inject.GoldenRun(app, sc, 0); err != nil {
+						t.Errorf("golden run %s/%s under %s: %v", app.Name, sc.Name, name, err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestForCodegenCaches pins the rebuild cache: resolving the same scheme
+// twice returns the identical *App (campaign waves, naive baselines, and
+// matrix cells must share one compiled image), and distinct schemes get
+// distinct images.
+func TestForCodegenCaches(t *testing.T) {
+	app, err := ftpd.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := app.ForScheme(encoding.SchemeDupCompare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := app.ForScheme(encoding.SchemeDupCompare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("ForScheme(dupcmp) did not cache: two calls returned distinct apps")
+	}
+	c, err := app.ForScheme(encoding.SchemeEncodedBranch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a || c == app {
+		t.Fatal("ForScheme(encbranch) shared an image with another scheme")
+	}
+	hardened, err := inject.Targets(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := inject.Targets(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hardened) == len(baseline) {
+		t.Fatalf("hardened image has the same target count as baseline (%d) — countermeasure not emitted", len(baseline))
+	}
+}
+
+func buildApps(t *testing.T) []*target.App {
+	t.Helper()
+	f, err := ftpd.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sshd.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*target.App{f, s}
+}

@@ -7,6 +7,11 @@
 package target
 
 import (
+	"fmt"
+	"sync"
+
+	"faultsec/internal/cc"
+	"faultsec/internal/encoding"
 	"faultsec/internal/image"
 )
 
@@ -55,6 +60,54 @@ type App struct {
 	AuthFuncs []string
 	// Scenarios are the app's client access patterns, in Table 1 order.
 	Scenarios []Scenario
+	// Rebuild recompiles the application with the given code-generation
+	// options — the hook compile-time hardening schemes use to obtain a
+	// hardened image of the same program. Build packages (internal/ftpd,
+	// internal/sshd) set it; a nil Rebuild means the app cannot be
+	// re-codegenned (e.g. hand-assembled fixtures).
+	Rebuild func(cc.Options) (*App, error)
+
+	// codegen caches Rebuild results per option set, so repeated campaigns
+	// against one hardened variant (engine waves, naive baselines, matrix
+	// cells) compile once. Guarded by codegenMu.
+	codegenMu sync.Mutex
+	codegen   map[cc.Options]*App
+}
+
+// ForCodegen returns the app rebuilt with the given code-generation
+// options, caching per option set. The zero Options is the app itself —
+// the baseline image is already built.
+func (a *App) ForCodegen(opts cc.Options) (*App, error) {
+	if opts == (cc.Options{}) {
+		return a, nil
+	}
+	a.codegenMu.Lock()
+	defer a.codegenMu.Unlock()
+	if app, ok := a.codegen[opts]; ok {
+		return app, nil
+	}
+	if a.Rebuild == nil {
+		return nil, fmt.Errorf("target: app %s cannot rebuild with codegen options %+v (no Rebuild hook)", a.Name, opts)
+	}
+	app, err := a.Rebuild(opts)
+	if err != nil {
+		return nil, fmt.Errorf("target: rebuild %s with %+v: %w", a.Name, opts, err)
+	}
+	if a.codegen == nil {
+		a.codegen = make(map[cc.Options]*App)
+	}
+	a.codegen[opts] = app
+	return app, nil
+}
+
+// ForScheme resolves the image a hardening scheme runs against: the app
+// rebuilt with the scheme's code-generation options. Corruption-time
+// schemes (nil, x86, parity) return the app unchanged.
+func (a *App) ForScheme(s encoding.Scheme) (*App, error) {
+	if s == nil {
+		return a, nil
+	}
+	return a.ForCodegen(s.CCOptions())
 }
 
 // Scenario returns the named access pattern.
