@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"faultsec/internal/campaign"
+	"faultsec/internal/castore"
 	"faultsec/internal/encoding"
 	"faultsec/internal/faultmodel"
 	"faultsec/internal/fleet"
@@ -59,6 +60,16 @@ type submitRequest struct {
 	// Journal enables crash-safe journaling (requires -journals). A
 	// resubmission of the same app/scenario/scheme resumes the journal.
 	Journal bool `json:"journal,omitempty"`
+	// CheckpointSync fsyncs periodic journal checkpoints (the final
+	// checkpoint is always synced). Costs one fsync per checkpoint
+	// interval; buys bounded loss under power failure, not just crash.
+	CheckpointSync bool `json:"checkpointSync,omitempty"`
+	// CacheMode controls the content-addressed shard-result store
+	// ("off"/"read"/"readwrite"; "" means off). Requires -journals: the
+	// store lives under the journal directory. A resubmission of a rebuilt
+	// target in "read" or "readwrite" mode re-executes only experiments
+	// whose covering code section changed and adopts the rest from cache.
+	CacheMode string `json:"cacheMode,omitempty"`
 	// Workers runs the campaign across a fleet instead of the in-process
 	// engine: each entry is a worker node's base URL (its /shards and
 	// /healthz endpoints — any other campaignd qualifies), or the literal
@@ -207,6 +218,9 @@ type server struct {
 	mux        *http.ServeMux
 	journalDir string
 	apps       map[string]*target.App
+	// cache is the content-addressed shard-result store under
+	// journalDir/castore; nil when campaignd runs without -journals.
+	cache *castore.Store
 	// worker serves POST /shards, making this daemon leasable by fleet
 	// coordinators (its counters feed GET /metrics).
 	worker *fleet.WorkerServer
@@ -243,6 +257,15 @@ func newServer(journalDir string) (*server, error) {
 		runs:       make(map[string]*run),
 		journals:   make(map[string]string),
 	}
+	if journalDir != "" {
+		// The result store shares the journal directory's durability
+		// domain: entries and journals live on the same filesystem, so a
+		// crash cannot leave one without the other.
+		s.cache, err = castore.Open(filepath.Join(journalDir, "castore"))
+		if err != nil {
+			return nil, fmt.Errorf("campaignd: open result store: %w", err)
+		}
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/campaigns", s.handleCampaigns)
 	s.mux.HandleFunc("/campaigns/", s.handleCampaign)
@@ -253,6 +276,9 @@ func newServer(journalDir string) (*server, error) {
 	// (in-flight shards finish; a coordinator that loses one to our exit
 	// sees a truncated stream and re-leases it elsewhere).
 	s.worker = fleet.NewWorkerServer(s.apps, s.drainGate)
+	if s.cache != nil {
+		s.worker.SetCache(s.cache)
+	}
 	s.mux.Handle(fleet.PathShards, s.worker)
 	return s, nil
 }
@@ -381,6 +407,17 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "shardRuns requires a fleet campaign (non-empty workers)")
 		return
 	}
+	cacheMode, err := campaign.NormalizeCacheMode(req.CacheMode)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	req.CacheMode = cacheMode
+	if cacheMode != campaign.CacheOff && s.cache == nil {
+		writeErr(w, http.StatusBadRequest,
+			"cacheMode %q requested but campaignd runs without -journals (the result store lives under the journal directory)", cacheMode)
+		return
+	}
 	workers, err := s.buildWorkers(req.Workers)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
@@ -394,6 +431,11 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 		NoUops:          req.NoUops,
 		NoDirtyTracking: req.NoDirtyTracking,
 		NoTraces:        req.NoTraces,
+		CheckpointSync:  req.CheckpointSync,
+	}
+	if cacheMode != campaign.CacheOff {
+		cfg.CacheMode = cacheMode
+		cfg.Cache = s.cache
 	}
 	if req.Journal {
 		if s.journalDir == "" {
@@ -525,7 +567,13 @@ func (s *server) buildWorkers(specs []string) ([]fleet.Worker, error) {
 	for i, spec := range specs {
 		switch {
 		case spec == "loopback":
-			workers = append(workers, fleet.NewLoopback(fmt.Sprintf("loopback%d", i), apps...))
+			lb := fleet.NewLoopback(fmt.Sprintf("loopback%d", i), apps...)
+			if s.cache != nil {
+				// Loopback workers share the daemon's result store, like
+				// the HTTP worker endpoint does.
+				lb.SetCache(s.cache)
+			}
+			workers = append(workers, lb)
 		case strings.HasPrefix(spec, "http://") || strings.HasPrefix(spec, "https://"):
 			workers = append(workers, fleet.NewHTTPWorker(spec, nil))
 		default:
@@ -591,6 +639,13 @@ type metricsView struct {
 	TraceExits       int64 `json:"traceExits"`
 	DirtyBytesCopied int64 `json:"dirtyBytesCopied"`
 	FullRestores     int64 `json:"fullRestores"`
+	// CacheHits/CacheMisses/CacheWrites/CacheInvalid sum the per-campaign
+	// content-addressed result-store counters (engine and fleet). Omitted
+	// while zero so cache-less deployments keep the pre-cache wire shape.
+	CacheHits    int64 `json:"cacheHits,omitempty"`
+	CacheMisses  int64 `json:"cacheMisses,omitempty"`
+	CacheWrites  int64 `json:"cacheWrites,omitempty"`
+	CacheInvalid int64 `json:"cacheInvalid,omitempty"`
 	// Running is the number of campaigns still executing.
 	Running int `json:"running"`
 	// WorkerShardsServed and WorkerRunsServed count work this daemon
@@ -614,6 +669,10 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			}
 			v.Fleet[id] = fm
 			v.TotalRuns += fm.RunsTotal
+			v.CacheHits += fm.CacheHits
+			v.CacheMisses += fm.CacheMisses
+			v.CacheWrites += fm.CacheWrites
+			v.CacheInvalid += fm.CacheInvalid
 		} else {
 			m := rn.engine().Metrics()
 			v.Campaigns[id] = m
@@ -624,6 +683,10 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			v.TraceExits += m.TraceExits
 			v.DirtyBytesCopied += m.DirtyBytesCopied
 			v.FullRestores += m.FullRestores
+			v.CacheHits += m.CacheHits
+			v.CacheMisses += m.CacheMisses
+			v.CacheWrites += m.CacheWrites
+			v.CacheInvalid += m.CacheInvalid
 		}
 		if !rn.terminal() {
 			v.Running++

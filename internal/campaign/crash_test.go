@@ -1,0 +1,106 @@
+package campaign_test
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"faultsec/internal/campaign"
+	"faultsec/internal/encoding"
+)
+
+// crashJournalEnv tells the re-exec'd helper which journal to write; it is
+// unset in normal test runs, so the helper is a no-op there.
+const crashJournalEnv = "CAMPAIGN_CRASH_JOURNAL"
+
+// TestJournalCrashHelperProcess is the child side of
+// TestJournalCrashDurability: a journaled campaign the parent SIGKILLs
+// mid-flight. It only runs when re-exec'd with crashJournalEnv set.
+func TestJournalCrashHelperProcess(t *testing.T) {
+	path := os.Getenv(crashJournalEnv)
+	if path == "" {
+		t.Skip("helper process for TestJournalCrashDurability")
+	}
+	app, sc := ftpClient1(t)
+	_, err := campaign.New(campaign.Config{
+		App: app, Scenario: sc, Scheme: encoding.SchemeX86,
+		Parallelism: 1, KeepResults: true,
+		Journal: path, CheckpointEvery: 8, CheckpointSync: true,
+	}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJournalCrashDurability is the crash-safety acceptance test: a
+// journaled campaign in a child process is killed with SIGKILL (no
+// deferred cleanup, no flushes beyond what the journal already forced),
+// and a Resume over the survivor journal in this process must produce
+// Stats byte-identical to an uninterrupted campaign. CheckpointSync is on
+// in the child, so the periodic-fsync path is the one under test.
+func TestJournalCrashDurability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec campaign differential is not short")
+	}
+	path := filepath.Join(t.TempDir(), "crash.jsonl")
+	cmd := exec.Command(os.Args[0], "-test.run=TestJournalCrashHelperProcess$", "-test.count=1")
+	cmd.Env = append(os.Environ(), crashJournalEnv+"="+path)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill once the journal shows real progress: a header plus a handful
+	// of run records. Polling the file is exactly what an outside observer
+	// of a crash-safe journal is entitled to do.
+	deadline := time.Now().Add(2 * time.Minute)
+	killed := false
+	for time.Now().Before(deadline) {
+		raw, err := os.ReadFile(path)
+		if err == nil && strings.Count(string(raw), "\n") >= 8 {
+			if err := cmd.Process.Signal(syscall.SIGKILL); err == nil {
+				killed = true
+			}
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	err := cmd.Wait()
+	if !killed {
+		t.Fatalf("journal never showed progress before deadline (child err: %v)", err)
+	}
+	if err == nil {
+		t.Fatal("child exited cleanly before SIGKILL landed; crash path not exercised")
+	}
+
+	app, sc := ftpClient1(t)
+	cfg := campaign.Config{
+		App: app, Scenario: sc, Scheme: encoding.SchemeX86,
+		Parallelism: 1, KeepResults: true,
+		Journal: path, CheckpointEvery: 8, CheckpointSync: true,
+	}
+	eng := campaign.New(cfg)
+	resumed, err := eng.Resume(context.Background())
+	if err != nil {
+		t.Fatalf("resume after SIGKILL: %v", err)
+	}
+	if adopted := eng.Metrics().JournalAdopted; adopted == 0 {
+		t.Error("resume adopted nothing from the crashed campaign's journal")
+	}
+
+	cold, err := campaign.New(campaign.Config{
+		App: app, Scenario: sc, Scheme: encoding.SchemeX86, KeepResults: true,
+	}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, resumed) {
+		t.Errorf("resume after SIGKILL differs from uninterrupted run\ncold: %+v\nresumed: %+v",
+			statsSummary(cold), statsSummary(resumed))
+	}
+}

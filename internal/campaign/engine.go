@@ -42,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"faultsec/internal/castore"
 	"faultsec/internal/classify"
 	"faultsec/internal/encoding"
 	"faultsec/internal/faultmodel"
@@ -86,6 +87,17 @@ type Config struct {
 	// CheckpointEvery is the journal checkpoint cadence in runs; 0 means
 	// DefaultCheckpointEvery.
 	CheckpointEvery int
+	// CheckpointSync fsyncs the journal after every periodic checkpoint,
+	// bounding data loss under power failure (not just process death) to
+	// one checkpoint interval. The final checkpoint is always synced.
+	CheckpointSync bool
+	// CacheMode controls the content-addressed result cache: "" or "off"
+	// disables it, "read" adopts matching entries from Cache, "readwrite"
+	// also persists completed target groups. See cache.go.
+	CacheMode string
+	// Cache is the shard-result store consulted per CacheMode; nil
+	// disables caching regardless of mode.
+	Cache *castore.Store
 	// NoSnapshot forces the naive from-scratch path for every run. It
 	// exists for differential testing and benchmarking against the
 	// snapshot fast-forward.
@@ -182,6 +194,11 @@ type Engine struct {
 	icacheHits   atomic.Int64 // VM retirements served by the predecoded icache
 	icacheMisses atomic.Int64 // VM retirements that decoded on an icache miss
 
+	cacheHits    atomic.Int64 // runs adopted from the content-addressed store
+	cacheMisses  atomic.Int64 // runs executed because their group had no usable entry
+	cacheWrites  atomic.Int64 // entries persisted to the store
+	cacheInvalid atomic.Int64 // entries rejected as corrupt or inconsistent
+
 	traceHits        atomic.Int64 // fused-trace executions
 	traceExits       atomic.Int64 // fused traces that exited early
 	dirtyBytesCopied atomic.Int64 // bytes copied by O(dirty) restores
@@ -219,13 +236,16 @@ func (e *Engine) RunExperiments(ctx context.Context, exps []inject.Experiment) (
 			return nil, fmt.Errorf("campaign: experiment list is fault model %q but config (and journal identity) say %q", got, want)
 		}
 		var err error
-		w, err = newJournalWriter(e.cfg.Journal, true, e.cfg.effectiveCheckpointEvery())
+		w, err = newJournalWriter(e.cfg.Journal, true, e.cfg.effectiveCheckpointEvery(), e.cfg.CheckpointSync)
 		if err != nil {
 			return nil, err
 		}
 		if err := w.writeHeader(journalIdentity(&e.cfg, len(exps))); err != nil {
-			w.abort()
-			return nil, fmt.Errorf("campaign: journal header: %w", err)
+			err = fmt.Errorf("campaign: journal header: %w", err)
+			if aerr := w.abort(); aerr != nil {
+				err = fmt.Errorf("%w (journal abort: %v)", err, aerr)
+			}
+			return nil, err
 		}
 	}
 	return e.run(ctx, exps, nil, w)
@@ -252,13 +272,15 @@ func (e *Engine) Resume(ctx context.Context) (*inject.Stats, error) {
 	// Claim the writer before replaying the journal: if another engine is
 	// appending to this path, Resume must fail up front rather than read a
 	// moving file and race a second writer onto it.
-	w, err := newJournalWriter(e.cfg.Journal, false, e.cfg.effectiveCheckpointEvery())
+	w, err := newJournalWriter(e.cfg.Journal, false, e.cfg.effectiveCheckpointEvery(), e.cfg.CheckpointSync)
 	if err != nil {
 		return nil, err
 	}
 	skip, err := readJournal(e.cfg.Journal, journalIdentity(&e.cfg, len(exps)))
 	if err != nil {
-		w.abort()
+		if aerr := w.abort(); aerr != nil {
+			err = fmt.Errorf("%w (journal abort: %v)", err, aerr)
+		}
 		return nil, err
 	}
 	return e.run(ctx, exps, skip, w)
@@ -384,6 +406,14 @@ func (e *Engine) run(ctx context.Context, exps []inject.Experiment,
 	fuel := e.cfg.effectiveFuel()
 	golden, err := inject.GoldenRun(e.cfg.App, e.cfg.Scenario, fuel)
 	if err != nil {
+		// Release the journal writer: without this, the path claim leaks
+		// (every later submit gets ErrJournalBusy) and a header-only file
+		// is left to poison the next resume. abort removes the orphan.
+		if w != nil {
+			if aerr := w.abort(); aerr != nil {
+				err = fmt.Errorf("%w (journal abort: %v)", err, aerr)
+			}
+		}
 		return nil, err
 	}
 	var cfValid map[uint32]struct{}
@@ -401,8 +431,6 @@ func (e *Engine) run(ctx context.Context, exps []inject.Experiment,
 
 	groups := groupByTarget(exps, skip)
 	e.groupsTotal.Store(int64(len(groups)))
-	workers := e.cfg.effectiveWorkers(len(groups))
-	e.workers.Store(int64(workers))
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -436,6 +464,36 @@ func (e *Engine) run(ctx context.Context, exps []inject.Experiment,
 			e.cfg.OnResult(idx, res)
 		}
 	}
+
+	// Cache adoption: consult the content-addressed store for every pending
+	// group before any execution is scheduled. Adopted groups finish through
+	// the normal path — journaled, streamed, counted — so a warm campaign
+	// is indistinguishable downstream from a cold one; the remaining groups
+	// are the delta that actually executes.
+	var ec *engineCache
+	if e.cfg.cacheActive() {
+		ec, err = e.buildCache(exps, golden)
+		if err != nil {
+			fail(err)
+		} else {
+			pending := groups[:0]
+			for i := range groups {
+				if runCtx.Err() == nil {
+					if rem := e.adoptGroup(ec, &groups[i], exps, finish); len(rem) == 0 {
+						e.groupsDone.Add(1)
+						continue
+					} else {
+						groups[i].indices = rem
+					}
+				}
+				pending = append(pending, groups[i])
+			}
+			groups = pending
+		}
+	}
+
+	workers := e.cfg.effectiveWorkers(len(groups))
+	e.workers.Store(int64(workers))
 
 	// naRun is the observable outcome of a never-activated experiment: the
 	// fault-free session itself (determinism makes this exact, not a
@@ -487,6 +545,13 @@ func (e *Engine) run(ctx context.Context, exps []inject.Experiment,
 					e.harvestCounters(wm)
 					if runCtx.Err() == nil {
 						e.groupsDone.Add(1)
+						if ec != nil {
+							if wrote, werr := ec.writeBack(wave[gi].addr, exps, results); werr != nil {
+								fail(fmt.Errorf("campaign: cache write-back at %#x: %w", wave[gi].addr, werr))
+							} else {
+								e.cacheWrites.Add(int64(wrote))
+							}
+						}
 					}
 				}
 			}()
@@ -677,6 +742,16 @@ type Metrics struct {
 	NaiveRuns int64 `json:"naiveRuns"`
 	// JournalAdopted is the number of results adopted from a journal.
 	JournalAdopted int64 `json:"journalAdopted"`
+	// CacheHits is the number of runs adopted from the content-addressed
+	// result store; CacheMisses the number of runs executed because their
+	// target group had no usable entry (both 0 with the cache off).
+	CacheHits   int64 `json:"cacheHits,omitempty"`
+	CacheMisses int64 `json:"cacheMisses,omitempty"`
+	// CacheWrites counts entries persisted to the store; CacheInvalid
+	// counts entries rejected as corrupt or internally inconsistent
+	// (each rejection also surfaces as misses for the group's runs).
+	CacheWrites  int64 `json:"cacheWrites,omitempty"`
+	CacheInvalid int64 `json:"cacheInvalid,omitempty"`
 	// GroupsTotal and GroupsDone count the engine's target-address groups
 	// (its internal shards): scheduled for this campaign, and fully
 	// executed so far — the per-shard progress signal surfaced by fleet
@@ -722,6 +797,10 @@ func (e *Engine) Metrics() Metrics {
 		NaiveRuns:        e.naiveRuns.Load(),
 		PrefixRuns:       e.prefixRuns.Load(),
 		JournalAdopted:   e.preloaded.Load(),
+		CacheHits:        e.cacheHits.Load(),
+		CacheMisses:      e.cacheMisses.Load(),
+		CacheWrites:      e.cacheWrites.Load(),
+		CacheInvalid:     e.cacheInvalid.Load(),
 		GroupsTotal:      e.groupsTotal.Load(),
 		GroupsDone:       e.groupsDone.Load(),
 		Workers:          int(e.workers.Load()),

@@ -193,14 +193,25 @@ type journalWriter struct {
 	enc             *json.Encoder
 	runsSinceCkpt   int
 	checkpointEvery int
+	// syncCheckpoints fsyncs the file after every periodic checkpoint
+	// (Config.CheckpointSync): the durability knob for callers that must
+	// survive power loss, not just process death.
+	syncCheckpoints bool
+	// owned records that this writer created (or truncated) the file, and
+	// runs counts run records appended by this writer — together they
+	// decide whether abort may remove the file (an owned, header-only
+	// journal carries no results and would poison the next resume).
+	owned bool
+	runs  int
 }
 
 // newJournalWriter claims path and opens it for writing: truncated for a
 // fresh campaign (trunc), appended-to for a resume. The claim happens
 // before the open so a duplicate fresh run cannot truncate a journal an
 // active writer is still appending to; errors.Is(err, ErrJournalBusy)
-// identifies that refusal.
-func newJournalWriter(path string, trunc bool, checkpointEvery int) (*journalWriter, error) {
+// identifies that refusal. A freshly created journal's parent directory is
+// fsynced so the file's existence survives power loss.
+func newJournalWriter(path string, trunc bool, checkpointEvery int, syncCheckpoints bool) (*journalWriter, error) {
 	key := filepath.Clean(path)
 	if _, loaded := activeJournals.LoadOrStore(key, struct{}{}); loaded {
 		return nil, fmt.Errorf("campaign: journal %s: %w", path, ErrJournalBusy)
@@ -216,6 +227,13 @@ func newJournalWriter(path string, trunc bool, checkpointEvery int) (*journalWri
 		activeJournals.Delete(key)
 		return nil, fmt.Errorf("campaign: open journal: %w", err)
 	}
+	if trunc {
+		if err := syncDir(filepath.Dir(key)); err != nil {
+			f.Close()
+			activeJournals.Delete(key)
+			return nil, err
+		}
+	}
 	bw := bufio.NewWriter(f)
 	return &journalWriter{
 		path:            key,
@@ -223,7 +241,23 @@ func newJournalWriter(path string, trunc bool, checkpointEvery int) (*journalWri
 		bw:              bw,
 		enc:             json.NewEncoder(bw),
 		checkpointEvery: checkpointEvery,
+		syncCheckpoints: syncCheckpoints,
+		owned:           trunc,
 	}, nil
+}
+
+// syncDir fsyncs a directory, making a just-created or just-renamed entry
+// in it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	defer d.Close() //nolint:errcheck // read-only
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("campaign: sync %s: %w", dir, err)
+	}
+	return nil
 }
 
 func (w *journalWriter) write(rec *journalRecord) error {
@@ -247,18 +281,30 @@ func (w *journalWriter) writeRun(idx int, r inject.Result, done int, counts map[
 	if err := w.write(&journalRecord{Type: recordRun, Idx: idx, Result: Wire(r)}); err != nil {
 		return err
 	}
+	w.runs++
 	w.runsSinceCkpt++
 	if w.runsSinceCkpt >= w.checkpointEvery {
 		w.runsSinceCkpt = 0
-		return w.write(&journalRecord{Type: recordCheckpoint, Done: done, Counts: counts})
+		if err := w.write(&journalRecord{Type: recordCheckpoint, Done: done, Counts: counts}); err != nil {
+			return err
+		}
+		if w.syncCheckpoints {
+			return w.f.Sync()
+		}
 	}
 	return nil
 }
 
+// close writes the final checkpoint and fsyncs before closing: the journal
+// advertises itself as crash-safe, so the completed state must actually be
+// on stable storage when close returns, not just in the page cache.
 func (w *journalWriter) close(done int, counts map[string]int) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	err := w.write(&journalRecord{Type: recordCheckpoint, Done: done, Counts: counts})
+	if serr := w.f.Sync(); err == nil {
+		err = serr
+	}
 	if cerr := w.f.Close(); err == nil {
 		err = cerr
 	}
@@ -268,12 +314,32 @@ func (w *journalWriter) close(done int, counts map[string]int) error {
 
 // abort releases the writer without a final checkpoint: the path claim is
 // dropped and the file closed as-is. It is the error-path counterpart of
-// close, for writers that never got to journal anything.
-func (w *journalWriter) abort() {
+// close, for writers whose campaign failed before completing. When this
+// writer created the file and journaled no runs, the header-only file is
+// removed — leaving it behind would poison the next submit, which would
+// resume from a journal that records no progress and (if the failure was
+// config-dependent) may not even match its identity.
+func (w *journalWriter) abort() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	_ = w.f.Close()
+	err := w.f.Close()
+	if w.owned && w.runs == 0 {
+		if rerr := os.Remove(w.path); rerr != nil && !os.IsNotExist(rerr) && err == nil {
+			err = rerr
+		} else if rerr == nil {
+			err = errorOrNil(err, syncDir(filepath.Dir(w.path)))
+		}
+	}
 	activeJournals.Delete(w.path)
+	return err
+}
+
+// errorOrNil returns the first non-nil error.
+func errorOrNil(a, b error) error {
+	if a != nil {
+		return a
+	}
+	return b
 }
 
 // readJournal parses a journal and returns the recorded results keyed by

@@ -69,14 +69,17 @@ func OpenJournal(cfg *Config, total int, trunc bool) (*Journal, error) {
 	if cfg.Journal == "" {
 		return nil, errors.New("campaign: OpenJournal needs cfg.Journal")
 	}
-	w, err := newJournalWriter(cfg.Journal, trunc, cfg.effectiveCheckpointEvery())
+	w, err := newJournalWriter(cfg.Journal, trunc, cfg.effectiveCheckpointEvery(), cfg.CheckpointSync)
 	if err != nil {
 		return nil, err
 	}
 	if trunc {
 		if err := w.writeHeader(journalIdentity(cfg, total)); err != nil {
-			w.abort()
-			return nil, fmt.Errorf("campaign: journal header: %w", err)
+			err = fmt.Errorf("campaign: journal header: %w", err)
+			if aerr := w.abort(); aerr != nil {
+				err = fmt.Errorf("%w (journal abort: %v)", err, aerr)
+			}
+			return nil, err
 		}
 	}
 	return &Journal{w: w}, nil
@@ -96,8 +99,9 @@ func (j *Journal) Close(done int, counts map[string]int) error {
 }
 
 // Abort releases the journal without a final checkpoint (the error-path
-// counterpart of Close).
-func (j *Journal) Abort() { j.w.abort() }
+// counterpart of Close). When this journal created the file and no runs
+// were appended, the header-only orphan is removed.
+func (j *Journal) Abort() error { return j.w.abort() }
 
 // ReplayJournal reads the journal at cfg.Journal and returns the recorded
 // results keyed by global experiment index, rehydrated against exps (the

@@ -296,3 +296,65 @@ int dispatch(int cmd) {
 		t.Errorf("missing case jumps:\n%s", out)
 	}
 }
+
+func TestHardenFuncsRestriction(t *testing.T) {
+	src := `
+int check(int a, int b) {
+	if (a == b) { return 1; }
+	return 0;
+}
+int gate(int a, int b) {
+	if (a < b) { return 1; }
+	return 0;
+}
+`
+	plain, err := cc.Compile(src)
+	if err != nil {
+		t.Fatalf("plain compile: %v", err)
+	}
+	restricted, err := cc.CompileWithOptions(src, cc.Options{DupCompares: true, HardenFuncs: "gate"})
+	if err != nil {
+		t.Fatalf("restricted compile: %v", err)
+	}
+	full, err := cc.CompileWithOptions(src, cc.Options{DupCompares: true})
+	if err != nil {
+		t.Fatalf("full compile: %v", err)
+	}
+
+	// funcBody slices one function's text out of the generated assembly.
+	funcBody := func(asm, name string) string {
+		t.Helper()
+		i := strings.Index(asm, name+":\n")
+		if i < 0 {
+			t.Fatalf("function %s not found in assembly", name)
+		}
+		rest := asm[i:]
+		if j := strings.Index(rest, ".endfunc"); j >= 0 {
+			rest = rest[:j]
+		}
+		return rest
+	}
+
+	// The named function is hardened: its body gains the duplicated
+	// compare + trap shape the unrestricted build has.
+	if got := funcBody(restricted, "gate"); !strings.Contains(got, "int3") {
+		t.Errorf("restricted gate body lacks the dup-compare trap:\n%s", got)
+	}
+	// Every other function compiles byte-identically to the plain build —
+	// the single-function-delta property incremental campaigns key on.
+	if got, want := funcBody(restricted, "check"), funcBody(plain, "check"); got != want {
+		t.Errorf("check differs between plain and restricted builds:\nplain:\n%s\nrestricted:\n%s", want, got)
+	}
+	if got, want := funcBody(full, "check"), funcBody(plain, "check"); got == want {
+		t.Error("unrestricted DupCompares left check unhardened; the restriction test proves nothing")
+	}
+
+	// An unknown name hardens nothing: the output matches the plain build.
+	none, err := cc.CompileWithOptions(src, cc.Options{DupCompares: true, HardenFuncs: "nosuchfunc"})
+	if err != nil {
+		t.Fatalf("no-match compile: %v", err)
+	}
+	if none != plain {
+		t.Error("HardenFuncs with no matching function still changed the output")
+	}
+}

@@ -32,6 +32,26 @@ type Options struct {
 	// dispatches on the encoded value and any third value — the result
 	// of a corrupted compare, setcc, mask, or immediate — traps.
 	EncodedBranches bool
+	// HardenFuncs restricts DupCompares/EncodedBranches to a
+	// comma-separated list of function names; empty hardens every
+	// function. Restricting hardening to one function rebuilds an image
+	// whose other functions keep byte-identical code sections — the
+	// single-function-delta case the incremental campaign cache keys on.
+	HardenFuncs string
+}
+
+// hardens reports whether branch hardening applies to function name under
+// the HardenFuncs restriction.
+func (o Options) hardens(name string) bool {
+	if o.HardenFuncs == "" {
+		return true
+	}
+	for _, f := range strings.Split(o.HardenFuncs, ",") {
+		if strings.TrimSpace(f) == name {
+			return true
+		}
+	}
+	return false
 }
 
 // EncFalse and EncTrue are the two valid states of an encoded branch
@@ -445,8 +465,9 @@ var negJcc = map[string]string{
 // 1803.08359 (DupCompares wins if both are set). Both hardened shapes may
 // clobber eax/ecx — condition consumers never rely on them afterwards.
 func (g *gen) condBranch(cmp, jcc, label string) {
+	harden := g.opts.hardens(g.fn.Name)
 	switch {
-	case g.opts.DupCompares:
+	case g.opts.DupCompares && harden:
 		// Branch, then re-evaluate the compare on whichever path was
 		// taken; a disagreement between the two evaluations traps.
 		ftLbl := g.label()
@@ -459,7 +480,7 @@ func (g *gen) condBranch(cmp, jcc, label string) {
 		g.emit("%s:", ftLbl)
 		g.emit("\t%s", cmp) // fall-through path: must still not hold
 		g.emit("\t%s %s", jcc, trap)
-	case g.opts.EncodedBranches:
+	case g.opts.EncodedBranches && harden:
 		// Widen the condition to a 0/0xFFFFFFFF mask and XOR it into the
 		// {EncFalse, EncTrue} code space; dispatch on the encoded value
 		// and trap on anything outside it.

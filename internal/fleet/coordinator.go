@@ -31,12 +31,14 @@ type Coordinator struct {
 	results   []inject.Result
 	have      []bool
 	jr        *campaign.Journal
+	cv        *campaign.CacheView
 	failErr   error
 	cancelRun context.CancelFunc
 
-	total       atomic.Int64
-	done        atomic.Int64
-	adopted     atomic.Int64
+	total        atomic.Int64
+	done         atomic.Int64
+	adopted      atomic.Int64
+	cacheAdopted atomic.Int64
 	counts      [6]atomic.Int64
 	freshRuns   atomic.Int64
 	retries     atomic.Int64
@@ -116,12 +118,26 @@ func (c *Coordinator) run(ctx context.Context, resume bool) (*inject.Stats, erro
 		}
 		if resume {
 			if adopted, err = campaign.ReplayJournal(cc, exps); err != nil {
-				jr.Abort()
+				if aerr := jr.Abort(); aerr != nil {
+					err = fmt.Errorf("%w (journal abort: %v)", err, aerr)
+				}
 				return nil, err
 			}
 		}
 	case resume:
 		return nil, errors.New("fleet: Resume needs cfg.Campaign.Journal")
+	}
+
+	// The cache view runs one fault-free golden session (its observables
+	// are key material), so it is built before taking the lock.
+	cv, err := campaign.NewCacheView(*cc, exps)
+	if err != nil {
+		if jr != nil {
+			if aerr := jr.Abort(); aerr != nil {
+				err = fmt.Errorf("%w (journal abort: %v)", err, aerr)
+			}
+		}
+		return nil, err
 	}
 
 	c.mu.Lock()
@@ -136,6 +152,57 @@ func (c *Coordinator) run(ctx context.Context, resume bool) (*inject.Stats, erro
 	c.adopted.Store(int64(len(adopted)))
 	c.done.Store(int64(len(adopted)))
 	c.jr = jr
+	c.cv = cv
+
+	// Cache adoption happens before planning: every hit is journaled and
+	// marked have, so a shard whose experiments are all cached (or
+	// journal-adopted) plans with an empty pending set and is never
+	// leased — only the groups whose keyed context changed execute.
+	type adoptedRun struct {
+		idx int
+		res inject.Result
+		d   int
+	}
+	var cacheRuns []adoptedRun
+	if cv != nil {
+		for _, g := range addrGroups(exps, 0, total) {
+			var pending []int
+			for i := g.lo; i < g.hi; i++ {
+				if !c.have[i] {
+					pending = append(pending, i)
+				}
+			}
+			if len(pending) == 0 {
+				continue
+			}
+			res := cv.Adopt(g.addr, exps, pending)
+			if len(res) == 0 {
+				continue
+			}
+			for _, idx := range pending {
+				r, hit := res[idx]
+				if !hit {
+					continue // class miss: stays pending, planned into a shard
+				}
+				c.results[idx] = r
+				c.have[idx] = true
+				c.counts[r.Outcome].Add(1)
+				d := int(c.done.Add(1))
+				c.cacheAdopted.Add(1)
+				if jr != nil {
+					if err := jr.Append(idx, r, d, c.countsMap()); err != nil {
+						c.failLocked(fmt.Errorf("fleet: journal append: %w", err))
+						break
+					}
+				}
+				cacheRuns = append(cacheRuns, adoptedRun{idx: idx, res: r, d: d})
+			}
+			if c.failErr != nil {
+				break
+			}
+		}
+	}
+
 	shardRuns := c.cfg.ShardRuns
 	if shardRuns <= 0 {
 		shardRuns = defaultShardRuns(total, len(c.workers))
@@ -145,9 +212,25 @@ func (c *Coordinator) run(ctx context.Context, resume bool) (*inject.Stats, erro
 		if len(sh.pending) == 0 {
 			sh.done = true
 			c.shardsOut++
+			// Backfill the store from shards completed without leasing
+			// (journal-adopted resumes): their groups may predate the cache.
+			c.storeShardGroupsLocked(sh)
 		}
 	}
 	c.mu.Unlock()
+
+	// Fire the progress/result hooks for cache-adopted runs outside the
+	// lock, in adoption order — mirroring deliver for fresh runs.
+	if progress, onResult := cc.Progress, cc.OnResult; progress != nil || onResult != nil {
+		for _, ar := range cacheRuns {
+			if progress != nil {
+				progress(ar.d, total)
+			}
+			if onResult != nil {
+				onResult(ar.idx, ar.res)
+			}
+		}
+	}
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -424,6 +507,10 @@ func (c *Coordinator) settle(ctx context.Context, sh *shardState, ws *workerStat
 			sh.done = true
 			c.shardsOut++
 			ws.shardsDone.Add(1)
+			// Persist the shard's freshly executed target groups; a group
+			// whose entry already exists (an adopted hit, or a concurrent
+			// writer) is a verified no-op inside StoreGroup.
+			c.storeShardGroupsLocked(sh)
 		}
 		return
 	}
@@ -440,6 +527,44 @@ func (c *Coordinator) settle(ctx context.Context, sh *shardState, ws *workerStat
 		return
 	}
 	sh.nextEligible = time.Now().Add(c.cfg.backoff(sh.attempts))
+}
+
+// storeShardGroupsLocked writes every completed target group of sh to the
+// result cache (readwrite mode only; no-op without a cache view). Callers
+// hold c.mu. A write failure fails the campaign: a same-key content
+// mismatch would mean the key derivation missed an input.
+func (c *Coordinator) storeShardGroupsLocked(sh *shardState) {
+	if c.cv == nil {
+		return
+	}
+	for _, g := range addrGroups(c.exps, sh.start, sh.end) {
+		if _, err := c.cv.StoreGroup(g.addr, c.exps, c.results, c.have); err != nil {
+			c.failLocked(fmt.Errorf("fleet: cache write-back at %#x: %w", g.addr, err))
+			return
+		}
+	}
+}
+
+// addrSpan is one contiguous target-address group of the enumeration.
+type addrSpan struct {
+	addr   uint32
+	lo, hi int // global experiment index range [lo, hi)
+}
+
+// addrGroups splits exps[lo:hi) into its contiguous target-address groups
+// (the enumeration is target-major, so each target's experiments are
+// contiguous — the same property the shard planner leans on).
+func addrGroups(exps []inject.Experiment, lo, hi int) []addrSpan {
+	var out []addrSpan
+	for i := lo; i < hi; {
+		j := i + 1
+		for j < hi && exps[j].Target.Addr == exps[i].Target.Addr {
+			j++
+		}
+		out = append(out, addrSpan{addr: exps[i].Target.Addr, lo: i, hi: j})
+		i = j
+	}
+	return out
 }
 
 // failLocked records the campaign's first error and cancels the run.
@@ -499,7 +624,8 @@ func (c *Coordinator) specFor(sh *shardState) ShardSpec {
 		Fuel:  cc.Fuel, Parallelism: cc.Parallelism, Watchdog: cc.Watchdog,
 		NoICache: cc.NoICache, NoUops: cc.NoUops, NoSnapshot: cc.NoSnapshot,
 		NoDirtyTracking: cc.NoDirtyTracking, NoTraces: cc.NoTraces,
-		Total: len(c.exps), Shard: sh.id, Indices: sh.pending,
+		CacheMode: cc.CacheMode,
+		Total:     len(c.exps), Shard: sh.id, Indices: sh.pending,
 	}
 }
 
@@ -522,7 +648,7 @@ func (c *Coordinator) Progress() campaign.Progress {
 		Counts: c.countsMap(),
 	}
 	p.ElapsedSeconds = c.elapsed().Seconds()
-	fresh := p.Done - int(c.adopted.Load())
+	fresh := p.Done - int(c.adopted.Load()) - int(c.cacheAdopted.Load())
 	if p.ElapsedSeconds > 0 && fresh > 0 {
 		p.RunsPerSec = float64(fresh) / p.ElapsedSeconds
 		if remaining := p.Total - p.Done; remaining > 0 {

@@ -84,6 +84,11 @@ type ShardSpec struct {
 
 	NoDirtyTracking bool `json:"noDirtyTracking,omitempty"`
 	NoTraces        bool `json:"noTraces,omitempty"`
+	// CacheMode is the campaign's content-addressed cache mode ("",
+	// "off", "read", "readwrite"). A worker honors it only when it has a
+	// local result store configured; the coordinator consults its own
+	// store before leasing either way.
+	CacheMode string `json:"cacheMode,omitempty"`
 	// Total is the size of the full campaign enumeration.
 	Total int `json:"total"`
 	// Shard is the coordinator's shard id (diagnostics only).

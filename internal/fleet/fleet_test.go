@@ -16,6 +16,8 @@ import (
 	"time"
 
 	"faultsec/internal/campaign"
+	"faultsec/internal/castore"
+	"faultsec/internal/cc"
 	"faultsec/internal/encoding"
 	"faultsec/internal/fleet"
 	"faultsec/internal/ftpd"
@@ -349,5 +351,141 @@ func TestFleetJournalCancelResume(t *testing.T) {
 			}
 			requireIdentical(t, want, got)
 		})
+	}
+}
+
+func cacheStore(t testing.TB) *castore.Store {
+	t.Helper()
+	store, err := castore.Open(filepath.Join(t.TempDir(), "castore"))
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	return store
+}
+
+// cachedFleetConfig wires one loopback worker and the shared result store
+// into a readwrite fleet campaign over app.
+func cachedFleetConfig(app *target.App, sc target.Scenario, store *castore.Store) fleet.Config {
+	lb := fleet.NewLoopback("w0", app)
+	lb.SetCache(store)
+	cfg := fleetConfig(app, sc, lb)
+	cfg.Campaign.Cache = store
+	cfg.Campaign.CacheMode = campaign.CacheReadWrite
+	return cfg
+}
+
+// TestFleetCacheWarmAdoptsEverything: a cold readwrite fleet run persists
+// every target group; a warm rerun adopts all of them before leasing, so
+// no shard executes, no worker runs, and the Stats stay byte-identical.
+func TestFleetCacheWarmAdoptsEverything(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign differential is not short")
+	}
+	app, sc := ftpClient1(t)
+	want := engineStats(t, app, sc)
+	store := cacheStore(t)
+
+	co := fleet.New(cachedFleetConfig(app, sc, store))
+	cold, err := co.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, want, cold)
+	// The loopback worker and the coordinator share the store: the worker's
+	// engine persists each group as it completes, and the coordinator's
+	// settlement writes verify as duplicate no-ops — so the store must be
+	// populated, whichever side got there first.
+	keys, err := store.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) == 0 {
+		t.Error("cold fleet run persisted no cache entries")
+	}
+	cm := co.Metrics()
+	if cm.CacheMisses == 0 || cm.CacheHits != 0 {
+		t.Errorf("cold fleet counters hits=%d misses=%d, want 0/>0", cm.CacheHits, cm.CacheMisses)
+	}
+
+	co2 := fleet.New(cachedFleetConfig(app, sc, store))
+	warm, err := co2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, want, warm)
+	wm := co2.Metrics()
+	if wm.CacheHits != int64(want.Total) {
+		t.Errorf("warm fleet adopted %d of %d runs", wm.CacheHits, want.Total)
+	}
+	if wm.RunsTotal != 0 {
+		t.Errorf("warm fleet executed %d fresh runs, want 0", wm.RunsTotal)
+	}
+	for _, w := range wm.Workers {
+		if w.Runs != 0 {
+			t.Errorf("worker %s executed %d runs on a fully warm store", w.Name, w.Runs)
+		}
+	}
+}
+
+// TestFleetIncrementalRebuildIdentity is the fleet half of the FastFlip
+// acceptance test: after a one-function rebuild (retr hardened — a
+// function Client1's denied session never executes), a warm fleet
+// resubmit adopts the function-keyed groups of unchanged functions from
+// the base image's store, re-executes only the whole-text-keyed escaping
+// groups, and merges to Stats byte-identical to a cold engine run of the
+// rebuilt image.
+func TestFleetIncrementalRebuildIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign differential is not short")
+	}
+	app, sc := ftpClient1(t)
+	store := cacheStore(t)
+	if _, err := fleet.New(cachedFleetConfig(app, sc, store)).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	mod, err := app.ForCodegen(cc.Options{DupCompares: true, HardenFuncs: "retr"})
+	if err != nil {
+		t.Fatalf("rebuild with hardened retr: %v", err)
+	}
+	modSc, ok := mod.Scenario(sc.Name)
+	if !ok {
+		t.Fatalf("rebuilt app lost scenario %s", sc.Name)
+	}
+	want := engineStats(t, mod, modSc)
+
+	co := fleet.New(cachedFleetConfig(mod, modSc, store))
+	got, err := co.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, want, got)
+	m := co.Metrics()
+	if m.CacheHits == 0 {
+		t.Error("rebuilt-image fleet run adopted nothing from the base store")
+	}
+	if m.CacheMisses == 0 {
+		t.Error("no run re-executed on the rebuilt image (expected the escaping groups to miss)")
+	}
+	if m.CacheHits+m.CacheMisses != int64(want.Total) {
+		t.Errorf("hits+misses = %d, want total %d", m.CacheHits+m.CacheMisses, want.Total)
+	}
+	if m.RunsTotal == 0 {
+		t.Error("warm incremental fleet run reports zero fresh runs despite misses")
+	}
+}
+
+// TestFleetMetricsBeforeRunAreZero is the elapsed-time regression gate for
+// the coordinator: before Run, rate fields must be zero, not computed
+// against a zero start time.
+func TestFleetMetricsBeforeRunAreZero(t *testing.T) {
+	app, sc := ftpClient1(t)
+	co := fleet.New(fleetConfig(app, sc, fleet.NewLoopback("w0", app)))
+	if m := co.Metrics(); m.RunsPerSec != 0 {
+		t.Errorf("metrics before Run: runsPerSec=%v, want 0", m.RunsPerSec)
+	}
+	p := co.Progress()
+	if p.Done != 0 || p.ElapsedSeconds != 0 || p.RunsPerSec != 0 || p.ETASeconds != 0 {
+		t.Errorf("progress before Run: %+v, want zeros", p)
 	}
 }

@@ -10,6 +10,15 @@ type Metrics struct {
 	SpeculativeAttempts int64 `json:"speculativeAttempts"`
 	DuplicateRuns       int64 `json:"duplicateRuns"`
 	JournalAdopted      int64 `json:"journalAdopted"`
+	// CacheHits counts runs the coordinator adopted from the
+	// content-addressed result store before leasing; CacheMisses counts
+	// runs leased because their target group had no usable entry.
+	// CacheWrites counts entries persisted on shard settlement and
+	// CacheInvalid entries rejected as corrupt or inconsistent.
+	CacheHits    int64 `json:"cacheHits,omitempty"`
+	CacheMisses  int64 `json:"cacheMisses,omitempty"`
+	CacheWrites  int64 `json:"cacheWrites,omitempty"`
+	CacheInvalid int64 `json:"cacheInvalid,omitempty"`
 	// RunsTotal counts fresh (non-adopted) runs delivered and accepted.
 	RunsTotal  int64   `json:"runsTotal"`
 	RunsPerSec float64 `json:"runsPerSec"`
@@ -71,6 +80,9 @@ func (c *Coordinator) Metrics() Metrics {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.cv != nil {
+		m.CacheHits, m.CacheMisses, m.CacheWrites, m.CacheInvalid = c.cv.Counters()
+	}
 	m.ShardsTotal = len(c.shards)
 	m.ShardsDone = c.shardsOut
 	for _, sh := range c.shards {

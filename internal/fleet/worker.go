@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"faultsec/internal/campaign"
+	"faultsec/internal/castore"
 	"faultsec/internal/encoding"
 	"faultsec/internal/inject"
 	"faultsec/internal/target"
@@ -36,7 +37,8 @@ type shardLine struct {
 // scenario, scheme, an enumeration that does not match Total, an index
 // out of range) surface here, before any result is produced, so the HTTP
 // handler can still answer 400.
-func prepareShard(apps map[string]*target.App, spec *ShardSpec) (func(ctx context.Context, emit emitFunc) error, error) {
+func prepareShard(apps map[string]*target.App, spec *ShardSpec,
+	cache *castore.Store) (func(ctx context.Context, emit emitFunc) error, error) {
 	app, ok := apps[spec.App]
 	if !ok {
 		return nil, fmt.Errorf("fleet: unknown app %q", spec.App)
@@ -49,11 +51,19 @@ func prepareShard(apps map[string]*target.App, spec *ShardSpec) (func(ctx contex
 	if err != nil {
 		return nil, fmt.Errorf("fleet: %w", err)
 	}
+	cacheMode, err := campaign.NormalizeCacheMode(spec.CacheMode)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
 	cfg := campaign.Config{
 		App: app, Scenario: sc, Scheme: scheme, Model: spec.Model,
 		Fuel: spec.Fuel, Parallelism: spec.Parallelism, Watchdog: spec.Watchdog,
 		NoICache: spec.NoICache, NoUops: spec.NoUops, NoSnapshot: spec.NoSnapshot,
 		NoDirtyTracking: spec.NoDirtyTracking, NoTraces: spec.NoTraces,
+	}
+	if cache != nil {
+		cfg.CacheMode = cacheMode
+		cfg.Cache = cache
 	}
 	// EnumerateConfig resolves spec.Model through the worker's own
 	// faultmodel registry: a model this build does not know is refused
@@ -91,10 +101,17 @@ type WorkerServer struct {
 	// gate, when non-nil, is consulted before a shard starts; a non-nil
 	// error refuses the lease with 503 (campaignd's drain gate).
 	gate func() error
+	// cache, when non-nil, is the worker-local result store; shards whose
+	// spec carries a cache mode execute with it.
+	cache *castore.Store
 
 	shardsServed atomic.Int64
 	runsServed   atomic.Int64
 }
+
+// SetCache installs a worker-local result store, honored by shard specs
+// that carry a cache mode. Call before serving traffic.
+func (ws *WorkerServer) SetCache(s *castore.Store) { ws.cache = s }
 
 // NewWorkerServer builds a worker handler over the given apps. gate may
 // be nil; otherwise a non-nil gate() error refuses new shards with 503
@@ -137,7 +154,7 @@ func (ws *WorkerServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, http.StatusBadRequest, "bad shard spec: %v", err)
 		return
 	}
-	run, err := prepareShard(ws.apps, &spec)
+	run, err := prepareShard(ws.apps, &spec, ws.cache)
 	if err != nil {
 		writeJSONError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -185,9 +202,14 @@ func (ws *WorkerServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // resolution and wire conversion as remote workers, so the single-node
 // fleet is the distributed code path, not a special case.
 type Loopback struct {
-	name string
-	apps map[string]*target.App
+	name  string
+	apps  map[string]*target.App
+	cache *castore.Store
 }
+
+// SetCache installs a worker-local result store, honored by shard specs
+// that carry a cache mode.
+func (l *Loopback) SetCache(s *castore.Store) { l.cache = s }
 
 // NewLoopback builds an in-process worker serving the given apps.
 func NewLoopback(name string, apps ...*target.App) *Loopback {
@@ -207,7 +229,7 @@ func (l *Loopback) Healthy(context.Context) error { return nil }
 
 // RunShard executes the shard on an in-process engine.
 func (l *Loopback) RunShard(ctx context.Context, spec ShardSpec, emit func(int, *campaign.WireResult)) error {
-	run, err := prepareShard(l.apps, &spec)
+	run, err := prepareShard(l.apps, &spec, l.cache)
 	if err != nil {
 		return err
 	}
