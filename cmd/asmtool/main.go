@@ -13,15 +13,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"faultsec/internal/asm"
 	"faultsec/internal/cc"
 	"faultsec/internal/disasm"
-	"faultsec/internal/ftpd"
 	"faultsec/internal/image"
 	"faultsec/internal/rt"
-	"faultsec/internal/sshd"
 	"faultsec/internal/target"
+
+	// Register the built-in target applications.
+	_ "faultsec/internal/ftpd"
+	_ "faultsec/internal/httpd"
+	_ "faultsec/internal/sshd"
 )
 
 func main() {
@@ -36,7 +40,7 @@ func run() error {
 		ccFile  = flag.String("cc", "", "compile a MiniC file to assembly")
 		asmFile = flag.String("asm", "", "assemble an assembly file and print the section map")
 		disFile = flag.String("dis", "", "compile+link a MiniC file and disassemble .text")
-		appName = flag.String("app", "", "built-in app (ftpd or sshd) for -dis-func")
+		appName = flag.String("app", "", "built-in app for -dis-func (registry name)")
 		disFunc = flag.String("dis-func", "", "disassemble one function of the built-in app")
 	)
 	flag.Parse()
@@ -84,16 +88,10 @@ func run() error {
 		return disassembleImage(img, "")
 
 	case *disFunc != "":
-		var app *target.App
-		var err error
-		switch *appName {
-		case "ftpd":
-			app, err = ftpd.Build()
-		case "sshd":
-			app, err = sshd.Build()
-		default:
-			return fmt.Errorf("-dis-func needs -app ftpd or -app sshd")
+		if *appName == "" {
+			return fmt.Errorf("-dis-func needs -app (one of %s)", strings.Join(target.Names(), ", "))
 		}
+		app, err := target.Build(*appName)
 		if err != nil {
 			return err
 		}

@@ -42,8 +42,8 @@ func run() error {
 		persistent = flag.Bool("persistent", false, "demonstrate the permanent vulnerability window (§5.4)")
 		watchdog   = flag.Bool("watchdog", false, "run the control-flow watchdog ablation")
 		loadImpact = flag.Bool("loadimpact", false, "run the load-diversity experiment (§5.4)")
-		models     = flag.Bool("models", false, "run every registered fault model over FTP and SSH Client1 and print the BRK/SD/FSV matrix")
-		schemes    = flag.Bool("schemes", false, "run every registered hardening scheme x fault model over FTP and SSH Client1 and print the reduction matrix")
+		models     = flag.Bool("models", false, "run every registered fault model over FTP, SSH, and HTTP Client1 and print the BRK/SD/FSV matrix")
+		schemes    = flag.Bool("schemes", false, "run every registered hardening scheme x fault model over FTP, SSH, and HTTP Client1 and print the reduction matrix")
 		all        = flag.Bool("all", false, "run everything")
 		jsonOut    = flag.String("json", "", "also write campaign stats as JSON to this file")
 		fuel       = flag.Uint64("fuel", 0, "per-run instruction budget (0 = default)")

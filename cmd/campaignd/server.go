@@ -8,7 +8,6 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
-	"sort"
 	"strings"
 	"sync"
 
@@ -17,10 +16,14 @@ import (
 	"faultsec/internal/encoding"
 	"faultsec/internal/faultmodel"
 	"faultsec/internal/fleet"
-	"faultsec/internal/ftpd"
 	"faultsec/internal/inject"
-	"faultsec/internal/sshd"
 	"faultsec/internal/target"
+
+	// Register the built-in target applications; submits resolve them by
+	// registry name and build them lazily.
+	_ "faultsec/internal/ftpd"
+	_ "faultsec/internal/httpd"
+	_ "faultsec/internal/sshd"
 )
 
 // maxSubmitBytes bounds the POST /campaigns body; real submissions are a
@@ -31,7 +34,7 @@ const maxSubmitBytes = 1 << 20
 // (DisallowUnknownFields), so a typo'd knob fails the submit loudly
 // instead of silently running the wrong ablation.
 type submitRequest struct {
-	App      string `json:"app"`      // "ftpd" or "sshd"
+	App      string `json:"app"`      // a target registry name ("ftpd", "sshd", "httpd")
 	Scenario string `json:"scenario"` // e.g. "Client1"
 	// Scheme selects the hardening scheme ("x86" when omitted); unknown
 	// names are refused with 400 and the registered list.
@@ -217,7 +220,6 @@ func (r *run) view() campaignView {
 type server struct {
 	mux        *http.ServeMux
 	journalDir string
-	apps       map[string]*target.App
 	// cache is the content-addressed shard-result store under
 	// journalDir/castore; nil when campaignd runs without -journals.
 	cache *castore.Store
@@ -243,17 +245,12 @@ type server struct {
 }
 
 func newServer(journalDir string) (*server, error) {
-	fapp, err := ftpd.Build()
-	if err != nil {
-		return nil, err
-	}
-	sapp, err := sshd.Build()
-	if err != nil {
-		return nil, err
-	}
+	// Apps are NOT built here: submits (and worker shard leases) resolve
+	// them by registry name through target.Build, which memoizes per app —
+	// the daemon starts instantly and compiles only what it is asked to
+	// run.
 	s := &server{
 		journalDir: journalDir,
-		apps:       map[string]*target.App{fapp.Name: fapp, sapp.Name: sapp},
 		runs:       make(map[string]*run),
 		journals:   make(map[string]string),
 	}
@@ -261,6 +258,7 @@ func newServer(journalDir string) (*server, error) {
 		// The result store shares the journal directory's durability
 		// domain: entries and journals live on the same filesystem, so a
 		// crash cannot leave one without the other.
+		var err error
 		s.cache, err = castore.Open(filepath.Join(journalDir, "castore"))
 		if err != nil {
 			return nil, fmt.Errorf("campaignd: open result store: %w", err)
@@ -275,7 +273,7 @@ func newServer(journalDir string) (*server, error) {
 	// leases here. The drain gate refuses new shards once shutdown began
 	// (in-flight shards finish; a coordinator that loses one to our exit
 	// sees a truncated stream and re-leases it elsewhere).
-	s.worker = fleet.NewWorkerServer(s.apps, s.drainGate)
+	s.worker = fleet.NewWorkerServerResolver(target.Build, s.drainGate)
 	if s.cache != nil {
 		s.worker.SetCache(s.cache)
 	}
@@ -374,14 +372,11 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	app, ok := s.apps[req.App]
-	if !ok {
-		names := make([]string, 0, len(s.apps))
-		for n := range s.apps {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		writeErr(w, http.StatusBadRequest, "unknown app %q (have %s)", req.App, strings.Join(names, ", "))
+	// Lazy build through the registry: the first submit for an app compiles
+	// it; unknown names are refused with the registered list.
+	app, err := target.Build(req.App)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	sc, ok := app.Scenario(req.Scenario)
@@ -556,18 +551,14 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 }
 
 // buildWorkers resolves the submit request's worker list: "loopback"
-// becomes an in-process worker over this daemon's apps, anything else
-// must be a worker base URL.
+// becomes an in-process worker resolving apps through the target
+// registry, anything else must be a worker base URL.
 func (s *server) buildWorkers(specs []string) ([]fleet.Worker, error) {
-	var apps []*target.App
-	for _, a := range s.apps {
-		apps = append(apps, a)
-	}
 	workers := make([]fleet.Worker, 0, len(specs))
 	for i, spec := range specs {
 		switch {
 		case spec == "loopback":
-			lb := fleet.NewLoopback(fmt.Sprintf("loopback%d", i), apps...)
+			lb := fleet.NewLoopbackResolver(fmt.Sprintf("loopback%d", i), target.Build)
 			if s.cache != nil {
 				// Loopback workers share the daemon's result store, like
 				// the HTTP worker endpoint does.
@@ -659,6 +650,11 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
 		return
 	}
+	format := r.URL.Query().Get("format")
+	if format != "" && format != "json" && format != "prometheus" {
+		writeErr(w, http.StatusBadRequest, "unknown metrics format %q (have json, prometheus)", format)
+		return
+	}
 	s.mu.Lock()
 	v := metricsView{Campaigns: make(map[string]campaign.Metrics, len(s.runs))}
 	for id, rn := range s.runs {
@@ -695,5 +691,14 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	v.WorkerShardsServed = s.worker.ShardsServed()
 	v.WorkerRunsServed = s.worker.RunsServed()
+	if format == "prometheus" {
+		// The text exposition is an alternate rendering of the same view;
+		// the default JSON shape stays byte-identical to the wirecompat
+		// fixtures.
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte(renderPrometheus(&v)))
+		return
+	}
 	writeJSON(w, http.StatusOK, v)
 }

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"reflect"
+	"strings"
 	"sync"
 
 	"net/http"
@@ -264,6 +265,32 @@ func TestServiceRejectsBadRequests(t *testing.T) {
 	var v map[string]any
 	if code := getJSON(t, ts.URL+"/campaigns/c999", &v); code != http.StatusNotFound {
 		t.Errorf("GET unknown campaign: status %d, want 404", code)
+	}
+}
+
+// TestSubmitUnknownAppListsRegistry pins the submit-path registry error:
+// an unknown app name is a 400 whose body names every registered target,
+// so a client can self-correct without consulting the docs.
+func TestSubmitUnknownAppListsRegistry(t *testing.T) {
+	ts, _ := newTestService(t)
+	resp, err := http.Post(ts.URL+"/campaigns", "application/json",
+		bytes.NewBufferString(`{"app":"gopherd","scenario":"Client1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close() //nolint:errcheck // test
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("POST unknown app: status %d, want 400", resp.StatusCode)
+	}
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	msg, _ := body["error"].(string)
+	for _, want := range []string{"gopherd", "ftpd", "httpd", "sshd"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("unknown-app 400 body %q does not mention %q", msg, want)
+		}
 	}
 }
 

@@ -14,16 +14,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"faultsec/internal/disasm"
 	"faultsec/internal/encoding"
-	"faultsec/internal/ftpd"
 	"faultsec/internal/inject"
 	"faultsec/internal/kernel"
-	"faultsec/internal/sshd"
 	"faultsec/internal/target"
 	"faultsec/internal/vm"
 	"faultsec/internal/x86"
+
+	// Register the built-in target applications.
+	_ "faultsec/internal/ftpd"
+	_ "faultsec/internal/httpd"
+	_ "faultsec/internal/sshd"
 )
 
 func main() {
@@ -35,7 +39,7 @@ func main() {
 
 func run() error {
 	var (
-		appName  = flag.String("app", "ftpd", "target application: ftpd or sshd")
+		appName  = flag.String("app", "ftpd", "target application: "+strings.Join(target.Names(), ", "))
 		scenario = flag.String("scenario", "Client1", "client access pattern")
 		funcName = flag.String("func", "", "restrict to this auth function")
 		index    = flag.Int("index", 0, "branch-instruction index within the target set")
@@ -47,16 +51,7 @@ func run() error {
 	)
 	flag.Parse()
 
-	var app *target.App
-	var err error
-	switch *appName {
-	case "ftpd":
-		app, err = ftpd.Build()
-	case "sshd":
-		app, err = sshd.Build()
-	default:
-		return fmt.Errorf("unknown app %q", *appName)
-	}
+	app, err := target.Build(*appName)
 	if err != nil {
 		return err
 	}

@@ -85,8 +85,13 @@ var (
 	SchemeEncodedBranch = encoding.SchemeEncodedBranch
 )
 
-// NewStudy compiles and links both target servers (ftpd and sshd).
+// NewStudy compiles and links the target servers (ftpd, sshd, and the
+// session-cookie httpd).
 func NewStudy() (*Study, error) { return core.NewStudy() }
+
+// TargetApps lists the registered target-application names (the registry
+// wire names accepted by campaignd submits and the CLI -app flags).
+func TargetApps() []string { return target.Names() }
 
 // RenderTable1 renders campaign stats in the paper's Table 1 layout.
 func RenderTable1(stats []*Stats) string { return report.Table1(stats) }

@@ -1,0 +1,115 @@
+package campaign_test
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"faultsec/internal/campaign"
+	"faultsec/internal/encoding"
+	"faultsec/internal/faultmodel"
+	"faultsec/internal/httpd"
+	"faultsec/internal/inject"
+	"faultsec/internal/target"
+)
+
+// httpdClient3 builds the httpd app and returns the forged-cookie
+// attacker scenario — the third target's analog of ftpClient1.
+func httpdClient3(t testing.TB) (*target.App, target.Scenario) {
+	t.Helper()
+	app, err := httpd.Build()
+	if err != nil {
+		t.Fatalf("build httpd: %v", err)
+	}
+	sc, ok := app.Scenario("Client3")
+	if !ok {
+		t.Fatal("httpd has no Client3")
+	}
+	return app, sc
+}
+
+// TestModelDifferentialHTTPDClient3 extends the fault-model acceptance
+// gate to the third application: for every registered model, the
+// snapshot fast-forward engine must reproduce the naive
+// one-full-run-per-experiment reference byte for byte — per-run Results
+// included — over the httpd forged-cookie campaign. The session-cookie
+// code path (check_session's strcmp loop plus the request-header state
+// machine) exercises control flow the FTP scenario doesn't, so this
+// catches any engine shortcut that happened to hold only for ftpd.
+func TestModelDifferentialHTTPDClient3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign differential is not short")
+	}
+	app, sc := httpdClient3(t)
+	for _, name := range faultmodel.Names() {
+		t.Run(name, func(t *testing.T) {
+			cfg := campaign.Config{
+				App: app, Scenario: sc, Scheme: encoding.SchemeX86,
+				Model: name, KeepResults: true,
+			}
+			exps, err := campaign.EnumerateConfig(&cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(exps) == 0 {
+				t.Fatalf("%s enumerates no experiments", name)
+			}
+			if len(exps) > 64 {
+				exps = sampleEvery(exps, 7)
+			}
+			engine, err := campaign.New(cfg).RunExperiments(context.Background(), exps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			naive, err := inject.RunExperimentsNaive(context.Background(), inject.Config{
+				App: app, Scenario: sc, Scheme: encoding.SchemeX86, KeepResults: true,
+			}, exps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(naive, engine) {
+				t.Errorf("engine stats differ from naive reference\nnaive: %+v\nengine: %+v",
+					statsSummary(naive), statsSummary(engine))
+			}
+		})
+	}
+}
+
+// TestHTTPDResumeRoundTrip pins cancel→resume determinism on an httpd
+// campaign: the journaled prefix plus the resumed remainder must equal
+// an uninterrupted run byte for byte, proving the journal's index space
+// holds for the registry-built third app exactly as for ftpd.
+func TestHTTPDResumeRoundTrip(t *testing.T) {
+	app, sc := httpdClient3(t)
+	journal := filepath.Join(t.TempDir(), "httpd.jsonl")
+	cfg := campaign.Config{
+		App: app, Scenario: sc, Scheme: encoding.SchemeX86, Parallelism: 2,
+		Journal: journal, CheckpointEvery: 16,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg.Progress = func(done, total int) {
+		if done >= total/3 {
+			cancel()
+		}
+	}
+	if _, err := campaign.New(cfg).Run(ctx); err == nil {
+		t.Fatal("canceled campaign reported success")
+	}
+
+	cfg.Progress = nil
+	resumed, err := campaign.Resume(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := campaign.New(campaign.Config{
+		App: app, Scenario: sc, Scheme: encoding.SchemeX86, Parallelism: 2,
+	}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, resumed) {
+		t.Errorf("resumed httpd stats differ from uninterrupted run:\n got: %+v\nwant: %+v",
+			statsSummary(resumed), statsSummary(want))
+	}
+}

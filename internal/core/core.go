@@ -1,8 +1,14 @@
-// Package core is the study's public orchestration API: it builds the two
+// Package core is the study's public orchestration API: it builds the
 // target applications, runs the selective-exhaustive and random injection
 // campaigns under both instruction encodings, and reproduces every table
 // and figure of the paper (see DESIGN.md for the experiment index). The
 // root faultsec package re-exports this API.
+//
+// Beyond the paper's two daemons the study carries a third target, httpd,
+// whose session-cookie validation generalizes the auth-branch shape; it
+// joins the fault-model and scheme matrices but stays out of the
+// paper-numbered tables (Table 1/3/5 reproduce the published six
+// campaigns exactly).
 package core
 
 import (
@@ -15,6 +21,7 @@ import (
 	"faultsec/internal/encoding"
 	"faultsec/internal/faultmodel"
 	"faultsec/internal/ftpd"
+	"faultsec/internal/httpd"
 	"faultsec/internal/inject"
 	"faultsec/internal/kernel"
 	"faultsec/internal/report"
@@ -25,11 +32,12 @@ import (
 
 // Study bundles the built target applications.
 type Study struct {
-	FTPD *target.App
-	SSHD *target.App
+	FTPD  *target.App
+	SSHD  *target.App
+	HTTPD *target.App
 }
 
-// NewStudy compiles and links both servers.
+// NewStudy compiles and links all target servers.
 func NewStudy() (*Study, error) {
 	fapp, err := ftpd.Build()
 	if err != nil {
@@ -39,7 +47,19 @@ func NewStudy() (*Study, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &Study{FTPD: fapp, SSHD: sapp}, nil
+	happ, err := httpd.Build()
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Study{FTPD: fapp, SSHD: sapp, HTTPD: happ}, nil
+}
+
+// matrixApps is the application axis of the fault-model and scheme
+// matrices: the paper's two daemons plus the httpd session daemon. httpd
+// comes last so the pre-existing ftpd/sshd rows keep their relative
+// order.
+func (s *Study) matrixApps() []*target.App {
+	return []*target.App{s.FTPD, s.SSHD, s.HTTPD}
 }
 
 // Options tune campaign execution.
@@ -151,7 +171,7 @@ func (s *Study) FaultModelMatrix(ctx context.Context, models []string,
 	}
 	var out []*inject.Stats
 	for _, name := range models {
-		for _, app := range []*target.App{s.FTPD, s.SSHD} {
+		for _, app := range s.matrixApps() {
 			stats, err := s.CampaignModel(ctx, app, "Client1", encoding.SchemeX86, name, opts)
 			if err != nil {
 				return "", nil, err
@@ -185,7 +205,7 @@ func (s *Study) SchemeMatrix(ctx context.Context, schemes, models []string,
 			return "", nil, fmt.Errorf("core: %w", err)
 		}
 		for _, mn := range models {
-			for _, app := range []*target.App{s.FTPD, s.SSHD} {
+			for _, app := range s.matrixApps() {
 				stats, err := s.CampaignModel(ctx, app, "Client1", scheme, mn, opts)
 				if err != nil {
 					return "", nil, err

@@ -26,9 +26,9 @@ func study(t *testing.T) *core.Study {
 	return sharedStudy
 }
 
-func TestNewStudyBuildsBothApps(t *testing.T) {
+func TestNewStudyBuildsAllApps(t *testing.T) {
 	s := study(t)
-	if s.FTPD == nil || s.SSHD == nil {
+	if s.FTPD == nil || s.SSHD == nil || s.HTTPD == nil {
 		t.Fatal("missing app")
 	}
 	if len(s.FTPD.Scenarios) != 4 {
@@ -36,6 +36,9 @@ func TestNewStudyBuildsBothApps(t *testing.T) {
 	}
 	if len(s.SSHD.Scenarios) != 2 {
 		t.Errorf("sshd scenarios = %d, want 2", len(s.SSHD.Scenarios))
+	}
+	if len(s.HTTPD.Scenarios) != 4 {
+		t.Errorf("httpd scenarios = %d, want 4", len(s.HTTPD.Scenarios))
 	}
 }
 

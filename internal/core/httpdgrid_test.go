@@ -1,0 +1,105 @@
+package core_test
+
+import (
+	"context"
+	"testing"
+
+	"faultsec/internal/classify"
+	"faultsec/internal/core"
+	"faultsec/internal/encoding"
+	"faultsec/internal/faultmodel"
+	"faultsec/internal/inject"
+)
+
+// TestHTTPDForgedCookieGrid is the qualitative grid for the study's third
+// target: the forged-cookie attacker (httpd Client3) against every
+// registered hardening scheme under bitflip and instskip. It pins the
+// session-validation analog of the ftpd/sshd countermeasure story:
+//
+//   - on the stock x86 encoding, single-bit flips in check_session grant
+//     the forged cookie (the break-ins exist);
+//   - every hardening scheme lowers that break-in rate, and the
+//     cc-emitted branch countermeasures (dupcmp, encbranch) eliminate
+//     instskip break-ins outright — the duplicated check catches a
+//     skipped session compare exactly as it catches a skipped password
+//     compare.
+func TestHTTPDForgedCookieGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("eight httpd campaigns in -short mode")
+	}
+	s := study(t)
+	ctx := context.Background()
+
+	byCell := make(map[string]*inject.Stats)
+	for _, sn := range encoding.Names() {
+		scheme, err := encoding.Parse(sn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mn := range []string{"bitflip", "instskip"} {
+			st, err := s.CampaignModel(ctx, s.HTTPD, "Client3", scheme, mn, core.Options{})
+			if err != nil {
+				t.Fatalf("httpd Client3 %s/%s: %v", sn, mn, err)
+			}
+			byCell[sn+"|"+mn] = st
+		}
+	}
+	cell := func(scheme, model string) *inject.Stats {
+		t.Helper()
+		st := byCell[scheme+"|"+model]
+		if st == nil {
+			t.Fatalf("grid missing cell %s/%s", scheme, model)
+		}
+		return st
+	}
+	brkRate := func(st *inject.Stats) float64 {
+		return float64(st.Counts[classify.OutcomeBRK]) / float64(st.Total)
+	}
+
+	baseline := cell("x86", "bitflip")
+	if baseline.Counts[classify.OutcomeBRK] == 0 {
+		t.Fatal("x86 bitflip baseline has no forged-cookie break-ins — nothing to reduce")
+	}
+	for _, scheme := range []string{"parity", "dupcmp", "encbranch"} {
+		if got, base := brkRate(cell(scheme, "bitflip")), brkRate(baseline); got >= base {
+			t.Errorf("%s bitflip BRK rate %.4f did not improve on x86's %.4f", scheme, got, base)
+		}
+	}
+	for _, scheme := range []string{"dupcmp", "encbranch"} {
+		if n := cell(scheme, "instskip").Counts[classify.OutcomeBRK]; n != 0 {
+			t.Errorf("%s under instskip still breaks in %d times — "+
+				"the duplicated check should catch every skipped session compare", scheme, n)
+		}
+	}
+}
+
+// TestFaultModelMatrixIncludesHTTPD pins the matrix's application axis:
+// every requested fault model produces one row family per target app,
+// httpd included, in ftpd/sshd/httpd order (so pre-existing rows keep
+// their relative positions).
+func TestFaultModelMatrixIncludesHTTPD(t *testing.T) {
+	s := study(t)
+	models := []string{"instskip", "cmpskip"}
+	_, stats, err := s.FaultModelMatrix(context.Background(), models, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(models) * 3; len(stats) != want {
+		t.Fatalf("matrix stats = %d campaigns, want %d (%d models x 3 targets)",
+			len(stats), want, len(models))
+	}
+	for i, mn := range models {
+		for j, app := range []string{"ftpd", "sshd", "httpd"} {
+			st := stats[i*3+j]
+			if st.App != app || st.Model != mn {
+				t.Errorf("stats[%d] = %s/%s, want %s/%s", i*3+j, st.App, st.Model, app, mn)
+			}
+			if st.Total == 0 {
+				t.Errorf("empty campaign for %s under %s", app, mn)
+			}
+		}
+	}
+	if _, err := faultmodel.Get("bitflip"); err != nil {
+		t.Fatal(err)
+	}
+}

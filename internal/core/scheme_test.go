@@ -32,8 +32,8 @@ func TestSchemeMatrixDifferentialPin(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(stats) != 4 {
-		t.Fatalf("matrix stats = %d campaigns, want 4 (2 schemes x bitflip x 2 targets)", len(stats))
+	if len(stats) != 6 {
+		t.Fatalf("matrix stats = %d campaigns, want 6 (2 schemes x bitflip x 3 targets)", len(stats))
 	}
 	rows := []struct {
 		scheme encoding.Scheme
@@ -41,8 +41,10 @@ func TestSchemeMatrixDifferentialPin(t *testing.T) {
 	}{
 		{encoding.SchemeX86, s.FTPD},
 		{encoding.SchemeX86, s.SSHD},
+		{encoding.SchemeX86, s.HTTPD},
 		{encoding.SchemeParity, s.FTPD},
 		{encoding.SchemeParity, s.SSHD},
+		{encoding.SchemeParity, s.HTTPD},
 	}
 	for i, row := range rows {
 		name := encoding.SchemeName(row.scheme) + "/" + row.app.Name
@@ -78,10 +80,11 @@ func TestSchemeMatrixDifferentialPin(t *testing.T) {
 }
 
 // TestSchemeMatrixCoverage runs the full reduction matrix — every
-// registered scheme crossed with every registered fault model over FTP and
-// SSH Client1 — and checks the grid is complete: >= 4 schemes, all fault
-// models, both targets, one rendered row per campaign, and reduction
-// columns populated for every hardened row that has an x86 baseline.
+// registered scheme crossed with every registered fault model over FTP,
+// SSH, and HTTP Client1 — and checks the grid is complete: >= 4 schemes,
+// all fault models, all three targets, one rendered row per campaign, and
+// reduction columns populated for every hardened row that has an x86
+// baseline.
 func TestSchemeMatrixCoverage(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full scheme x model grid in -short mode")
@@ -97,8 +100,8 @@ func TestSchemeMatrixCoverage(t *testing.T) {
 	if len(schemes) < 4 {
 		t.Fatalf("registered schemes = %v, want >= 4", schemes)
 	}
-	if want := len(schemes) * len(models) * 2; len(stats) != want {
-		t.Fatalf("matrix stats = %d campaigns, want %d (%d schemes x %d models x 2 targets)",
+	if want := len(schemes) * len(models) * 3; len(stats) != want {
+		t.Fatalf("matrix stats = %d campaigns, want %d (%d schemes x %d models x 3 targets)",
 			len(stats), want, len(schemes), len(models))
 	}
 	seen := make(map[string]bool, len(stats))
@@ -111,7 +114,7 @@ func TestSchemeMatrixCoverage(t *testing.T) {
 	}
 	for _, sn := range schemes {
 		for _, mn := range models {
-			for _, app := range []string{"ftpd", "sshd"} {
+			for _, app := range []string{"ftpd", "sshd", "httpd"} {
 				if !seen[sn+"|"+mn+"|"+app] {
 					t.Errorf("matrix missing cell scheme=%s model=%s app=%s", sn, mn, app)
 				}

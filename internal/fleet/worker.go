@@ -32,16 +32,33 @@ type shardLine struct {
 	Error  string               `json:"error,omitempty"`
 }
 
-// prepareShard resolves a spec against the worker's app registry and
+// AppResolver resolves a shard spec's app name to a built application.
+// Workers constructed over a fixed app set use a map lookup; campaignd
+// resolves through the target registry so any registered app is buildable
+// lazily on first lease.
+type AppResolver func(name string) (*target.App, error)
+
+// mapResolver adapts a fixed app set to an AppResolver.
+func mapResolver(apps map[string]*target.App) AppResolver {
+	return func(name string) (*target.App, error) {
+		app, ok := apps[name]
+		if !ok {
+			return nil, fmt.Errorf("fleet: unknown app %q", name)
+		}
+		return app, nil
+	}
+}
+
+// prepareShard resolves a spec against the worker's app resolver and
 // returns the closure that executes it. Resolution errors (unknown app,
 // scenario, scheme, an enumeration that does not match Total, an index
 // out of range) surface here, before any result is produced, so the HTTP
 // handler can still answer 400.
-func prepareShard(apps map[string]*target.App, spec *ShardSpec,
+func prepareShard(resolve AppResolver, spec *ShardSpec,
 	cache *castore.Store) (func(ctx context.Context, emit emitFunc) error, error) {
-	app, ok := apps[spec.App]
-	if !ok {
-		return nil, fmt.Errorf("fleet: unknown app %q", spec.App)
+	app, err := resolve(spec.App)
+	if err != nil {
+		return nil, err
 	}
 	sc, ok := app.Scenario(spec.Scenario)
 	if !ok {
@@ -97,7 +114,7 @@ func prepareShard(apps map[string]*target.App, spec *ShardSpec,
 // run as an NDJSON line. Mount it on any campaignd-style mux to turn that
 // process into a fleet worker.
 type WorkerServer struct {
-	apps map[string]*target.App
+	resolve AppResolver
 	// gate, when non-nil, is consulted before a shard starts; a non-nil
 	// error refuses the lease with 503 (campaignd's drain gate).
 	gate func() error
@@ -118,7 +135,14 @@ func (ws *WorkerServer) SetCache(s *castore.Store) { ws.cache = s }
 // Service Unavailable (the coordinator treats that as retryable and
 // re-leases elsewhere).
 func NewWorkerServer(apps map[string]*target.App, gate func() error) *WorkerServer {
-	return &WorkerServer{apps: apps, gate: gate}
+	return &WorkerServer{resolve: mapResolver(apps), gate: gate}
+}
+
+// NewWorkerServerResolver builds a worker handler that resolves apps on
+// demand through the given resolver (e.g. the target registry), so a
+// shard lease for any registered app builds it lazily on first use.
+func NewWorkerServerResolver(resolve AppResolver, gate func() error) *WorkerServer {
+	return &WorkerServer{resolve: resolve, gate: gate}
 }
 
 // ShardsServed and RunsServed report how much work this worker has
@@ -154,7 +178,7 @@ func (ws *WorkerServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, http.StatusBadRequest, "bad shard spec: %v", err)
 		return
 	}
-	run, err := prepareShard(ws.apps, &spec, ws.cache)
+	run, err := prepareShard(ws.resolve, &spec, ws.cache)
 	if err != nil {
 		writeJSONError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -202,9 +226,9 @@ func (ws *WorkerServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // resolution and wire conversion as remote workers, so the single-node
 // fleet is the distributed code path, not a special case.
 type Loopback struct {
-	name  string
-	apps  map[string]*target.App
-	cache *castore.Store
+	name    string
+	resolve AppResolver
+	cache   *castore.Store
 }
 
 // SetCache installs a worker-local result store, honored by shard specs
@@ -217,7 +241,13 @@ func NewLoopback(name string, apps ...*target.App) *Loopback {
 	for _, a := range apps {
 		m[a.Name] = a
 	}
-	return &Loopback{name: name, apps: m}
+	return &Loopback{name: name, resolve: mapResolver(m)}
+}
+
+// NewLoopbackResolver builds an in-process worker that resolves apps on
+// demand through the given resolver.
+func NewLoopbackResolver(name string, resolve AppResolver) *Loopback {
+	return &Loopback{name: name, resolve: resolve}
 }
 
 // Name identifies the worker.
@@ -229,7 +259,7 @@ func (l *Loopback) Healthy(context.Context) error { return nil }
 
 // RunShard executes the shard on an in-process engine.
 func (l *Loopback) RunShard(ctx context.Context, spec ShardSpec, emit func(int, *campaign.WireResult)) error {
-	run, err := prepareShard(l.apps, &spec, l.cache)
+	run, err := prepareShard(l.resolve, &spec, l.cache)
 	if err != nil {
 		return err
 	}

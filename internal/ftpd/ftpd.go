@@ -454,6 +454,8 @@ int main() {
 }
 `
 
+func init() { target.Register("ftpd", Build) }
+
 // buildOnce caches the compiled application (the image is immutable; runs
 // load fresh copies).
 var buildOnce = sync.OnceValues(func() (*target.App, error) {

@@ -1,0 +1,162 @@
+package httpd
+
+import (
+	"strings"
+
+	"faultsec/internal/target"
+)
+
+// phase tracks where the client is inside one HTTP exchange.
+type phase int
+
+const (
+	phaseBanner  phase = iota // waiting for the server's ready line
+	phaseStatus               // waiting for the response status line
+	phaseHeaders              // consuming headers until the blank line
+	phaseBody                 // the next line is the one-line body
+	phaseDone
+)
+
+// request is one scripted HTTP exchange.
+type request struct {
+	path string
+	// auth is the Authorization: Basic payload ("" omits the header).
+	auth string
+	// cookie is a literal session-cookie value ("" = none) — forged and
+	// replayed cookies are scripted here.
+	cookie string
+	// useSession sends the cookie captured from a Set-Cookie response, if
+	// one was issued. With no captured cookie the header is omitted, so
+	// the request is still well-formed either way.
+	useSession bool
+}
+
+// client is a deterministic HTTP client state machine driving a scripted
+// request sequence over one connection. It follows the protocol strictly;
+// on server lines it cannot interpret it keeps waiting, which surfaces as
+// a session hang — exactly how the paper's clients experienced
+// fail-silence violations.
+type client struct {
+	script   []request
+	next     int
+	ph       phase
+	status   int
+	inSecret bool // the in-flight request targets the protected path
+	cookie   string
+	granted  bool
+	finished bool
+}
+
+var _ target.Client = (*client)(nil)
+
+func newClient(script []request) *client {
+	return &client{script: script, ph: phaseBanner}
+}
+
+// Granted reports whether the server served the protected resource (a 200
+// response to a /secret request) — the break-in observable.
+func (c *client) Granted() bool { return c.granted }
+
+// Done reports whether the session script has completed.
+func (c *client) Done() bool { return c.finished }
+
+// statusCode extracts the three-digit code of an HTTP/1.0 status line,
+// or 0.
+func statusCode(line string) int {
+	if !strings.HasPrefix(line, "HTTP/1.0 ") || len(line) < 12 {
+		return 0
+	}
+	n := 0
+	for i := 9; i < 12; i++ {
+		if line[i] < '0' || line[i] > '9' {
+			return 0
+		}
+		n = n*10 + int(line[i]-'0')
+	}
+	return n
+}
+
+// emit sends the next scripted request, or finishes the session.
+func (c *client) emit() []string {
+	if c.next >= len(c.script) {
+		c.finished = true
+		c.ph = phaseDone
+		return nil
+	}
+	r := c.script[c.next]
+	c.next++
+	c.inSecret = r.path == "/secret"
+	c.status = 0
+	lines := []string{"GET " + r.path + " HTTP/1.0"}
+	if r.auth != "" {
+		lines = append(lines, "Authorization: Basic "+r.auth)
+	}
+	switch {
+	case r.cookie != "":
+		lines = append(lines, "Cookie: sid="+r.cookie)
+	case r.useSession && c.cookie != "":
+		lines = append(lines, "Cookie: sid="+c.cookie)
+	}
+	lines = append(lines, "")
+	c.ph = phaseStatus
+	return lines
+}
+
+// OnServerLine advances the state machine.
+func (c *client) OnServerLine(line string) []string {
+	switch c.ph {
+	case phaseBanner:
+		if strings.HasPrefix(line, "MINIHTTPD/") {
+			return c.emit()
+		}
+		return nil
+
+	case phaseStatus:
+		if cd := statusCode(line); cd > 0 {
+			c.status = cd
+			c.ph = phaseHeaders
+		}
+		return nil
+
+	case phaseHeaders:
+		if line == "" {
+			c.ph = phaseBody
+			return nil
+		}
+		if strings.HasPrefix(line, "Set-Cookie: sid=") {
+			c.cookie = strings.TrimPrefix(line, "Set-Cookie: sid=")
+		}
+		return nil
+
+	case phaseBody:
+		// The one-line body completes the response.
+		if c.inSecret && c.status == 200 {
+			c.granted = true
+		}
+		return c.emit()
+	}
+	return nil
+}
+
+// NewClientForTest builds an HTTP client running the given scripted
+// sequence of (path, basic-auth credential, cookie) exchanges. It is
+// exported for tests that exercise access patterns beyond the built-in
+// four scenarios; a nil cookie entry means "use the captured session".
+func NewClientForTest(paths, auths, cookies []string) target.Client {
+	script := make([]request, len(paths))
+	for i := range paths {
+		r := request{path: paths[i]}
+		if i < len(auths) {
+			r.auth = auths[i]
+		}
+		if i < len(cookies) {
+			if cookies[i] == "@session" {
+				r.useSession = true
+			} else {
+				r.cookie = cookies[i]
+			}
+		}
+		script[i] = r
+	}
+	return newClient(script)
+}

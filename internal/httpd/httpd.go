@@ -1,0 +1,519 @@
+// Package httpd provides the study's third target application: a
+// miniature HTTP/1.0 server guarding a protected resource. Unlike
+// ftpd/sshd — whose single authentication shape is a line-oriented
+// password check — httpd exercises the other security-critical branch
+// family named by the fault-attack literature: session state. A
+// basic-auth login (check_basic) issues a session cookie, and every
+// subsequent request to the protected path re-validates that cookie
+// (check_session), so multi-request sessions are the norm and the
+// injection target set spans two structurally different auth functions.
+//
+// The server is written in MiniC and compiled to x86 by internal/cc; its
+// deny/grant decisions are real compiled strcmp/test/jne idioms, exactly
+// like ftpd's pass(). Base64 in the Authorization header is deliberately
+// omitted (credentials travel as "user:password"): the simulator's LibC
+// has no base64, and the encoding is transport framing, not security —
+// the branches under study are identical either way.
+package httpd
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"faultsec/internal/cc"
+	"faultsec/internal/rt"
+	"faultsec/internal/target"
+)
+
+// AuthFuncs names the authentication functions whose branch instructions
+// form the injection target set: the basic-auth password check and the
+// per-request session-cookie validation.
+var AuthFuncs = []string{"check_basic", "check_session"}
+
+// Compiled-in user database, htpasswd-style: hashes are computed in Go
+// with the same xcrypt the MiniC runtime uses and baked into the source
+// as hex strings. alice is deliberately first: the classic strcmp
+// jne<->je corruption in check_session grants the first table entry, and
+// granting a non-root identity must produce a clean break-in rather than
+// tripping the uid-0 re-check.
+type account struct {
+	name     string
+	password string
+	salt     int32
+	uid      int
+}
+
+var accounts = []account{
+	{"alice", "wonderland", 21, 1001},
+	{"bob", "builder99", 22, 1002},
+	{"webmaster", "letmein22", 23, 1003},
+	{"root", "t0psecret", 24, 0},
+}
+
+// hashString renders the xcrypt hash the way htpasswd stores crypt
+// output.
+func hashString(pw string, salt int32) string {
+	return fmt.Sprintf("%08x", uint32(rt.Xcrypt(pw, salt)))
+}
+
+// Source returns the complete MiniC source of the HTTP daemon.
+func Source() string {
+	var names, hashes, salts, uids strings.Builder
+	for _, a := range accounts {
+		fmt.Fprintf(&names, "%q, ", a.name)
+		fmt.Fprintf(&hashes, "%q, ", hashString(a.password, a.salt))
+		fmt.Fprintf(&salts, "%d, ", a.salt)
+		fmt.Fprintf(&uids, "%d, ", a.uid)
+	}
+	db := fmt.Sprintf(`
+/* ---- compiled-in .htpasswd analog ---- */
+char *ht_names[] = {%s0};
+char *ht_hashes[] = {%s0};
+int ht_salts[] = {%s0};
+int ht_uids[] = {%s0};
+/* server-side session table: 12 bytes per account, filled at startup */
+char sid_tab[%d];
+`, names.String(), hashes.String(), salts.String(), uids.String(), len(accounts)*12)
+	return db + serverBody
+}
+
+// serverBody is the MiniC implementation (everything but the generated
+// password database).
+const serverBody = `
+/* in-memory access log (httpd logs every auth event) */
+char log_buf[1024];
+int log_pos;
+int log_events;
+
+void log_event(char *what, char *detail) {
+	int i = 0;
+	log_events = log_events + 1;
+	while (what[i]) {
+		log_buf[log_pos % 1023] = what[i];
+		log_pos = log_pos + 1;
+		i = i + 1;
+	}
+	log_buf[log_pos % 1023] = ' ';
+	log_pos = log_pos + 1;
+	i = 0;
+	while (detail[i]) {
+		log_buf[log_pos % 1023] = detail[i];
+		log_pos = log_pos + 1;
+		i = i + 1;
+	}
+	log_buf[log_pos % 1023] = 10;
+	log_pos = log_pos + 1;
+}
+
+/*
+ * http_delay models the server's anti-brute-force sleep after a failed
+ * basic-auth attempt (a busy loop, since the simulator has no timers).
+ * Like ftpd's ftp_delay it stretches the transient window of
+ * vulnerability past error activation.
+ */
+int delay_sink;
+void http_delay() {
+	int i;
+	int v = 0;
+	for (i = 0; i < 2000; i++) {
+		v = v + i;
+		if (v > 1000000) { v = v - 1000000; }
+	}
+	delay_sink = v;
+}
+
+/* xcrypt_str renders the xcrypt hash as hex, like crypt(3) output. */
+char __xcbuf[12];
+char *xcrypt_str(char *pw, int salt) {
+	int h = xcrypt(pw, salt);
+	int i = 7;
+	while (i >= 0) {
+		int d = h & 15;
+		if (d < 10) { __xcbuf[i] = '0' + d; }
+		else { __xcbuf[i] = 'a' + (d - 10); }
+		h = h >> 4;
+		i = i - 1;
+	}
+	__xcbuf[8] = 0;
+	return __xcbuf;
+}
+
+/* put_hex8 renders h as 8 lowercase hex digits at dst. */
+void put_hex8(char *dst, int h) {
+	int i = 7;
+	while (i >= 0) {
+		int d = h & 15;
+		if (d < 10) { dst[i] = '0' + d; }
+		else { dst[i] = 'a' + (d - 10); }
+		h = h >> 4;
+		i = i - 1;
+	}
+	dst[8] = 0;
+}
+
+/* session_tok returns account i's slot in the session table. */
+char *session_tok(int i) {
+	return &sid_tab[i * 12];
+}
+
+/*
+ * init_sessions fills the server-side session table at startup: one
+ * 8-hex-digit token per account, derived from the account name and uid.
+ * The derivation is cheap on purpose — tokens model server-side session
+ * state (what a forged cookie is compared against), not a cryptographic
+ * secret, and check_session runs on every request.
+ */
+void init_sessions() {
+	int i = 0;
+	while (ht_names[i]) {
+		int h = 31415 + ht_uids[i];
+		int j = 0;
+		char *name = ht_names[i];
+		while (name[j]) {
+			h = h * 131 + name[j];
+			h = h & 268435455;
+			j = j + 1;
+		}
+		put_hex8(session_tok(i), h);
+		i = i + 1;
+	}
+}
+
+/*
+ * check_basic — validates an Authorization: Basic credential of the form
+ * "user:password" and returns the account index, or -1 to deny. The
+ * deny/grant decision uses the paper's Figure 1 idiom: rval starts at 1
+ * (deny), the strcmp()==0 check against the stored hash clears it, and
+ * the final "if (rval)" branch decides. root may never authenticate over
+ * HTTP even with the right password (console only) — the same
+ * privilege-policy branch shape as ftpd's uid-0 check.
+ */
+int check_basic(char *cred) {
+	int at;
+	int i;
+	int idx;
+	int rval;
+	char uname[64];
+	char upw[64];
+	char *xc;
+	rval = 1;
+	idx = 0 - 1;
+	if (cred[0] == 0) { return 0 - 1; }
+	at = strchr_at(cred, ':');
+	if (at < 0) {
+		log_event("BADCRED", cred);
+		return 0 - 1;
+	}
+	if (at == 0) { return 0 - 1; }
+	i = 0;
+	while (i < at && i < 63) {
+		uname[i] = cred[i];
+		i = i + 1;
+	}
+	uname[i] = 0;
+	i = 0;
+	while (cred[at + 1 + i] && i < 63) {
+		upw[i] = cred[at + 1 + i];
+		i = i + 1;
+	}
+	upw[i] = 0;
+	if (upw[0] == 0) { return 0 - 1; }
+	i = 0;
+	while (ht_names[i]) {
+		if (strcmp(uname, ht_names[i]) == 0) { idx = i; break; }
+		i = i + 1;
+	}
+	if (idx >= 0) {
+		xc = xcrypt_str(upw, ht_salts[idx]);
+		if (strcmp(xc, ht_hashes[idx]) == 0) { rval = 0; }
+	}
+	if (rval) {
+		log_event("AUTHFAIL", uname);
+		http_delay();
+		return 0 - 1;
+	}
+	if (ht_uids[idx] == 0) {
+		log_event("ROOTAUTH", uname);
+		return 0 - 1;
+	}
+	log_event("AUTH", uname);
+	return idx;
+}
+
+/*
+ * check_session — validates a session cookie against the server-side
+ * session table and returns the account index, or -1 to deny. It runs on
+ * every request for the protected path, so unlike check_basic it is
+ * exercised repeatedly per connection. The per-request uid-0 re-check is
+ * deliberate defense in depth: even a root session token (which no login
+ * can mint) never reaches the protected resource.
+ */
+int check_session(char *sid) {
+	int i;
+	int idx;
+	idx = 0 - 1;
+	if (sid[0] == 0) { return 0 - 1; }
+	i = 0;
+	while (ht_names[i]) {
+		if (strcmp(sid, session_tok(i)) == 0) { idx = i; break; }
+		i = i + 1;
+	}
+	if (idx < 0) {
+		log_event("BADSID", sid);
+		return 0 - 1;
+	}
+	if (ht_uids[idx] == 0) {
+		log_event("ROOTSID", sid);
+		return 0 - 1;
+	}
+	log_event("SESSION", ht_names[idx]);
+	return idx;
+}
+
+/* ---- response plumbing ---- */
+
+void resp_head(int code, char *reason) {
+	write_str("HTTP/1.0 ");
+	write_int(code);
+	write_str(" ");
+	write_line(reason);
+	write_line("Server: minihttpd/1.0");
+}
+
+/* resp_body closes the header block and writes the one-line body. */
+void resp_body(char *body) {
+	write_str("Content-Length: ");
+	write_int(strlen(body));
+	write_line("");
+	write_line("");
+	write_line(body);
+}
+
+int hits;
+
+void do_index() {
+	resp_head(200, "OK");
+	resp_body("Welcome to minihttpd. The archive index is empty.");
+}
+
+void do_status() {
+	resp_head(200, "OK");
+	resp_body("OK: minihttpd serving.");
+}
+
+void do_login(char *auth) {
+	int idx;
+	char body[96];
+	if (auth[0] == 0) {
+		resp_head(401, "Unauthorized");
+		write_line("WWW-Authenticate: Basic realm=secret");
+		resp_body("Authentication required.");
+		return;
+	}
+	idx = check_basic(auth);
+	if (idx < 0) {
+		resp_head(401, "Unauthorized");
+		write_line("WWW-Authenticate: Basic realm=secret");
+		resp_body("Login incorrect.");
+		return;
+	}
+	resp_head(200, "OK");
+	write_str("Set-Cookie: sid=");
+	write_line(session_tok(idx));
+	strcpy(body, "Welcome, ");
+	strcat(body, ht_names[idx]);
+	strcat(body, ".");
+	resp_body(body);
+}
+
+void do_secret(char *cookie) {
+	int idx;
+	idx = check_session(cookie);
+	if (idx < 0) {
+		if (cookie[0] == 0) {
+			resp_head(401, "Unauthorized");
+			resp_body("A session cookie is required.");
+			return;
+		}
+		resp_head(403, "Forbidden");
+		resp_body("Invalid session.");
+		return;
+	}
+	resp_head(200, "OK");
+	resp_body("TOP-SECRET: launch code 8161-2262-01.");
+}
+
+int main() {
+	char line[256];
+	char method[8];
+	char path[128];
+	char auth[128];
+	char cookie[64];
+	int n;
+	int i;
+	int j;
+	int eof;
+	eof = 0;
+	init_sessions();
+	write_line("MINIHTTPD/1.0 ready");
+	while (1) {
+		n = read_line(line, 256);
+		if (n < 0) { break; }
+		if (n == 0) { continue; }
+		/* request line: METHOD SP path SP version */
+		i = 0;
+		while (line[i] && line[i] != ' ' && i < 7) {
+			method[i] = line[i];
+			i = i + 1;
+		}
+		method[i] = 0;
+		while (line[i] == ' ') { i = i + 1; }
+		j = 0;
+		while (line[i] && line[i] != ' ' && j < 127) {
+			path[j] = line[i];
+			i = i + 1;
+			j = j + 1;
+		}
+		path[j] = 0;
+		/* headers until the empty line; capture credentials and cookie */
+		auth[0] = 0;
+		cookie[0] = 0;
+		while (1) {
+			n = read_line(line, 256);
+			if (n < 0) { eof = 1; break; }
+			if (n == 0) { break; }
+			if (strncmp(line, "Authorization: Basic ", 21) == 0) {
+				i = 21;
+				j = 0;
+				while (line[i] && j < 127) {
+					auth[j] = line[i];
+					i = i + 1;
+					j = j + 1;
+				}
+				auth[j] = 0;
+			}
+			if (strncmp(line, "Cookie: sid=", 12) == 0) {
+				i = 12;
+				j = 0;
+				while (line[i] && j < 63) {
+					cookie[j] = line[i];
+					i = i + 1;
+					j = j + 1;
+				}
+				cookie[j] = 0;
+			}
+		}
+		if (eof) { break; }
+		hits = hits + 1;
+		if (strcmp(method, "GET") != 0) {
+			resp_head(501, "Not Implemented");
+			resp_body("Only GET is supported.");
+			continue;
+		}
+		if (strcmp(path, "/") == 0) { do_index(); continue; }
+		if (strcmp(path, "/status") == 0) { do_status(); continue; }
+		if (strcmp(path, "/login") == 0) { do_login(auth); continue; }
+		if (strcmp(path, "/secret") == 0) { do_secret(cookie); continue; }
+		resp_head(404, "Not Found");
+		resp_body("No such resource.");
+	}
+	return 0;
+}
+`
+
+func init() { target.Register("httpd", Build) }
+
+// buildOnce caches the compiled application (the image is immutable; runs
+// load fresh copies).
+var buildOnce = sync.OnceValues(func() (*target.App, error) {
+	img, err := rt.BuildImage(Source())
+	if err != nil {
+		return nil, fmt.Errorf("httpd: build: %w", err)
+	}
+	return &target.App{
+		Name:      "httpd",
+		Image:     img,
+		AuthFuncs: AuthFuncs,
+		Scenarios: Scenarios(),
+		Rebuild:   BuildWithCodegen,
+	}, nil
+})
+
+// Build compiles and links the HTTP daemon and returns the application
+// bundle. The result is cached; callers share the immutable image.
+func Build() (*target.App, error) { return buildOnce() }
+
+// BuildWithCodegen builds the daemon with explicit codegen options (the
+// hook hardening schemes rebuild through; not cached here —
+// target.App.ForCodegen caches per option set).
+func BuildWithCodegen(opts cc.Options) (*target.App, error) {
+	img, err := rt.BuildImageWithOptions(opts, Source())
+	if err != nil {
+		return nil, fmt.Errorf("httpd: build: %w", err)
+	}
+	return &target.App{
+		Name:      "httpd",
+		Image:     img,
+		AuthFuncs: AuthFuncs,
+		Scenarios: Scenarios(),
+		Rebuild:   BuildWithCodegen,
+	}, nil
+}
+
+// Scenarios returns the four HTTP client access patterns. The session
+// cookie makes multi-request sessions the norm: every persona issues
+// several requests over one connection.
+func Scenarios() []target.Scenario {
+	return []target.Scenario{
+		{
+			Name:        "Client1",
+			Description: "valid credentials: login, fetch the protected resource twice",
+			ShouldGrant: true,
+			New: func() target.Client {
+				return newClient([]request{
+					{path: "/login", auth: "alice:wonderland"},
+					{path: "/secret", useSession: true},
+					{path: "/secret", useSession: true},
+					{path: "/"},
+				})
+			},
+		},
+		{
+			Name:        "Client2",
+			Description: "wrong-password probe (attack pattern), then tries the protected path",
+			ShouldGrant: false,
+			New: func() target.Client {
+				return newClient([]request{
+					{path: "/login", auth: "alice:letmein"},
+					{path: "/login", auth: "alice:hunter2"},
+					{path: "/secret", useSession: true},
+				})
+			},
+		},
+		{
+			Name:        "Client3",
+			Description: "forged/replayed session cookie straight at the protected path (attack pattern)",
+			ShouldGrant: false,
+			New: func() target.Client {
+				return newClient([]request{
+					{path: "/secret", cookie: "deadbeefcafe"},
+					{path: "/secret", cookie: "deadbeefcafe"},
+					{path: "/"},
+				})
+			},
+		},
+		{
+			Name:        "Client4",
+			Description: "anonymous direct-path probe: no credentials, no cookie",
+			ShouldGrant: false,
+			New: func() target.Client {
+				return newClient([]request{
+					{path: "/secret"},
+					{path: "/status"},
+					{path: "/"},
+				})
+			},
+		},
+	}
+}

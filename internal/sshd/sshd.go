@@ -364,6 +364,8 @@ int main() {
 }
 `
 
+func init() { target.Register("sshd", Build) }
+
 var buildOnce = sync.OnceValues(func() (*target.App, error) {
 	img, err := rt.BuildImage(Source())
 	if err != nil {

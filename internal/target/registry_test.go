@@ -1,0 +1,88 @@
+package target_test
+
+import (
+	"strings"
+	"testing"
+
+	"faultsec/internal/encoding"
+	"faultsec/internal/target"
+
+	// Self-registering target applications — the same blank imports the
+	// cmd binaries use to populate the registry.
+	_ "faultsec/internal/ftpd"
+	_ "faultsec/internal/httpd"
+	_ "faultsec/internal/sshd"
+)
+
+// TestRegistryCompleteness is the CI gate a new target application must
+// pass to ship: every registered name builds, carries at least one
+// scenario and a non-empty AuthFuncs list, and rebuilds under every
+// registered hardening scheme's CCOptions. An app that registers but
+// can't serve campaigns across the scheme matrix fails here, not deep
+// inside a matrix run.
+func TestRegistryCompleteness(t *testing.T) {
+	names := target.Names()
+	if len(names) < 3 {
+		t.Fatalf("registered apps = %v, want at least ftpd, httpd, sshd", names)
+	}
+	for _, want := range []string{"ftpd", "httpd", "sshd"} {
+		found := false
+		for _, n := range names {
+			found = found || n == want
+		}
+		if !found {
+			t.Errorf("registry is missing %q (have %v)", want, names)
+		}
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			app, err := target.Build(name)
+			if err != nil {
+				t.Fatalf("Build(%q): %v", name, err)
+			}
+			if app.Name != name {
+				t.Errorf("Build(%q) returned app named %q", name, app.Name)
+			}
+			if len(app.Scenarios) == 0 {
+				t.Error("no scenarios")
+			}
+			if len(app.AuthFuncs) == 0 {
+				t.Error("no AuthFuncs — nothing for the injector to target")
+			}
+			if app.Rebuild == nil {
+				t.Error("no Rebuild hook — compile-time schemes cannot apply")
+			}
+			for _, sn := range encoding.Names() {
+				scheme, err := encoding.Parse(sn)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := app.ForScheme(scheme); err != nil {
+					t.Errorf("ForScheme(%s): %v", sn, err)
+				}
+			}
+			again, err := target.Build(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again != app {
+				t.Errorf("Build(%q) did not memoize: two calls returned distinct apps", name)
+			}
+		})
+	}
+}
+
+// TestBuildUnknownNameListsRegistry pins the error shape campaignd's
+// submit 400 relies on: an unknown name is rejected with every
+// registered app named in the message.
+func TestBuildUnknownNameListsRegistry(t *testing.T) {
+	_, err := target.Build("gopherd")
+	if err == nil {
+		t.Fatal("Build of an unregistered app succeeded")
+	}
+	for _, want := range append([]string{"gopherd"}, target.Names()...) {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("unknown-app error %q does not mention %q", err, want)
+		}
+	}
+}

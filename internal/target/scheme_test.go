@@ -6,13 +6,14 @@ import (
 	"faultsec/internal/cc"
 	"faultsec/internal/encoding"
 	"faultsec/internal/ftpd"
+	"faultsec/internal/httpd"
 	"faultsec/internal/inject"
 	"faultsec/internal/sshd"
 	"faultsec/internal/target"
 )
 
 // TestForSchemeGoldenRuns proves every registered hardening scheme yields
-// a functionally correct image for both target applications: the resolved
+// a functionally correct image for every target application: the resolved
 // app passes a golden (fault-free) run for every scenario. GoldenRun
 // itself fails when the client's access result deviates from the
 // scenario's ShouldGrant, so a countermeasure that broke the program —
@@ -93,5 +94,9 @@ func buildApps(t *testing.T) []*target.App {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return []*target.App{f, s}
+	h, err := httpd.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*target.App{f, s, h}
 }
